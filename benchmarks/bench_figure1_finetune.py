@@ -1,0 +1,19 @@
+"""Figure 1: fine-tuning after concept drift enlarges the anomaly gap.
+
+Reproduces the staged experiment — USAD + sliding window + mu/sigma-Change,
+artificial anomaly inserted 90 steps after the fine-tuning session — and
+prints both models' baselines, peaks and gaps (the paper's error bars).
+
+Shape to compare with the paper: the fine-tuned model's gap is clearly
+larger, driven by its lower post-drift baseline nonconformity.
+"""
+
+from repro.experiments.figure1 import render_figure1, run_figure1
+
+
+def bench_figure1_finetuning_impact(benchmark):
+    impact = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+    print()
+    print(render_figure1(impact))
+    assert impact.gap_finetuned > impact.gap_stale
+    assert impact.baseline_finetuned < impact.baseline_stale

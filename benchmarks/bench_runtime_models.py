@@ -1,0 +1,56 @@
+"""Runtime profile: per-step throughput of every model family.
+
+Not a paper table, but the systems-level complement to Table II: the
+drift detector is only one part of the per-step budget.  Benchmarks one
+full detector step (representation + prediction + nonconformity + scoring
++ training-set update + drift check) per model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.datasets import make_daphnet
+
+CONFIG = DetectorConfig(
+    window=16, train_capacity=48, fit_epochs=5, kswin_check_every=8
+)
+
+
+def _warmed_detector(model, task1, task2, series):
+    detector = build_detector(
+        AlgorithmSpec(model, task1, task2), series.n_channels, CONFIG
+    )
+    for t in range(200):
+        detector.step(series.values[t])
+    assert detector.model.is_fitted
+    return detector
+
+
+@pytest.fixture(scope="module")
+def series():
+    return make_daphnet(n_series=1, n_steps=4000, clean_prefix=400, seed=0)[0]
+
+
+@pytest.mark.parametrize(
+    "model,task1,task2",
+    [
+        ("online_arima", "sw", "musigma"),
+        ("ae", "sw", "musigma"),
+        ("ae", "sw", "kswin"),
+        ("usad", "ares", "musigma"),
+        ("nbeats", "sw", "musigma"),
+        ("pcb_iforest", "sw", "kswin"),
+    ],
+)
+def bench_model_step(benchmark, series, model, task1, task2):
+    detector = _warmed_detector(model, task1, task2, series)
+    counter = {"t": 200}
+
+    def one_step():
+        t = counter["t"]
+        counter["t"] = 200 + (t + 1 - 200) % 3000
+        return detector.step(series.values[t])
+
+    benchmark(one_step)

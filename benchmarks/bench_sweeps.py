@@ -1,0 +1,34 @@
+"""Sensitivity sweeps: window length and training-set size.
+
+Quantifies how the reproduction's scaled-down parameters (w=16 vs the
+paper's 100; m=96 vs the paper's 5000-step initial block) affect results,
+and that runtime scales as expected.
+"""
+
+from repro.experiments.sweeps import render_sweep, sweep_parameter
+
+
+def bench_sweep_window(benchmark):
+    points = benchmark.pedantic(
+        sweep_parameter,
+        args=("window", [8, 16, 24]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep("window", points))
+    assert len(points) == 3
+    for point in points:
+        assert 0.0 <= point.metrics.auc <= 1.0
+
+
+def bench_sweep_train_capacity(benchmark):
+    points = benchmark.pedantic(
+        sweep_parameter,
+        args=("train_capacity", [32, 64, 128]),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_sweep("train_capacity", points))
+    assert len(points) == 3

@@ -1,0 +1,39 @@
+"""Table I: the grid of 26 algorithm combinations.
+
+Regenerates the paper's combination table and asserts its size.  Also a
+micro-benchmark of detector assembly (the registry's build path).
+"""
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import build_algorithm_grid, build_detector
+from repro.experiments.reporting import render_table
+
+
+def bench_table1_grid(benchmark):
+    grid = benchmark.pedantic(build_algorithm_grid, rounds=5, iterations=1)
+    assert len(grid) == 26
+    rows = [
+        [spec.model, spec.task1, spec.task2, spec.nonconformity] for spec in grid
+    ]
+    print()
+    print(
+        render_table(
+            ["Model", "Task1", "Task2", "Nonconformity"],
+            rows,
+            title="Table I (26 algorithm combinations)",
+        )
+    )
+
+
+def bench_build_all_detectors(benchmark):
+    """Assembling one detector per grid cell (registry overhead)."""
+    config = DetectorConfig(window=12, train_capacity=16, fit_epochs=1)
+
+    def build_all():
+        return [
+            build_detector(spec, n_channels=4, config=config)
+            for spec in build_algorithm_grid()
+        ]
+
+    detectors = benchmark.pedantic(build_all, rounds=3, iterations=1)
+    assert len(detectors) == 26

@@ -1,0 +1,91 @@
+"""Table II: per-step operation counts of the Task-2 strategies.
+
+Prints the paper's analytic formulas over a parameter sweep around the
+paper's scale (m=100, w=100, N=9 for Daphnet; N=38 for SMD), the measured
+counter values from the live detectors, and wall-clock timings of one
+drift check for both strategies.
+
+Expected shape: KSWIN exceeds mu/sigma-Change by orders of magnitude in
+both op counts and wall time, while Table III shows their detection
+quality nearly identical — the paper's case for mu/sigma-Change.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import render_table
+from repro.experiments.table2 import measure_ops, render_table2, run_table2
+from repro.learning import KSWIN, MuSigmaChange
+from repro.learning.base import Update, UpdateKind
+
+
+def bench_table2_formulas(benchmark):
+    rows = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    print()
+    print(render_table2(rows))
+    for row in rows:
+        assert row.kswin_formula.total > row.musigma_formula.total
+        assert row.kswin_measured.total > row.musigma_measured.total
+    measured = [
+        [
+            row.m,
+            row.w,
+            row.n_channels,
+            row.musigma_measured.total,
+            row.kswin_measured.total,
+            float(row.kswin_measured.total / max(row.musigma_measured.total, 1)),
+        ]
+        for row in rows
+    ]
+    print()
+    print(
+        render_table(
+            ["m", "w", "N", "mu/s measured", "KS measured", "ratio"],
+            measured,
+            title="Table II (measured ops, live detectors)",
+        )
+    )
+
+
+def _one_musigma_step(detector, update, train_set):
+    detector.observe(update, t=100)
+    detector.should_finetune(100, train_set)
+
+
+def bench_table2_musigma_wallclock(benchmark):
+    """Wall time of one mu/sigma-Change step at paper scale (m=w=100, N=9)."""
+    rng = np.random.default_rng(0)
+    train_set = rng.normal(size=(100, 100, 9))
+    detector = MuSigmaChange()
+    for vector in train_set:
+        detector.observe(Update(UpdateKind.ADDED, added=vector), t=0)
+    detector.should_finetune(0, train_set)
+    update = Update(
+        UpdateKind.REPLACED,
+        added=rng.normal(size=(100, 9)),
+        removed=train_set[0],
+    )
+    benchmark(_one_musigma_step, detector, update, train_set)
+
+
+def bench_table2_kswin_wallclock(benchmark):
+    """Wall time of one KSWIN step at paper scale (m=w=100, N=9)."""
+    rng = np.random.default_rng(0)
+    train_set = rng.normal(size=(100, 100, 9))
+    detector = KSWIN()
+    detector.should_finetune(0, train_set)
+
+    benchmark(detector.should_finetune, 1, train_set)
+
+
+def bench_table2_measured_scaling(benchmark):
+    """Measured counters must scale like the formulas: linear in m for
+    KSWIN arithmetic, constant for mu/sigma."""
+
+    def measure():
+        return [measure_ops(m, 50, 4) for m in (25, 50, 100)]
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    musigma = [mu.total for mu, _ in results]
+    kswin = [ks.additions for _, ks in results]
+    assert musigma[0] == musigma[1] == musigma[2]
+    assert kswin[2] > 3 * kswin[0]

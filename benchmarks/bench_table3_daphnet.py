@@ -1,0 +1,36 @@
+"""Table III, Daphnet block: all 26 algorithms on the Daphnet emulator.
+
+Prints the full per-algorithm table (Prec / Rec / AUC / VUS / NAB averaged
+over the average and anomaly-likelihood scorers).  Shapes to compare with
+the paper: mu/sigma and KSWIN rows nearly identical per (model, Task-1)
+pair; ARES rows tend to raise AUC; Online ARIMA trails the nonlinear
+models.
+"""
+
+import numpy as np
+
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def bench_table3_daphnet(benchmark, table3_config):
+    rows = benchmark.pedantic(
+        run_table3, args=("daphnet",), kwargs={"config": table3_config},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table3("daphnet", rows))
+    assert len(rows) == 26
+    _check_shapes(rows)
+
+
+def _check_shapes(rows):
+    # mu/sigma vs KSWIN: near-identical detection quality per pairing.
+    paired_gaps = []
+    by_key = {(r.spec.model, r.spec.task1, r.spec.task2): r for r in rows}
+    for (model, task1, task2), row in by_key.items():
+        if task2 == "musigma":
+            twin = by_key.get((model, task1, "kswin"))
+            if twin is not None:
+                paired_gaps.append(abs(row.metrics.auc - twin.metrics.auc))
+    assert paired_gaps, "expected mu/sigma-KSWIN pairs in the grid"
+    print(f"\nmean |AUC(mu/sigma) - AUC(KSWIN)| over pairs: {np.mean(paired_gaps):.3f}")

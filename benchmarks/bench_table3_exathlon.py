@@ -1,0 +1,25 @@
+"""Table III, Exathlon block: all 26 algorithms on the Exathlon emulator.
+
+The hallmark shape to compare with the paper: high range-based precision
+and recall can coexist with deeply negative point-wise NAB scores — long
+predicted intervals count as one range-level event but as hundreds of
+per-step false positives.
+"""
+
+from repro.experiments.table3 import render_table3, run_table3
+
+
+def bench_table3_exathlon(benchmark, table3_config):
+    rows = benchmark.pedantic(
+        run_table3, args=("exathlon",), kwargs={"config": table3_config},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(render_table3("exathlon", rows))
+    assert len(rows) == 26
+    # The disparity phenomenon: at least one algorithm with decent ranged
+    # recall but a negative NAB score.
+    disparity = [
+        r for r in rows if r.metrics.recall > 0.5 and r.metrics.nab < 0.0
+    ]
+    print(f"\nalgorithms with recall > 0.5 but negative NAB: {len(disparity)}")

@@ -1,0 +1,42 @@
+"""Table III, final three rows: raw vs. average vs. anomaly likelihood.
+
+Averages each scoring function over a representative algorithm subset
+(one per model family, to keep the bench fast; pass the full grid through
+``run_score_ablation`` for the complete reproduction).
+
+Shape to compare with the paper: NAB improves monotonically raw -> avg ->
+anomaly likelihood; VUS tends the other way (sharper, more focused
+predictions cover fewer points of the true windows).
+"""
+
+from repro.core.registry import AlgorithmSpec
+from repro.experiments.score_ablation import (
+    render_score_ablation,
+    run_score_ablation,
+)
+
+REPRESENTATIVE_SPECS = [
+    AlgorithmSpec("online_arima", "ares", "musigma"),
+    AlgorithmSpec("ae", "ares", "musigma"),
+    AlgorithmSpec("usad", "sw", "musigma"),
+    AlgorithmSpec("nbeats", "sw", "kswin"),
+    AlgorithmSpec("pcb_iforest", "sw", "kswin"),
+]
+
+
+def bench_table3_score_rows(benchmark, table3_config):
+    rows = benchmark.pedantic(
+        run_score_ablation,
+        args=("daphnet",),
+        kwargs={"specs": REPRESENTATIVE_SPECS, "config": table3_config},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_score_ablation("daphnet", rows))
+    by_name = {row.scorer: row.metrics for row in rows}
+    print(
+        f"\nNAB ordering raw={by_name['raw'].nab:.2f} "
+        f"avg={by_name['avg'].nab:.2f} al={by_name['al'].nab:.2f} "
+        "(paper shape: raw <= avg <= al)"
+    )

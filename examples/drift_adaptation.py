@@ -1,0 +1,81 @@
+"""Concept-drift adaptation: watching the Task-2 strategies work.
+
+Streams a series with a known drift point through the same model under
+three Task-2 strategies — never fine-tune, mu/sigma-Change and KSWIN —
+and prints when each one fired, what it cost, and what it did to the
+average nonconformity after the drift (the paper's Figure 1 effect,
+observed live instead of staged).
+
+Run:  python examples/drift_adaptation.py
+"""
+
+import numpy as np
+
+from repro import DetectorConfig, build_detector, run_stream
+from repro.core.registry import AlgorithmSpec
+from repro.datasets import make_drift_stream
+from repro.experiments.reporting import render_table
+
+
+def main() -> None:
+    series = make_drift_stream(n_steps=2400, drift_at=1400, anomaly_at=1900, seed=9)
+    drift_at = series.drift_points[0]
+    print(f"stream: T={series.n_steps}, drift injected at t={drift_at}, "
+          f"anomaly at t={series.windows[0].start}")
+
+    config = DetectorConfig(
+        window=16,
+        train_capacity=120,
+        initial_train_size=400,
+        scorer="avg",
+        kswin_check_every=4,
+    )
+
+    rows = []
+    for task2 in ("never", "musigma", "kswin"):
+        spec = AlgorithmSpec("ae", "sw", task2)
+        detector = build_detector(spec, series.n_channels, config)
+        result = run_stream(detector, series)
+        nc = result.nonconformities
+        before = float(np.mean(nc[drift_at - 300 : drift_at]))
+        after = float(np.mean(nc[drift_at + 100 : drift_at + 400]))
+        ops = detector.drift_detector.ops
+        rows.append(
+            [
+                task2,
+                result.n_finetunes,
+                before,
+                after,
+                float(after - before),
+                ops.additions + ops.multiplications,
+                ops.comparisons,
+            ]
+        )
+        fired_at = [e.t for e in result.events if e.reason != "initial_fit"]
+        print(f"  {task2:8s} fine-tuned at steps: {fired_at if fired_at else '-'}")
+
+    print()
+    print(
+        render_table(
+            [
+                "Task 2",
+                "finetunes",
+                "nc before drift",
+                "nc after drift",
+                "delta",
+                "arith ops",
+                "comparisons",
+            ],
+            rows,
+            title="Drift adaptation: same model, three Task-2 strategies",
+        )
+    )
+    print(
+        "\npaper shapes: both detectors adapt similarly (near-identical nc after\n"
+        "drift) while KSWIN spends orders of magnitude more comparisons; the\n"
+        "'never' baseline stays degraded after the drift."
+    )
+
+
+if __name__ == "__main__":
+    main()

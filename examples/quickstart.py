@@ -1,0 +1,42 @@
+"""Quickstart: detect anomalies in a multivariate stream in ~20 lines.
+
+Builds one algorithm from the paper's grid — a two-layer autoencoder with
+an anomaly-aware reservoir and mu/sigma-Change drift detection — streams a
+synthetic 9-channel wearable-sensor series through it, and reports the
+paper's five evaluation metrics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DetectorConfig, build_detector, run_stream
+from repro.core.registry import AlgorithmSpec
+from repro.datasets import make_daphnet
+from repro.experiments import evaluate_result
+
+def main() -> None:
+    # A labelled benchmark stream (Daphnet-like: 9 accelerometer channels,
+    # freezing-of-gait anomaly windows, gradual drift).
+    series = make_daphnet(n_series=1, n_steps=2000, clean_prefix=400, seed=3)[0]
+    print(f"stream: {series.name}  T={series.n_steps}  N={series.n_channels}  "
+          f"anomaly rate={series.anomaly_rate:.1%}")
+
+    # One cell of the paper's Table I grid: model + Task-1 + Task-2.
+    spec = AlgorithmSpec(model="ae", task1="ares", task2="musigma")
+    config = DetectorConfig(
+        window=16,            # data representation length w
+        train_capacity=96,    # maintained training set size m
+        initial_train_size=300,  # initial fit set (the paper's warm-up block)
+        scorer="al",          # anomaly likelihood
+    )
+    detector = build_detector(spec, n_channels=series.n_channels, config=config)
+
+    # Stream every vector through the detector and evaluate.
+    result = run_stream(detector, series)
+    metrics = evaluate_result(result)
+    print(f"algorithm: {spec.label}")
+    print(f"fine-tuning sessions: {result.n_finetunes}")
+    for name, value in metrics.as_dict().items():
+        print(f"  {name:>4}: {value: .3f}")
+
+if __name__ == "__main__":
+    main()

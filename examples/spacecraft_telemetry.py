@@ -1,0 +1,116 @@
+"""Spacecraft telemetry monitoring — the paper's motivating application.
+
+The paper was developed within an ESA project on machine learning for
+telecom satellites: onboard devices emit multivariate telemetry that must
+be monitored in real time, on limited hardware, under concept drift
+(eclipse seasons, payload reconfiguration).  This example simulates a
+small telemetry bus and compares two algorithms from the grid on it:
+
+- USAD + sliding window + mu/sigma-Change (cheap drift detection, the
+  paper's recommendation), and
+- PCB-iForest + ARES + KSWIN (tree-based, no gradient training).
+
+Run:  python examples/spacecraft_telemetry.py
+"""
+
+import numpy as np
+
+from repro import DetectorConfig, build_detector, run_stream
+from repro.core.registry import AlgorithmSpec
+from repro.core.types import AnomalyWindow, TimeSeries, labels_from_windows
+from repro.datasets import (
+    apply_mean_shift,
+    inject_flatline,
+    inject_level_shift,
+    inject_spike,
+    place_windows,
+    sinusoid,
+)
+from repro.datasets.synthetic import ar1_noise, random_walk
+from repro.experiments import evaluate_result
+from repro.experiments.reporting import render_table
+
+
+def make_telemetry(n_steps: int = 3000, seed: int = 11) -> TimeSeries:
+    """Six telemetry channels: thermal, power and attitude signals.
+
+    The orbital period shows up as shared seasonality; an eclipse-season
+    change mid-stream acts as concept drift; anomalies are a payload
+    current spike, a frozen thermistor and a power-bus sag.
+    """
+    rng = np.random.default_rng(seed)
+    orbit = 180.0  # steps per orbit
+    channels = {
+        "panel_temp": 20 + 8 * sinusoid(n_steps, orbit) + ar1_noise(n_steps, 0.9, 0.3, rng),
+        "battery_temp": 15 + 3 * sinusoid(n_steps, orbit, phase=0.7) + ar1_noise(n_steps, 0.9, 0.2, rng),
+        "bus_voltage": 28 + 0.5 * sinusoid(n_steps, orbit, phase=1.4) + ar1_noise(n_steps, 0.8, 0.05, rng),
+        "payload_current": 3 + 0.4 * sinusoid(n_steps, orbit / 2) + ar1_noise(n_steps, 0.7, 0.08, rng),
+        "gyro_rate": 0.02 * random_walk(n_steps, 1.0, rng) + ar1_noise(n_steps, 0.5, 0.01, rng),
+        "rw_speed": 2000 + 150 * sinusoid(n_steps, orbit, phase=2.1) + ar1_noise(n_steps, 0.9, 10.0, rng),
+    }
+    values = np.stack(list(channels.values()), axis=1)
+
+    # Eclipse-season onset: thermal baselines shift permanently.
+    drift_at = int(n_steps * 0.55)
+    apply_mean_shift(values, drift_at, rng, magnitude=1.5, channel_fraction=0.5)
+
+    windows = place_windows(
+        n_steps, 3, min_length=15, max_length=40, rng=rng, forbidden_prefix=600
+    )
+    inject_spike(values, windows[0], rng, magnitude=6.0, channel_fraction=0.3)
+    inject_flatline(values, windows[1], rng, channel_fraction=0.3)
+    inject_level_shift(values, windows[2], rng, magnitude=4.0, channel_fraction=0.4)
+    return TimeSeries(
+        values=values,
+        labels=labels_from_windows(windows, n_steps),
+        name="telemetry/bus-A",
+        windows=windows,
+        drift_points=[drift_at],
+    )
+
+
+def main() -> None:
+    series = make_telemetry()
+    print(f"telemetry stream: T={series.n_steps}, N={series.n_channels}, "
+          f"{len(series.windows)} anomalies, drift at {series.drift_points[0]}")
+
+    config = DetectorConfig(
+        window=16,
+        train_capacity=120,
+        initial_train_size=400,
+        scorer="al",
+        kswin_check_every=4,
+    )
+    candidates = [
+        AlgorithmSpec("usad", "sw", "musigma"),
+        AlgorithmSpec("pcb_iforest", "ares", "kswin"),
+    ]
+    rows = []
+    for spec in candidates:
+        detector = build_detector(spec, series.n_channels, config)
+        result = run_stream(detector, series)
+        metrics = evaluate_result(result)
+        rows.append(
+            [
+                spec.label,
+                metrics.precision,
+                metrics.recall,
+                metrics.auc,
+                metrics.vus,
+                metrics.nab,
+                result.n_finetunes,
+                float(result.runtime_seconds),
+            ]
+        )
+    print()
+    print(
+        render_table(
+            ["algorithm", "Prec", "Rec", "AUC", "VUS", "NAB", "finetunes", "sec"],
+            rows,
+            title="Telemetry monitoring comparison",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Univariate streams: where the paper's cosine measure breaks down.
+
+Section IV-D notes the cosine nonconformity "only works for forecasting
+models in the multivariate case (N > 1)" — the cosine between two scalars
+is 0 or 1, carrying no magnitude information.  This example runs Online
+ARIMA on a single-channel stream twice: once with the (degenerate) cosine
+measure and once with the library's Euclidean extension, showing why the
+latter exists.
+
+Run:  python examples/univariate_stream.py
+"""
+
+import numpy as np
+
+from repro import StreamingAnomalyDetector, run_stream
+from repro.core.types import AnomalyWindow, TimeSeries, labels_from_windows
+from repro.datasets import inject_spike
+from repro.experiments import evaluate_result
+from repro.experiments.reporting import render_table
+from repro.learning import MuSigmaChange, SlidingWindow
+from repro.models import OnlineARIMA
+from repro.scoring import AnomalyLikelihood, CosineNonconformity, EuclideanNonconformity
+
+
+def make_univariate(n_steps: int = 2000, seed: int = 17) -> TimeSeries:
+    rng = np.random.default_rng(seed)
+    t = np.arange(n_steps, dtype=np.float64)
+    values = (
+        np.sin(2 * np.pi * t / 50)
+        + 0.3 * np.sin(2 * np.pi * t / 13)
+        + rng.normal(scale=0.08, size=n_steps)
+    )[:, None]
+    windows = [AnomalyWindow(900, 925), AnomalyWindow(1500, 1515)]
+    for window in windows:
+        inject_spike(values, window, rng, magnitude=6.0, channel_fraction=1.0)
+    return TimeSeries(
+        values=values,
+        labels=labels_from_windows(windows, n_steps),
+        name="univariate/sensor",
+        windows=windows,
+    )
+
+
+def build(nonconformity):
+    return StreamingAnomalyDetector(
+        model=OnlineARIMA(window=16, d=1, lr=0.05),
+        train_strategy=SlidingWindow(120),
+        drift_detector=MuSigmaChange(),
+        nonconformity=nonconformity,
+        scorer=AnomalyLikelihood(k=48, k_short=6),
+        window=16,
+        min_train_size=400,
+    )
+
+
+def main() -> None:
+    series = make_univariate()
+    print(f"stream: {series.name}  T={series.n_steps}  N={series.n_channels}")
+    rows = []
+    for name, measure in [
+        ("cosine (paper, degenerate at N=1)", CosineNonconformity()),
+        ("euclidean (extension)", EuclideanNonconformity()),
+    ]:
+        result = run_stream(build(measure), series)
+        metrics = evaluate_result(result)
+        distinct = len(np.unique(np.round(result.nonconformities[500:], 6)))
+        rows.append(
+            [name, metrics.precision, metrics.recall, metrics.auc, metrics.nab, distinct]
+        )
+    print(
+        render_table(
+            ["nonconformity", "Prec", "Rec", "AUC", "NAB", "distinct a_t values"],
+            rows,
+            title="Online ARIMA on a univariate stream",
+        )
+    )
+    print(
+        "\nthe cosine column shows (near-)binary nonconformity — scalar cosine\n"
+        "carries no magnitude — while the Euclidean measure grades errors."
+    )
+
+
+if __name__ == "__main__":
+    main()

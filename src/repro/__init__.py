@@ -1,0 +1,39 @@
+"""repro — extended framework for multivariate streaming anomaly detection.
+
+This package reproduces "Extended Framework and Evaluation for Multivariate
+Streaming Anomaly Detection with Machine Learning" (ICDE 2024).  It provides:
+
+- the extended SAFARI framework (:mod:`repro.core`): data representation,
+  learning strategy, nonconformity measure and anomaly scoring, generalised
+  to model-based detectors;
+- five machine-learning models (:mod:`repro.models`): Online ARIMA, VAR,
+  PCB-iForest, a two-layer autoencoder, USAD and N-BEATS, all implemented
+  from scratch on numpy;
+- training-set maintenance and concept-drift detection strategies
+  (:mod:`repro.learning`);
+- evaluation metrics (:mod:`repro.metrics`): range-based precision/recall,
+  PR-AUC, the NAB score and VUS;
+- synthetic multivariate stream generators emulating the Daphnet, Exathlon
+  and SMD corpora (:mod:`repro.datasets`);
+- a stream runner and experiment harness (:mod:`repro.streaming`,
+  :mod:`repro.experiments`) regenerating every table and figure of the
+  paper's evaluation.
+"""
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import StreamingAnomalyDetector
+from repro.core.registry import AlgorithmSpec, build_algorithm_grid, build_detector
+from repro.streaming.runner import StreamResult, run_stream
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmSpec",
+    "DetectorConfig",
+    "StreamingAnomalyDetector",
+    "StreamResult",
+    "build_algorithm_grid",
+    "build_detector",
+    "run_stream",
+    "__version__",
+]

@@ -1,0 +1,212 @@
+"""The streaming anomaly detector: the paper's four tasks wired together.
+
+Per stream step the detector executes the extended framework loop:
+
+1. **Data representation** — push ``s_t`` into the rolling buffer and
+   obtain the feature vector ``x_t`` (Definition III.1);
+2. **Nonconformity** — score ``a_t = A(x_t, theta_t)`` against the current
+   model (Definition III.3);
+3. **Anomaly scoring** — fold ``a_t`` into the final score ``f_t``
+   (Definition III.4);
+4. **Learning strategy** — offer ``x_t`` (with ``f_t``, for ARES) to the
+   Task-1 strategy and let the Task-2 strategy decide whether to fine-tune
+   the model on the current training set (Definition III.2).
+
+The model is fitted for the first time once the training set reaches
+``min_train_size`` vectors; until then steps return score 0 (the warm-up
+region, which the paper excludes from evaluation anyway).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, StreamError
+from repro.core.representation import RollingBuffer, WindowRepresentation
+from repro.core.types import FineTuneEvent, StepResult, StreamVector
+from repro.learning.base import DriftDetector, TrainingSetStrategy
+from repro.models.base import StreamModel
+from repro.scoring.anomaly_score import AnomalyScorer
+from repro.scoring.nonconformity import NonconformityMeasure
+
+
+class StreamingAnomalyDetector:
+    """A complete streaming anomaly detection algorithm.
+
+    Args:
+        model: the ML model (reference parameters ``theta_model``).
+        train_strategy: Task-1 training-set maintenance.
+        drift_detector: Task-2 fine-tuning trigger.
+        nonconformity: the nonconformity measure ``A``.
+        scorer: the anomaly scoring function ``F``.
+        window: data representation length ``w``.
+        min_train_size: number of feature vectors that triggers the
+            initial fit; defaults to the Task-1 strategy's capacity.  May
+            exceed the capacity — the paper builds its initial training
+            set from the first 5000 stream steps, independent of the
+            maintained set size ``m`` — in which case the initial fit uses
+            a dedicated accumulation buffer that is discarded afterwards.
+        fit_epochs: epochs for the initial fit.
+        finetune_epochs: epochs per fine-tuning session (paper: 1).
+    """
+
+    def __init__(
+        self,
+        model: StreamModel,
+        train_strategy: TrainingSetStrategy,
+        drift_detector: DriftDetector,
+        nonconformity: NonconformityMeasure,
+        scorer: AnomalyScorer,
+        window: int,
+        min_train_size: int | None = None,
+        fit_epochs: int = 20,
+        finetune_epochs: int = 1,
+    ) -> None:
+        if min_train_size is not None and min_train_size < 2:
+            raise ConfigurationError(
+                f"min_train_size must be >= 2, got {min_train_size}"
+            )
+        self.model = model
+        self.train_strategy = train_strategy
+        self.drift_detector = drift_detector
+        self.nonconformity = nonconformity
+        self.scorer = scorer
+        self.buffer = RollingBuffer(WindowRepresentation(window))
+        self.window = window
+        self.min_train_size = (
+            min_train_size if min_train_size is not None else train_strategy.capacity
+        )
+        self.fit_epochs = fit_epochs
+        self.finetune_epochs = finetune_epochs
+
+        self.t = -1
+        self.n_channels: int | None = None
+        self.events: list[FineTuneEvent] = []
+        self.first_scored_step: int | None = None
+        # Dedicated accumulator for an initial fit larger than the
+        # maintained training set (discarded after the fit).
+        self._initial_buffer: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def step(self, s: StreamVector) -> StepResult:
+        """Process one stream vector and return the step's scores.
+
+        Steps taken before the representation buffer is warm or before the
+        initial model fit return zero scores (the warm-up region).
+        """
+        self.t += 1
+        s = np.asarray(s, dtype=np.float64).ravel()
+        if self.n_channels is None:
+            self.n_channels = s.size
+        elif s.size != self.n_channels:
+            raise StreamError(
+                f"stream vector at t={self.t} has {s.size} channels, "
+                f"expected {self.n_channels}"
+            )
+        if not np.all(np.isfinite(s)):
+            raise StreamError(f"stream vector at t={self.t} contains non-finite values")
+
+        x = self.buffer.push(s)
+        if x is None:
+            return StepResult(t=self.t, nonconformity=0.0, score=0.0)
+
+        # Nonconformity + anomaly score (zero until the model exists).
+        if self.model.is_fitted:
+            a = float(self.nonconformity(x, self.model))
+            f = float(self.scorer.update(a))
+            if self.first_scored_step is None:
+                self.first_scored_step = self.t
+        else:
+            a = 0.0
+            f = 0.0
+
+        # Task 1: maintain the training set (ARES consumes f_t).
+        update = self.train_strategy.update(x, score=f)
+        self.drift_detector.observe(update, self.t)
+
+        drift = False
+        finetuned = False
+        if not self.model.is_fitted:
+            if self.min_train_size > self.train_strategy.capacity:
+                self._initial_buffer.append(x)
+                ready = len(self._initial_buffer) >= self.min_train_size
+            else:
+                ready = len(self.train_strategy) >= self.min_train_size
+            if ready:
+                self._initial_fit()
+                finetuned = True
+        else:
+            train_set = self.train_strategy.training_set()
+            if self.drift_detector.should_finetune(self.t, train_set):
+                drift = True
+                finetuned = True
+                self._finetune(train_set)
+        return StepResult(
+            t=self.t,
+            nonconformity=a,
+            score=f,
+            drift_detected=drift,
+            finetuned=finetuned,
+        )
+
+    def warm_up(self, values: np.ndarray) -> None:
+        """Feed an initial block of stream vectors (the paper's first steps).
+
+        Equivalent to calling :meth:`step` on every row; provided so code
+        reads the way the experiments are described.
+        """
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        for row in values:
+            self.step(row)
+
+    # ------------------------------------------------------------------
+    def _initial_fit(self) -> None:
+        if self._initial_buffer:
+            train_set = np.stack(self._initial_buffer)
+            self._initial_buffer.clear()
+        else:
+            train_set = self.train_strategy.training_set()
+        loss = self.model.fit(train_set, epochs=self.fit_epochs)
+        # Drift detection references the *maintained* set going forward.
+        self.drift_detector.notify_finetuned(
+            self.t, self.train_strategy.training_set()
+        )
+        self.events.append(
+            FineTuneEvent(
+                t=self.t,
+                reason="initial_fit",
+                train_set_size=len(train_set),
+                loss_after=loss,
+            )
+        )
+
+    def _finetune(self, train_set: np.ndarray) -> None:
+        loss_before = self.model.loss(train_set)
+        loss_after = self.model.finetune(train_set, epochs=self.finetune_epochs)
+        self.drift_detector.notify_finetuned(self.t, train_set)
+        self.events.append(
+            FineTuneEvent(
+                t=self.t,
+                reason=self.drift_detector.name,
+                train_set_size=len(train_set),
+                loss_before=loss_before,
+                loss_after=loss_after,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_finetunes(self) -> int:
+        """Fine-tuning sessions so far, excluding the initial fit."""
+        return sum(1 for event in self.events if event.reason != "initial_fit")
+
+    def reset(self) -> None:
+        """Reset all streaming state (model parameters are kept)."""
+        self.t = -1
+        self.buffer.reset()
+        self.train_strategy.reset()
+        self.drift_detector.reset()
+        self.scorer.reset()
+        self.events.clear()
+        self.first_scored_step = None
+        self._initial_buffer.clear()

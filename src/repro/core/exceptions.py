@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter combination was supplied to a component."""
+
+
+class NotFittedError(ReproError):
+    """A model was asked to predict before it was fitted."""
+
+
+class StreamError(ReproError):
+    """A stream vector with an unexpected shape or value was encountered."""
+
+
+class UnknownComponentError(ConfigurationError):
+    """A registry lookup was performed with an unknown component name."""

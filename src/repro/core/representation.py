@@ -1,0 +1,73 @@
+"""Data representations (Definition III.1).
+
+The paper uses a single representation — the identity window over the
+last ``w`` stream vectors — because the ML models learn their own internal
+features.  The abstraction is kept anyway so downstream users can plug in
+alternatives (differences, spectral features, ...).
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.core.types import FeatureVector, StreamVector
+
+
+class DataRepresentation:
+    """Map the ``window`` most recent stream vectors to a feature vector."""
+
+    name = "base"
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+
+    def __call__(self, recent: list[StreamVector]) -> FeatureVector:
+        raise NotImplementedError
+
+
+class WindowRepresentation(DataRepresentation):
+    """The identity window ``x_t = [s_{t-w+1}, ..., s_t]`` (Section IV-A)."""
+
+    name = "window"
+
+    def __call__(self, recent: list[StreamVector]) -> FeatureVector:
+        if len(recent) != self.window:
+            raise ValueError(
+                f"expected {self.window} stream vectors, got {len(recent)}"
+            )
+        return np.stack(recent)
+
+
+class RollingBuffer:
+    """Collects stream vectors and emits feature vectors once warm.
+
+    Wraps a :class:`DataRepresentation` with the deque bookkeeping every
+    streaming consumer needs: push one stream vector per step and receive
+    the feature vector as soon as (and whenever) ``window`` vectors are
+    available.
+    """
+
+    def __init__(self, representation: DataRepresentation) -> None:
+        self.representation = representation
+        self._recent: collections.deque[StreamVector] = collections.deque(
+            maxlen=representation.window
+        )
+
+    @property
+    def is_warm(self) -> bool:
+        return len(self._recent) == self.representation.window
+
+    def push(self, s: StreamVector) -> FeatureVector | None:
+        """Add ``s_t``; return ``x_t`` once enough history has accumulated."""
+        s = np.asarray(s, dtype=np.float64).ravel()
+        self._recent.append(s)
+        if not self.is_warm:
+            return None
+        return self.representation(list(self._recent))
+
+    def reset(self) -> None:
+        self._recent.clear()

@@ -1,0 +1,60 @@
+"""Synthetic multivariate streams emulating the paper's benchmark corpora."""
+
+from repro.datasets.anomalies import (
+    inject_flatline,
+    inject_level_shift,
+    inject_noise_burst,
+    inject_spike,
+    inject_tremor,
+    place_windows,
+)
+from repro.datasets.corpora import (
+    CORPUS_BUILDERS,
+    make_corpus,
+    make_daphnet,
+    make_drift_stream,
+    make_exathlon,
+    make_smd,
+)
+from repro.datasets.io import load_csv, load_npz, save_csv, save_npz
+from repro.datasets.drift import (
+    apply_gradual_mean_drift,
+    apply_mean_shift,
+    apply_variance_scale,
+)
+from repro.datasets.synthetic import (
+    ar1_noise,
+    latent_factor_mix,
+    linear_trend,
+    periodic_channel,
+    random_walk,
+    sinusoid,
+)
+
+__all__ = [
+    "CORPUS_BUILDERS",
+    "apply_gradual_mean_drift",
+    "apply_mean_shift",
+    "apply_variance_scale",
+    "ar1_noise",
+    "inject_flatline",
+    "inject_level_shift",
+    "inject_noise_burst",
+    "inject_spike",
+    "inject_tremor",
+    "latent_factor_mix",
+    "linear_trend",
+    "load_csv",
+    "load_npz",
+    "make_corpus",
+    "make_daphnet",
+    "make_drift_stream",
+    "make_exathlon",
+    "make_smd",
+    "periodic_channel",
+    "place_windows",
+    "random_walk",
+    "save_csv",
+    "save_npz",
+    "sinusoid",
+]

@@ -1,0 +1,158 @@
+"""Anomaly injectors for synthetic streams.
+
+Each injector mutates a values array in place over a given window and
+returns nothing; callers track the windows as labels.  The shapes cover
+the anomaly taxonomy the three paper corpora exhibit: short point spikes
+(SMD), sustained level shifts / resource saturation (Exathlon) and
+collective oscillation changes (Daphnet freezing-of-gait tremor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import AnomalyWindow, FloatArray
+from repro.datasets.synthetic import sinusoid
+
+
+def place_windows(
+    n_steps: int,
+    n_windows: int,
+    min_length: int,
+    max_length: int,
+    rng: np.random.Generator,
+    forbidden_prefix: int = 0,
+    min_gap: int = 10,
+    max_tries: int = 1000,
+) -> list[AnomalyWindow]:
+    """Sample non-overlapping anomaly windows.
+
+    Args:
+        n_steps: stream length.
+        n_windows: how many windows to place.
+        min_length: minimum window length.
+        max_length: maximum window length (inclusive).
+        rng: random generator.
+        forbidden_prefix: keep this initial region anomaly-free (the
+            detector's warm-up / initial training range).
+        min_gap: minimum separation between windows.
+        max_tries: rejection-sampling budget.
+
+    Returns:
+        Windows sorted by start.  May return fewer than ``n_windows`` if
+        the stream is too crowded (callers should check when exact counts
+        matter).
+    """
+    if min_length < 1 or max_length < min_length:
+        raise ValueError(
+            f"need 1 <= min_length <= max_length, got {min_length}, {max_length}"
+        )
+    if forbidden_prefix + max_length >= n_steps:
+        raise ValueError("stream too short for the requested windows")
+    windows: list[AnomalyWindow] = []
+    tries = 0
+    while len(windows) < n_windows and tries < max_tries:
+        tries += 1
+        length = int(rng.integers(min_length, max_length + 1))
+        start = int(rng.integers(forbidden_prefix, n_steps - length))
+        candidate = AnomalyWindow(start, start + length)
+        padded = AnomalyWindow(
+            max(candidate.start - min_gap, 0), candidate.end + min_gap
+        )
+        if not any(padded.overlaps(w) for w in windows):
+            windows.append(candidate)
+    return sorted(windows, key=lambda w: w.start)
+
+
+def _channel_subset(
+    n_channels: int, fraction: float, rng: np.random.Generator
+) -> np.ndarray:
+    count = max(1, int(round(fraction * n_channels)))
+    return rng.choice(n_channels, size=min(count, n_channels), replace=False)
+
+
+def inject_spike(
+    values: FloatArray,
+    window: AnomalyWindow,
+    rng: np.random.Generator,
+    magnitude: float = 5.0,
+    channel_fraction: float = 0.3,
+) -> None:
+    """Additive spikes scaled to each channel's standard deviation."""
+    channels = _channel_subset(values.shape[1], channel_fraction, rng)
+    for channel in channels:
+        scale = max(float(values[:, channel].std()), 1e-6)
+        signs = rng.choice([-1.0, 1.0])
+        values[window.start : window.end, channel] += signs * magnitude * scale
+
+
+def inject_level_shift(
+    values: FloatArray,
+    window: AnomalyWindow,
+    rng: np.random.Generator,
+    magnitude: float = 3.0,
+    channel_fraction: float = 0.5,
+) -> None:
+    """A sustained offset over the window (resource saturation shape)."""
+    channels = _channel_subset(values.shape[1], channel_fraction, rng)
+    for channel in channels:
+        scale = max(float(values[:, channel].std()), 1e-6)
+        values[window.start : window.end, channel] += magnitude * scale
+
+
+def inject_noise_burst(
+    values: FloatArray,
+    window: AnomalyWindow,
+    rng: np.random.Generator,
+    magnitude: float = 4.0,
+    channel_fraction: float = 0.5,
+) -> None:
+    """A burst of heavy noise over the window."""
+    channels = _channel_subset(values.shape[1], channel_fraction, rng)
+    length = len(window)
+    for channel in channels:
+        scale = max(float(values[:, channel].std()), 1e-6)
+        values[window.start : window.end, channel] += rng.normal(
+            scale=magnitude * scale, size=length
+        )
+
+
+def inject_flatline(
+    values: FloatArray,
+    window: AnomalyWindow,
+    rng: np.random.Generator,
+    channel_fraction: float = 0.5,
+) -> None:
+    """Freeze channels at their window-start value (sensor dropout shape)."""
+    channels = _channel_subset(values.shape[1], channel_fraction, rng)
+    for channel in channels:
+        values[window.start : window.end, channel] = values[window.start, channel]
+
+
+def inject_tremor(
+    values: FloatArray,
+    window: AnomalyWindow,
+    rng: np.random.Generator,
+    period: float = 8.0,
+    damping: float = 0.25,
+    channel_fraction: float = 0.7,
+) -> None:
+    """Daphnet-style freezing episode: gait collapses into a faster tremor.
+
+    Inside the window, the original oscillation is damped to ``damping``
+    of its amplitude and a higher-frequency, lower-amplitude trembling
+    component is superimposed — the characteristic freezing-of-gait
+    signature on shank/thigh accelerometers.
+    """
+    channels = _channel_subset(values.shape[1], channel_fraction, rng)
+    length = len(window)
+    for channel in channels:
+        segment = values[window.start : window.end, channel]
+        baseline = segment.mean()
+        scale = max(float(values[:, channel].std()), 1e-6)
+        tremor = sinusoid(
+            length, period, amplitude=0.8 * scale, phase=rng.uniform(0, 2 * np.pi)
+        )
+        values[window.start : window.end, channel] = (
+            baseline + damping * (segment - baseline) + tremor
+        )

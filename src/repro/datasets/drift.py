@@ -1,0 +1,73 @@
+"""Concept-drift injectors: permanent regime changes from a given step on."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import FloatArray
+
+
+def apply_mean_shift(
+    values: FloatArray,
+    at: int,
+    rng: np.random.Generator,
+    magnitude: float = 2.0,
+    channel_fraction: float = 1.0,
+) -> None:
+    """Shift channel baselines from step ``at`` onward (abrupt drift)."""
+    _check_at(values, at)
+    channels = _subset(values.shape[1], channel_fraction, rng)
+    for channel in channels:
+        scale = max(float(values[:at, channel].std()), 1e-6)
+        direction = rng.choice([-1.0, 1.0])
+        values[at:, channel] += direction * magnitude * scale
+
+
+def apply_variance_scale(
+    values: FloatArray,
+    at: int,
+    rng: np.random.Generator,
+    factor: float = 2.5,
+    channel_fraction: float = 1.0,
+) -> None:
+    """Scale deviations around each channel's pre-drift mean by ``factor``."""
+    _check_at(values, at)
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    channels = _subset(values.shape[1], channel_fraction, rng)
+    for channel in channels:
+        baseline = float(values[:at, channel].mean())
+        values[at:, channel] = baseline + factor * (values[at:, channel] - baseline)
+
+
+def apply_gradual_mean_drift(
+    values: FloatArray,
+    at: int,
+    rng: np.random.Generator,
+    magnitude: float = 2.0,
+    ramp: int = 500,
+    channel_fraction: float = 1.0,
+) -> None:
+    """Linearly ramp channel baselines over ``ramp`` steps (gradual drift)."""
+    _check_at(values, at)
+    if ramp < 1:
+        raise ValueError(f"ramp must be >= 1, got {ramp}")
+    n_steps = values.shape[0]
+    channels = _subset(values.shape[1], channel_fraction, rng)
+    profile = np.minimum(np.arange(n_steps - at, dtype=np.float64) / ramp, 1.0)
+    for channel in channels:
+        scale = max(float(values[:at, channel].std()), 1e-6)
+        direction = rng.choice([-1.0, 1.0])
+        values[at:, channel] += direction * magnitude * scale * profile
+
+
+def _subset(n_channels: int, fraction: float, rng: np.random.Generator) -> np.ndarray:
+    count = max(1, int(round(fraction * n_channels)))
+    return rng.choice(n_channels, size=min(count, n_channels), replace=False)
+
+
+def _check_at(values: FloatArray, at: int) -> None:
+    if not 0 < at < values.shape[0]:
+        raise ValueError(
+            f"drift point {at} outside stream of length {values.shape[0]}"
+        )

@@ -1,0 +1,121 @@
+"""Loading and saving labelled time series (NPZ and CSV).
+
+The synthetic corpora cover the benchmarks, but adopters will want to run
+the framework on their own recordings — including the real Daphnet,
+Exathlon and SMD downloads.  These helpers read/write the
+:class:`~repro.core.types.TimeSeries` container:
+
+- **NPZ** round-trips everything (values, labels, name, drift points);
+- **CSV** follows the common benchmark layout: one row per time step,
+  one column per channel, plus an optional binary label column.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.types import TimeSeries, windows_from_labels
+
+
+def save_npz(series: TimeSeries, path: str | Path) -> Path:
+    """Serialise a series to a compressed ``.npz`` archive."""
+    path = Path(path)
+    np.savez_compressed(
+        path,
+        values=series.values,
+        labels=series.labels,
+        name=np.asarray(series.name),
+        drift_points=np.asarray(series.drift_points, dtype=np.int64),
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_npz(path: str | Path) -> TimeSeries:
+    """Load a series saved by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        values = archive["values"]
+        labels = archive["labels"]
+        name = str(archive["name"])
+        drift_points = [int(p) for p in archive["drift_points"]]
+    return TimeSeries(
+        values=values,
+        labels=labels,
+        name=name,
+        windows=windows_from_labels(labels),
+        drift_points=drift_points,
+    )
+
+
+def save_csv(series: TimeSeries, path: str | Path, label_column: str = "label") -> Path:
+    """Write a series as CSV with a header row and a trailing label column."""
+    path = Path(path)
+    header = [f"channel_{i}" for i in range(series.n_channels)] + [label_column]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row, label in zip(series.values, series.labels):
+            writer.writerow([f"{v:.10g}" for v in row] + [int(label)])
+    return path
+
+
+def load_csv(
+    path: str | Path,
+    label_column: str | None = "label",
+    name: str | None = None,
+    delimiter: str = ",",
+) -> TimeSeries:
+    """Load a series from CSV.
+
+    Args:
+        path: file to read; the first row must be a header.
+        label_column: name of the binary label column, or ``None`` if the
+            file carries no labels (all steps are treated as normal).
+        name: series name; defaults to the file stem.
+        delimiter: field separator.
+
+    Raises:
+        ValueError: on a missing label column, an empty file, or
+            non-numeric channel data.
+    """
+    path = Path(path)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty") from None
+        rows = list(reader)
+    if not rows:
+        raise ValueError(f"{path} has a header but no data rows")
+
+    header = [column.strip() for column in header]
+    if label_column is not None:
+        if label_column not in header:
+            raise ValueError(
+                f"label column {label_column!r} not in header {header}"
+            )
+        label_index = header.index(label_column)
+    else:
+        label_index = None
+
+    channel_indices = [i for i in range(len(header)) if i != label_index]
+    try:
+        values = np.array(
+            [[float(row[i]) for i in channel_indices] for row in rows]
+        )
+        if label_index is not None:
+            labels = np.array([int(float(row[label_index])) for row in rows])
+        else:
+            labels = np.zeros(len(rows), dtype=np.int_)
+    except (ValueError, IndexError) as error:
+        raise ValueError(f"malformed CSV {path}: {error}") from error
+
+    return TimeSeries(
+        values=values,
+        labels=labels,
+        name=name if name is not None else path.stem,
+        windows=windows_from_labels(labels),
+    )

@@ -1,0 +1,129 @@
+"""Command-line interface for the experiment harness.
+
+Usage (installed as the ``repro-experiments`` console script, or via
+``python -m repro.experiments.cli``):
+
+    repro-experiments table1
+    repro-experiments table2
+    repro-experiments table3 --corpus daphnet --series 2 --steps 1600
+    repro-experiments scores --corpus smd
+    repro-experiments figure1 --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import build_algorithm_grid
+from repro.experiments.figure1 import render_figure1, run_figure1
+from repro.experiments.reporting import render_table
+from repro.experiments.score_ablation import render_score_ablation, run_score_ablation
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.table3 import Table3Config, render_table3, run_table3
+
+
+def _table3_config(args: argparse.Namespace) -> Table3Config:
+    return Table3Config(
+        n_series=args.series,
+        n_steps=args.steps,
+        clean_prefix=args.prefix,
+        seed=args.seed,
+        detector=DetectorConfig(
+            window=args.window,
+            train_capacity=args.capacity,
+            initial_train_size=max(args.prefix - args.window - 4, args.capacity),
+            fit_epochs=args.epochs,
+            kswin_check_every=args.kswin_every,
+            scorer_k=args.scorer_k,
+            scorer_k_short=max(args.scorer_k // 8, 2),
+        ),
+    )
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--corpus", default="daphnet",
+                        choices=("daphnet", "exathlon", "smd"))
+    parser.add_argument("--series", type=int, default=1, help="series per corpus")
+    parser.add_argument("--steps", type=int, default=1400, help="steps per series")
+    parser.add_argument("--prefix", type=int, default=280,
+                        help="anomaly-free warm-up steps")
+    parser.add_argument("--window", type=int, default=16,
+                        help="data representation length w (paper: 100)")
+    parser.add_argument("--capacity", type=int, default=96,
+                        help="maintained training-set size m")
+    parser.add_argument("--epochs", type=int, default=20, help="initial fit epochs")
+    parser.add_argument("--kswin-every", type=int, default=8, dest="kswin_every",
+                        help="run the KSWIN test every N steps (paper: 1)")
+    parser.add_argument("--scorer-k", type=int, default=48, dest="scorer_k",
+                        help="anomaly-score window k")
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="print the 26-algorithm grid")
+
+    subparsers.add_parser("table2", help="print per-step operation counts")
+
+    table3 = subparsers.add_parser("table3", help="run one corpus block of Table III")
+    _add_scale_arguments(table3)
+
+    scores = subparsers.add_parser(
+        "scores", help="run the anomaly-score ablation rows of Table III"
+    )
+    _add_scale_arguments(scores)
+
+    figure1 = subparsers.add_parser("figure1", help="run the fine-tuning experiment")
+    figure1.add_argument("--seed", type=int, default=7)
+    figure1.add_argument("--steps", type=int, default=1600)
+
+    report = subparsers.add_parser(
+        "report", help="run every experiment, write a markdown report"
+    )
+    report.add_argument("--out", default="report.md", help="output file")
+    _add_scale_arguments(report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        grid = build_algorithm_grid()
+        print(
+            render_table(
+                ["Model", "Task1", "Task2", "Nonconformity"],
+                [[s.model, s.task1, s.task2, s.nonconformity] for s in grid],
+                title=f"Table I ({len(grid)} algorithm combinations)",
+            )
+        )
+    elif args.command == "table2":
+        print(render_table2(run_table2()))
+    elif args.command == "table3":
+        config = _table3_config(args)
+        rows = run_table3(args.corpus, config=config)
+        print(render_table3(args.corpus, rows))
+    elif args.command == "scores":
+        config = _table3_config(args)
+        rows = run_score_ablation(args.corpus, config=config)
+        print(render_score_ablation(args.corpus, rows))
+    elif args.command == "figure1":
+        impact = run_figure1(n_steps=args.steps, seed=args.seed)
+        print(render_figure1(impact))
+    elif args.command == "report":
+        from repro.experiments.report import write_report
+
+        config = _table3_config(args)
+        out = write_report(args.out, config=config)
+        print(f"report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

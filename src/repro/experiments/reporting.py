@@ -1,0 +1,37 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned text table matching the paper's row layout."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows = []
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError(f"row has {len(row)} cells, expected {columns}")
+        cells = []
+        for i, value in enumerate(row):
+            text = f"{value:.2f}" if isinstance(value, float) else str(value)
+            widths[i] = max(widths[i], len(text))
+            cells.append(text)
+        text_rows.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for cells in text_rows:
+        lines.append(
+            "  ".join(
+                cell.rjust(w) for cell, w in zip(cells, widths)
+            )
+        )
+    return "\n".join(lines)

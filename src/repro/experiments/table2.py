@@ -1,0 +1,124 @@
+"""Table II: mathematical operations per step for the Task-2 strategies.
+
+The experiment prints the paper's analytic formulas for μ/σ-Change and
+KSWIN side by side, and optionally validates the asymptotics against the
+live detectors' measured op counters (the measured constants differ —
+they depend on implementation details the formulas abstract away — but
+the scaling in ``m``, ``w`` and ``N`` must match).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.types import FloatArray
+from repro.learning.base import Update, UpdateKind
+from repro.learning.drift import MuSigmaChange
+from repro.learning.kswin import KSWIN
+from repro.learning.opcount import OpCounts, kswin_ops, mu_sigma_ops
+from repro.experiments.reporting import render_table
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Analytic and measured op counts for one (m, w, N) setting."""
+
+    m: int
+    w: int
+    n_channels: int
+    musigma_formula: OpCounts
+    kswin_formula: OpCounts
+    musigma_measured: OpCounts
+    kswin_measured: OpCounts
+
+
+def measure_ops(
+    m: int, w: int, n_channels: int, seed: int = 0
+) -> tuple[OpCounts, OpCounts]:
+    """Run both detectors for one replace-update + drift check, count ops."""
+    rng = np.random.default_rng(seed)
+    train_set: FloatArray = rng.normal(size=(m, w, n_channels))
+
+    musigma = MuSigmaChange()
+    _prime_musigma(musigma, train_set)
+    musigma.notify_finetuned(0, train_set)
+    musigma.ops.reset()
+    update = Update(
+        UpdateKind.REPLACED,
+        added=rng.normal(size=(w, n_channels)),
+        removed=train_set[0],
+    )
+    musigma.observe(update, t=m)
+    musigma.should_finetune(m, train_set)
+    musigma_measured = OpCounts(
+        musigma.ops.additions, musigma.ops.multiplications, musigma.ops.comparisons
+    )
+
+    kswin = KSWIN()
+    kswin.should_finetune(0, train_set)  # installs the reference snapshot
+    kswin.ops.reset()
+    kswin.should_finetune(1, train_set)
+    kswin_measured = OpCounts(
+        kswin.ops.additions, kswin.ops.multiplications, kswin.ops.comparisons
+    )
+    return musigma_measured, kswin_measured
+
+
+def _prime_musigma(detector: MuSigmaChange, train_set: FloatArray) -> None:
+    for vector in train_set:
+        detector.observe(Update(UpdateKind.ADDED, added=vector), t=0)
+
+
+def run_table2(
+    settings: list[tuple[int, int, int]] | None = None,
+) -> list[Table2Row]:
+    """Evaluate the Table II formulas (and measured counts) per setting.
+
+    Args:
+        settings: list of ``(m, w, N)`` tuples; defaults to a sweep around
+            the paper's scale.
+    """
+    if settings is None:
+        settings = [(50, 100, 9), (100, 100, 9), (200, 100, 9), (100, 100, 38)]
+    rows = []
+    for m, w, n_channels in settings:
+        musigma_measured, kswin_measured = measure_ops(m, w, n_channels)
+        rows.append(
+            Table2Row(
+                m=m,
+                w=w,
+                n_channels=n_channels,
+                musigma_formula=mu_sigma_ops(m, w, n_channels),
+                kswin_formula=kswin_ops(m, w, n_channels),
+                musigma_measured=musigma_measured,
+                kswin_measured=kswin_measured,
+            )
+        )
+    return rows
+
+
+def render_table2(rows: list[Table2Row]) -> str:
+    headers = [
+        "m", "w", "N",
+        "mu/s add", "mu/s mul", "mu/s cmp",
+        "KS add", "KS mul", "KS cmp",
+        "KS/mu-s total",
+    ]
+    cells = []
+    for row in rows:
+        ratio = row.kswin_formula.total / max(row.musigma_formula.total, 1)
+        cells.append(
+            [
+                row.m, row.w, row.n_channels,
+                row.musigma_formula.additions,
+                row.musigma_formula.multiplications,
+                row.musigma_formula.comparisons,
+                row.kswin_formula.additions,
+                row.kswin_formula.multiplications,
+                row.kswin_formula.comparisons,
+                float(ratio),
+            ]
+        )
+    return render_table(headers, cells, title="Table II (operations per step)")

@@ -1,0 +1,38 @@
+"""Learning strategies: training-set maintenance (Task 1) and drift detection (Task 2)."""
+
+from repro.learning.base import (
+    DriftDetector,
+    OpCounter,
+    TrainingSetStrategy,
+    Update,
+    UpdateKind,
+)
+from repro.learning.drift import MuSigmaChange, NeverFineTune, RegularFineTuning
+from repro.learning.adwin import ADWIN
+from repro.learning.kswin import KSWIN, ks_critical_value, ks_statistic
+from repro.learning.page_hinkley import PageHinkley
+from repro.learning.opcount import OpCounts, kswin_ops, mu_sigma_ops
+from repro.learning.reservoir import AnomalyAwareReservoir, UniformReservoir
+from repro.learning.sliding_window import SlidingWindow
+
+__all__ = [
+    "ADWIN",
+    "AnomalyAwareReservoir",
+    "DriftDetector",
+    "KSWIN",
+    "MuSigmaChange",
+    "NeverFineTune",
+    "OpCounter",
+    "PageHinkley",
+    "OpCounts",
+    "RegularFineTuning",
+    "SlidingWindow",
+    "TrainingSetStrategy",
+    "UniformReservoir",
+    "Update",
+    "UpdateKind",
+    "ks_critical_value",
+    "ks_statistic",
+    "kswin_ops",
+    "mu_sigma_ops",
+]

@@ -1,0 +1,180 @@
+"""Task-2 strategies: when to fine-tune the model (concept drift detection).
+
+Implements the paper's three options (Section IV-B, Task 2):
+
+- :class:`RegularFineTuning` — fine-tune every ``m`` steps regardless of
+  the data;
+- :class:`MuSigmaChange` — maintain a running mean and standard deviation
+  of the training set and fire when either departs from the snapshot taken
+  at the last fine-tuning session;
+- :class:`KSWIN` lives in :mod:`repro.learning.kswin`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import FloatArray
+from repro.learning.base import DriftDetector, Update, UpdateKind
+
+
+class RegularFineTuning(DriftDetector):
+    """Fine-tune after every ``interval`` time steps.
+
+    The paper's "regular fine-tuning" baseline: ``t mod m == 0`` triggers a
+    session.  It is drift-oblivious by construction and serves as the
+    control strategy.
+    """
+
+    name = "regular"
+
+    def __init__(self, interval: int) -> None:
+        super().__init__()
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = interval
+
+    def should_finetune(self, t: int, train_set: FloatArray) -> bool:
+        self.ops.comparisons += 1
+        return t > 0 and t % self.interval == 0
+
+    def reset(self) -> None:
+        super().reset()
+
+
+class NeverFineTune(DriftDetector):
+    """Task-2 control strategy that never triggers fine-tuning.
+
+    Realises the paper's trivial learning strategy (a constant
+    ``theta_model``) and serves as the stale-model baseline in the
+    Figure 1 fine-tuning experiment.
+    """
+
+    name = "never"
+
+    def should_finetune(self, t: int, train_set: FloatArray) -> bool:
+        return False
+
+
+class MuSigmaChange(DriftDetector):
+    """μ/σ-Change: monitor the running mean/std of the training set.
+
+    A running mean ``mu_t`` and standard deviation ``sigma_t`` of the
+    training set are maintained *incrementally* from the Task-1 update
+    records (the paper's Equation for the running mean covers the replace /
+    append / unchanged cases; the standard deviation follows from running
+    sums of squares).  Fine-tuning fires when, relative to the snapshot
+    ``(mu_i, sigma_i)`` taken at the last training session,
+
+    - the mean moved by more than ``sigma_i``, or
+    - the standard deviation changed by more than a factor of 2
+      (``sigma_t > 2 sigma_i`` or ``sigma_t < sigma_i / 2``).
+
+    Both criteria are evaluated element-wise over the flattened feature
+    dimensions and aggregated with ``aggregate``.
+
+    Args:
+        aggregate: ``"mean"`` (default) triggers on the feature-averaged
+            statistics, ``"any"`` triggers if any single feature dimension
+            violates a criterion (more sensitive).
+        std_factor: the factor-of-change threshold on sigma, paper value 2.
+    """
+
+    name = "musigma"
+
+    def __init__(self, aggregate: str = "mean", std_factor: float = 2.0) -> None:
+        super().__init__()
+        if aggregate not in ("mean", "any"):
+            raise ValueError(f"aggregate must be 'mean' or 'any', got {aggregate!r}")
+        if std_factor <= 1.0:
+            raise ValueError(f"std_factor must exceed 1, got {std_factor}")
+        self.aggregate = aggregate
+        self.std_factor = std_factor
+        self._count = 0
+        self._sum: FloatArray | None = None
+        self._sumsq: FloatArray | None = None
+        self._ref_mean: FloatArray | None = None
+        self._ref_std: FloatArray | None = None
+
+    # ------------------------------------------------------------------
+    # running statistics
+    # ------------------------------------------------------------------
+    def observe(self, update: Update, t: int) -> None:
+        if update.kind is UpdateKind.UNCHANGED:
+            return
+        added = np.asarray(update.added, dtype=np.float64).ravel()
+        if self._sum is None:
+            self._sum = np.zeros_like(added)
+            self._sumsq = np.zeros_like(added)
+        if update.kind is UpdateKind.ADDED:
+            self._sum += added
+            self._sumsq += added**2
+            self._count += 1
+            self.ops.additions += 2 * added.size
+            self.ops.multiplications += added.size
+        else:  # REPLACED: sum += x_t - x*, an O(Nw) incremental update
+            removed = np.asarray(update.removed, dtype=np.float64).ravel()
+            self._sum += added - removed
+            self._sumsq += added**2 - removed**2
+            self.ops.additions += 4 * added.size
+            self.ops.multiplications += 2 * added.size
+
+    @property
+    def mean(self) -> FloatArray | None:
+        """Current running mean over the training set (flattened features)."""
+        if self._sum is None or self._count == 0:
+            return None
+        return self._sum / self._count
+
+    @property
+    def std(self) -> FloatArray | None:
+        """Current running standard deviation (population form)."""
+        if self._sumsq is None or self._count == 0:
+            return None
+        variance = self._sumsq / self._count - (self._sum / self._count) ** 2
+        return np.sqrt(np.maximum(variance, 0.0))
+
+    # ------------------------------------------------------------------
+    # drift decision
+    # ------------------------------------------------------------------
+    def should_finetune(self, t: int, train_set: FloatArray) -> bool:
+        mean, std = self.mean, self.std
+        if mean is None or std is None:
+            return False
+        if self._ref_mean is None:
+            # First call: adopt the current statistics as the reference.
+            self._snapshot(mean, std)
+            return False
+        dim = mean.size
+        self.ops.additions += dim
+        self.ops.comparisons += 3 * dim
+        mean_shift = np.abs(mean - self._ref_mean)
+        mean_trigger = mean_shift > self._ref_std
+        upper = self._ref_std * self.std_factor
+        lower = self._ref_std / self.std_factor
+        std_trigger = (std > upper) | (std < lower)
+        if self.aggregate == "any":
+            return bool(np.any(mean_trigger) or np.any(std_trigger))
+        return bool(
+            mean_shift.mean() > self._ref_std.mean()
+            or std.mean() > upper.mean()
+            or std.mean() < lower.mean()
+        )
+
+    def notify_finetuned(self, t: int, train_set: FloatArray) -> None:
+        mean, std = self.mean, self.std
+        if mean is not None and std is not None:
+            self._snapshot(mean, std)
+
+    def _snapshot(self, mean: FloatArray, std: FloatArray) -> None:
+        self._ref_mean = mean.copy()
+        # Guard against a zero reference std, which would trigger forever.
+        self._ref_std = np.maximum(std.copy(), 1e-12)
+
+    def reset(self) -> None:
+        super().reset()
+        self._count = 0
+        self._sum = None
+        self._sumsq = None
+        self._ref_mean = None
+        self._ref_std = None

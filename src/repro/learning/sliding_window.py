@@ -1,0 +1,50 @@
+"""Sliding-window training-set strategy (SW)."""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.core.types import FeatureVector, FloatArray
+from repro.learning.base import TrainingSetStrategy, Update, UpdateKind
+
+
+class SlidingWindow(TrainingSetStrategy):
+    """Keep the ``m`` most recent feature vectors.
+
+    This is the only Task-1 strategy that preserves stream order and
+    contiguity, which the VAR model's least-squares estimation requires.
+    """
+
+    name = "sw"
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(capacity)
+        self._deque: collections.deque[FeatureVector] = collections.deque(
+            maxlen=capacity
+        )
+
+    def __len__(self) -> int:
+        return len(self._deque)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._deque) >= self.capacity
+
+    def update(self, x: FeatureVector, score: float = 0.0) -> Update:
+        x = np.asarray(x, dtype=np.float64)
+        if len(self._deque) < self.capacity:
+            self._deque.append(x)
+            return Update(UpdateKind.ADDED, added=x)
+        removed = self._deque[0]
+        self._deque.append(x)  # deque with maxlen evicts the oldest
+        return Update(UpdateKind.REPLACED, added=x, removed=removed)
+
+    def training_set(self) -> FloatArray:
+        if not self._deque:
+            return np.empty((0,))
+        return np.stack(list(self._deque))
+
+    def reset(self) -> None:
+        self._deque.clear()

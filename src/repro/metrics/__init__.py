@@ -1,0 +1,60 @@
+"""Evaluation metrics: range-based PR, PR-AUC, NAB and VUS."""
+
+from repro.metrics.latency import LatencyResult, detection_latency
+from repro.metrics.nab import (
+    PROFILES,
+    REWARD_LOW_FN,
+    REWARD_LOW_FP,
+    STANDARD,
+    NABProfile,
+    NABResult,
+    detection_reward,
+    nab_score,
+    nab_score_profile,
+    scaled_sigmoid,
+)
+from repro.metrics.pointwise import (
+    Confusion,
+    candidate_thresholds,
+    point_adjusted_confusion,
+    point_adjusted_predictions,
+    pointwise_confusion,
+)
+from repro.metrics.ranged import (
+    RangeConfusion,
+    range_confusion,
+    range_pr_auc,
+    range_pr_curve,
+    range_precision_recall,
+    step_pr_auc,
+)
+from repro.metrics.vus import VUSResult, buffered_label_weights, vus
+
+__all__ = [
+    "Confusion",
+    "LatencyResult",
+    "NABProfile",
+    "NABResult",
+    "PROFILES",
+    "REWARD_LOW_FN",
+    "REWARD_LOW_FP",
+    "STANDARD",
+    "nab_score_profile",
+    "RangeConfusion",
+    "VUSResult",
+    "buffered_label_weights",
+    "candidate_thresholds",
+    "detection_latency",
+    "detection_reward",
+    "nab_score",
+    "point_adjusted_confusion",
+    "point_adjusted_predictions",
+    "pointwise_confusion",
+    "range_confusion",
+    "range_pr_auc",
+    "range_pr_curve",
+    "range_precision_recall",
+    "scaled_sigmoid",
+    "step_pr_auc",
+    "vus",
+]

@@ -1,0 +1,154 @@
+"""Numenta Anomaly Benchmark scoring (Lavin & Ahmad, 2015).
+
+The NAB score rewards early detection inside each true anomaly window via
+a scaled sigmoid over the detection's relative position, and penalizes
+point-wise false positives.  Matching the paper's description:
+
+- the **first** positive prediction inside a true window earns a reward of
+  ``sigmoid(position)`` normalized so a detection at the window start is
+  worth 1 and one at the window end approaches 0;
+- each missed window costs ``a_fn`` (default 1);
+- each false-positive *time step* costs ``1 / n_windows`` (the paper:
+  "every time step in that interval contributes -1/|anomalies|") scaled by
+  ``a_fp``;
+- the total is normalized by the number of true windows, so a perfect
+  detector scores 1 and an always-positive detector on a long stream goes
+  deeply negative — reproducing the paper's very negative NAB values next
+  to high range-based precision/recall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.types import AnomalyWindow, FloatArray, windows_from_labels
+
+
+def scaled_sigmoid(y: float) -> float:
+    """NAB's scaled sigmoid ``2 / (1 + e^{5y}) - 1``.
+
+    ``y`` is the detection position relative to the window, mapped so the
+    window start is -1 and the window end is 0: early detections approach
+    +0.987, detections at the window end approach 0, and positions after
+    the window would go negative.
+    """
+    return 2.0 / (1.0 + math.exp(5.0 * y)) - 1.0
+
+
+#: Normalizer so a detection exactly at the window start earns reward 1.
+_MAX_REWARD = scaled_sigmoid(-1.0)
+
+
+def detection_reward(detection: int, window: AnomalyWindow) -> float:
+    """Reward in ``[0, 1]`` for the first detection at step ``detection``."""
+    if not window.contains(detection):
+        raise ValueError(f"step {detection} outside window {window}")
+    span = max(len(window) - 1, 1)
+    relative = (detection - window.start) / span - 1.0  # start -> -1, end -> 0
+    return scaled_sigmoid(relative) / _MAX_REWARD
+
+
+@dataclass(frozen=True)
+class NABResult:
+    """Decomposition of a NAB score."""
+
+    score: float
+    rewards: float
+    n_detected: int
+    n_missed: int
+    n_false_positive_steps: int
+
+
+@dataclass(frozen=True)
+class NABProfile:
+    """Application profile weighting FPs vs FNs (as in the real NAB).
+
+    NAB ships three profiles; the reward structure differs only in the
+    relative cost of false positives and misses:
+
+    - ``STANDARD`` — balanced;
+    - ``REWARD_LOW_FP`` — false alarms are expensive (e.g. paging an
+      on-call operator);
+    - ``REWARD_LOW_FN`` — misses are expensive (e.g. safety monitoring).
+    """
+
+    name: str
+    a_fp: float
+    a_fn: float
+
+
+STANDARD = NABProfile("standard", a_fp=1.0, a_fn=1.0)
+REWARD_LOW_FP = NABProfile("reward_low_FP", a_fp=2.0, a_fn=1.0)
+REWARD_LOW_FN = NABProfile("reward_low_FN", a_fp=0.5, a_fn=2.0)
+
+PROFILES = {p.name: p for p in (STANDARD, REWARD_LOW_FP, REWARD_LOW_FN)}
+
+
+def nab_score(
+    scores: FloatArray,
+    labels: NDArray[np.int_],
+    threshold: float,
+    a_fp: float = 1.0,
+    a_fn: float = 1.0,
+) -> NABResult:
+    """NAB score for the point predictions ``scores >= threshold``.
+
+    Args:
+        scores: anomaly scores, shape ``(T,)``.
+        labels: binary ground truth, shape ``(T,)``.
+        threshold: decision threshold.
+        a_fp: weight of the per-step false-positive penalty.
+        a_fn: weight of the per-window miss penalty.
+
+    Returns:
+        The normalized score together with its components.  Returns a
+        score of 0 with empty components when there are no true windows.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.shape != labels.shape:
+        raise ValueError(
+            f"scores shape {scores.shape} != labels shape {labels.shape}"
+        )
+    predicted = scores >= threshold
+    true_windows = windows_from_labels(labels)
+    if not true_windows:
+        return NABResult(0.0, 0.0, 0, 0, int(predicted.sum()))
+
+    n_windows = len(true_windows)
+    rewards = 0.0
+    n_detected = 0
+    for window in true_windows:
+        inside = np.flatnonzero(predicted[window.start : window.end])
+        if inside.size:
+            rewards += detection_reward(window.start + int(inside[0]), window)
+            n_detected += 1
+    n_missed = n_windows - n_detected
+
+    outside_truth = predicted & ~labels.astype(bool)
+    n_fp_steps = int(outside_truth.sum())
+
+    raw = rewards - a_fn * n_missed - a_fp * n_fp_steps / n_windows
+    return NABResult(
+        score=raw / n_windows,
+        rewards=rewards,
+        n_detected=n_detected,
+        n_missed=n_missed,
+        n_false_positive_steps=n_fp_steps,
+    )
+
+
+def nab_score_profile(
+    scores: FloatArray,
+    labels: NDArray[np.int_],
+    threshold: float,
+    profile: NABProfile = STANDARD,
+) -> NABResult:
+    """NAB score under one of the application profiles."""
+    return nab_score(
+        scores, labels, threshold, a_fp=profile.a_fp, a_fn=profile.a_fn
+    )

@@ -1,0 +1,116 @@
+"""Point-wise classification metrics for anomaly scores.
+
+These are the textbook precision/recall/F1 computed per time step, plus
+the widely used *point-adjusted* variant (every step of a true anomaly
+window counts as detected once any step inside it is flagged).  The
+paper's headline numbers use the range-based definitions in
+:mod:`repro.metrics.ranged`; the point-wise forms are provided for
+comparison and for the VUS construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.types import FloatArray, windows_from_labels
+
+
+@dataclass(frozen=True)
+class Confusion:
+    """Point-wise confusion counts."""
+
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def _validate(scores: FloatArray, labels: NDArray[np.int_]) -> tuple[FloatArray, NDArray[np.int_]]:
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.ndim != 1 or labels.ndim != 1:
+        raise ValueError("scores and labels must be 1-D")
+    if scores.shape != labels.shape:
+        raise ValueError(
+            f"scores shape {scores.shape} != labels shape {labels.shape}"
+        )
+    return scores, labels.astype(bool)
+
+
+def pointwise_confusion(
+    scores: FloatArray, labels: NDArray[np.int_], threshold: float
+) -> Confusion:
+    """Confusion counts for the point-wise prediction ``scores >= threshold``."""
+    scores, truth = _validate(scores, labels)
+    predicted = scores >= threshold
+    return Confusion(
+        tp=int(np.sum(predicted & truth)),
+        fp=int(np.sum(predicted & ~truth)),
+        fn=int(np.sum(~predicted & truth)),
+        tn=int(np.sum(~predicted & ~truth)),
+    )
+
+
+def point_adjusted_predictions(
+    predicted: NDArray[np.bool_], labels: NDArray[np.int_]
+) -> NDArray[np.bool_]:
+    """Point-adjust: mark whole true windows detected if any step inside is.
+
+    This is the popular evaluation protocol of Su et al. (2019, the SMD
+    paper): a single hit anywhere inside an anomaly segment counts the
+    entire segment as detected.
+    """
+    predicted = np.asarray(predicted, dtype=bool).copy()
+    for window in windows_from_labels(np.asarray(labels)):
+        if predicted[window.start : window.end].any():
+            predicted[window.start : window.end] = True
+    return predicted
+
+
+def point_adjusted_confusion(
+    scores: FloatArray, labels: NDArray[np.int_], threshold: float
+) -> Confusion:
+    """Point-wise confusion after point adjustment."""
+    scores, truth = _validate(scores, labels)
+    predicted = point_adjusted_predictions(scores >= threshold, labels)
+    return Confusion(
+        tp=int(np.sum(predicted & truth)),
+        fp=int(np.sum(predicted & ~truth)),
+        fn=int(np.sum(~predicted & truth)),
+        tn=int(np.sum(~predicted & ~truth)),
+    )
+
+
+def candidate_thresholds(scores: FloatArray, n_thresholds: int = 50) -> FloatArray:
+    """Evenly spaced quantiles of the score distribution, deduplicated.
+
+    Used by every curve-based metric to sweep operating points; includes
+    one threshold above the maximum so the all-negative prediction is part
+    of each curve.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.size == 0:
+        raise ValueError("scores must be non-empty")
+    if n_thresholds < 2:
+        raise ValueError(f"n_thresholds must be >= 2, got {n_thresholds}")
+    quantiles = np.quantile(scores, np.linspace(0.0, 1.0, n_thresholds))
+    above_max = scores.max() + 1e-9
+    return np.unique(np.concatenate([quantiles, [above_max]]))

@@ -1,0 +1,141 @@
+"""Range-based precision, recall and PR-AUC (Hundman et al., 2018).
+
+The paper defines TP/FP/FN over *sequences* of time steps:
+
+- any positive prediction overlapping a true anomaly sequence makes that
+  sequence a **TP** (counted once per true sequence);
+- a true sequence with no positive prediction inside is a **FN**;
+- a predicted sequence (maximal run of positive predictions) with no
+  overlap to any true sequence is a **FP**.
+
+Precision and recall follow from these counts, and the PR-AUC integrates
+precision over recall while sweeping the score threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.types import AnomalyWindow, FloatArray, windows_from_labels
+from repro.metrics.pointwise import candidate_thresholds
+
+
+@dataclass(frozen=True)
+class RangeConfusion:
+    """Sequence-level confusion counts."""
+
+    tp: int
+    fp: int
+    fn: int
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def range_confusion(
+    predicted_windows: list[AnomalyWindow], true_windows: list[AnomalyWindow]
+) -> RangeConfusion:
+    """Hundman-style sequence confusion from two window lists."""
+    tp = sum(
+        1
+        for true in true_windows
+        if any(true.overlaps(pred) for pred in predicted_windows)
+    )
+    fn = len(true_windows) - tp
+    fp = sum(
+        1
+        for pred in predicted_windows
+        if not any(pred.overlaps(true) for true in true_windows)
+    )
+    return RangeConfusion(tp=tp, fp=fp, fn=fn)
+
+
+def range_precision_recall(
+    scores: FloatArray,
+    labels: NDArray[np.int_],
+    threshold: float,
+) -> tuple[float, float]:
+    """Range-based ``(precision, recall)`` at one threshold."""
+    scores = np.asarray(scores, dtype=np.float64)
+    predicted = windows_from_labels((scores >= threshold).astype(int))
+    truth = windows_from_labels(np.asarray(labels))
+    confusion = range_confusion(predicted, truth)
+    return confusion.precision, confusion.recall
+
+
+def range_pr_curve(
+    scores: FloatArray,
+    labels: NDArray[np.int_],
+    n_thresholds: int = 50,
+) -> tuple[FloatArray, FloatArray, FloatArray]:
+    """Range-based PR curve: ``(thresholds, precisions, recalls)``."""
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    truth = windows_from_labels(labels)
+    thresholds = candidate_thresholds(scores, n_thresholds)
+    precisions = np.empty(thresholds.size)
+    recalls = np.empty(thresholds.size)
+    for i, threshold in enumerate(thresholds):
+        predicted = windows_from_labels((scores >= threshold).astype(int))
+        confusion = range_confusion(predicted, truth)
+        # Curve convention: an empty prediction set has precision 1 (it
+        # makes no mistakes), anchoring the high-threshold end at (0, 1).
+        precisions[i] = confusion.precision if predicted else 1.0
+        recalls[i] = confusion.recall
+    return thresholds, precisions, recalls
+
+
+def step_pr_auc(recalls: FloatArray, precisions: FloatArray) -> float:
+    """Step-integrate a PR curve whose points are ordered by descending
+    threshold (i.e. weakly increasing coverage).
+
+    Each point contributes ``(R_i - max(R_<i)) * P_i``: only *new* recall
+    counts, at the precision of the operating point that achieved it.
+    This is the average-precision convention, and it is robust to the
+    range-metric pathology where the all-positive prediction forms one
+    giant window with perfect precision and recall — that degenerate
+    point only earns whatever recall the better thresholds had not
+    already claimed.
+    """
+    recalls = np.asarray(recalls, dtype=np.float64)
+    precisions = np.asarray(precisions, dtype=np.float64)
+    if recalls.shape != precisions.shape:
+        raise ValueError("recalls and precisions must have the same shape")
+    auc = 0.0
+    best_recall = 0.0
+    for recall, precision in zip(recalls, precisions):
+        if recall > best_recall:
+            auc += (recall - best_recall) * precision
+            best_recall = recall
+    return float(auc)
+
+
+def range_pr_auc(
+    scores: FloatArray,
+    labels: NDArray[np.int_],
+    n_thresholds: int = 50,
+) -> float:
+    """Area under the range-based precision-recall curve.
+
+    Thresholds are swept from high to low and step-integrated via
+    :func:`step_pr_auc`, so the trivial all-positive operating point
+    cannot dominate the area.
+    """
+    thresholds, precisions, recalls = range_pr_curve(scores, labels, n_thresholds)
+    order = np.argsort(thresholds)[::-1]  # descending threshold
+    return step_pr_auc(recalls[order], precisions[order])

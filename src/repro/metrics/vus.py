@@ -1,0 +1,157 @@
+"""Volume under the surface (Paparrizos et al., 2022).
+
+VUS makes time-series anomaly evaluation parameter-free by sweeping *two*
+knobs and integrating over both: the anomaly-score threshold and a buffer
+length ``l`` around every true anomaly window.  For each buffer length the
+binary labels are softened into weights that ramp linearly from 0 to 1
+over ``l/2`` steps entering a window and back down leaving it; a weighted
+(range-aware) ROC or PR curve is computed per buffer, and the volume is
+the mean AUC across buffer lengths.
+
+Following the original construction, recall is additionally blended with
+an *existence* term — the fraction of true windows containing at least one
+detection — which injects the sequence-overlap information the paper
+highlights ("combines point-wise scores with the information of
+overlapping predicted and true anomaly sequences").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.types import FloatArray, windows_from_labels
+from repro.metrics.pointwise import candidate_thresholds
+from repro.metrics.ranged import step_pr_auc
+
+
+def buffered_label_weights(labels: NDArray[np.int_], buffer: int) -> FloatArray:
+    """Soften binary labels with linear ramps of length ``buffer // 2``.
+
+    Steps inside a true window keep weight 1; the ``buffer // 2`` steps
+    before a window's start (and after its end) receive linearly
+    increasing (decreasing) weights.  Overlapping ramps take the maximum.
+    """
+    labels = np.asarray(labels)
+    weights = labels.astype(np.float64).copy()
+    half = buffer // 2
+    if half == 0:
+        return weights
+    n = weights.size
+    for window in windows_from_labels(labels):
+        for offset in range(1, half + 1):
+            ramp = 1.0 - offset / (half + 1)
+            before = window.start - offset
+            after = window.end - 1 + offset
+            if 0 <= before < n:
+                weights[before] = max(weights[before], ramp)
+            if 0 <= after < n:
+                weights[after] = max(weights[after], ramp)
+    return weights
+
+
+@dataclass(frozen=True)
+class VUSResult:
+    """VUS values plus the per-buffer AUCs they average."""
+
+    vus_pr: float
+    vus_roc: float
+    buffers: tuple[int, ...]
+    pr_aucs: tuple[float, ...]
+    roc_aucs: tuple[float, ...]
+
+
+def _weighted_curves(
+    scores: FloatArray,
+    labels: NDArray[np.int_],
+    weights: FloatArray,
+    thresholds: FloatArray,
+    existence_weight: float,
+) -> tuple[float, float]:
+    """PR-AUC and ROC-AUC for one buffered weighting."""
+    truth_windows = windows_from_labels(labels)
+    positive_mass = float(weights.sum())
+    negative_mass = float((1.0 - weights).sum())
+    precisions, recalls, tprs, fprs = [], [], [], []
+    for threshold in np.sort(thresholds)[::-1]:  # descending threshold
+        predicted = scores >= threshold
+        tp = float(weights[predicted].sum())
+        fp = float((1.0 - weights)[predicted].sum())
+        if truth_windows:
+            existence = sum(
+                1
+                for window in truth_windows
+                if predicted[window.start : window.end].any()
+            ) / len(truth_windows)
+        else:
+            existence = 0.0
+        point_recall = tp / positive_mass if positive_mass else 0.0
+        recall = (
+            existence_weight * existence + (1.0 - existence_weight) * point_recall
+        )
+        precision = tp / (tp + fp) if (tp + fp) else 1.0
+        precisions.append(precision)
+        recalls.append(recall)
+        tprs.append(recall)
+        fprs.append(fp / negative_mass if negative_mass else 0.0)
+    pr_auc = step_pr_auc(np.asarray(recalls), np.asarray(precisions))
+    order = np.argsort(fprs)
+    roc_auc = float(np.trapezoid(np.asarray(tprs)[order], np.asarray(fprs)[order]))
+    return pr_auc, roc_auc
+
+
+def vus(
+    scores: FloatArray,
+    labels: NDArray[np.int_],
+    max_buffer: int = 16,
+    n_buffers: int = 5,
+    n_thresholds: int = 50,
+    existence_weight: float = 0.5,
+) -> VUSResult:
+    """Volume under the PR and ROC surfaces.
+
+    Args:
+        scores: anomaly scores, shape ``(T,)``.
+        labels: binary ground truth, shape ``(T,)``.
+        max_buffer: largest buffer length ``l`` swept.
+        n_buffers: number of buffer lengths between 0 and ``max_buffer``.
+        n_thresholds: thresholds per curve.
+        existence_weight: blend between window-existence recall and
+            point-wise weighted recall (0 = purely point-wise).
+
+    Returns:
+        :class:`VUSResult` with both volumes and the per-buffer AUCs.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    if scores.shape != labels.shape:
+        raise ValueError(
+            f"scores shape {scores.shape} != labels shape {labels.shape}"
+        )
+    if max_buffer < 0:
+        raise ValueError(f"max_buffer must be >= 0, got {max_buffer}")
+    if not 0.0 <= existence_weight <= 1.0:
+        raise ValueError(
+            f"existence_weight must be in [0, 1], got {existence_weight}"
+        )
+    buffers = tuple(
+        int(b) for b in np.unique(np.linspace(0, max_buffer, max(n_buffers, 1)))
+    )
+    thresholds = candidate_thresholds(scores, n_thresholds)
+    pr_aucs, roc_aucs = [], []
+    for buffer in buffers:
+        weights = buffered_label_weights(labels, buffer)
+        pr_auc, roc_auc = _weighted_curves(
+            scores, labels, weights, thresholds, existence_weight
+        )
+        pr_aucs.append(pr_auc)
+        roc_aucs.append(roc_auc)
+    return VUSResult(
+        vus_pr=float(np.mean(pr_aucs)),
+        vus_roc=float(np.mean(roc_aucs)),
+        buffers=buffers,
+        pr_aucs=tuple(pr_aucs),
+        roc_aucs=tuple(roc_aucs),
+    )

@@ -1,0 +1,49 @@
+"""The five ML models of the paper plus the VAR extension.
+
+All models implement :class:`repro.models.base.StreamModel` and are built
+from scratch on numpy (the neural models on :mod:`repro.nn`).
+"""
+
+from repro.models.autoencoder import TwoLayerAutoencoder
+from repro.models.base import Standardizer, StreamModel
+from repro.models.kmeans import OnlineKMeans, kmeans_plus_plus, lloyd
+from repro.models.knn import KNNDetector
+from repro.models.lstm import LSTMForecaster
+from repro.models.rnn import ElmanForecaster
+from repro.models.rs_forest import RandomizedSpaceTree, RSForest
+from repro.models.isolation import (
+    ExtendedIsolationForest,
+    ExtendedIsolationTree,
+    average_path_length,
+)
+from repro.models.nbeats import NBeats, NBeatsBlock, seasonality_basis, trend_basis
+from repro.models.online_arima import OnlineARIMA, difference
+from repro.models.pcb_iforest import PCBIForest
+from repro.models.usad import USAD
+from repro.models.var import VARModel
+
+__all__ = [
+    "ElmanForecaster",
+    "ExtendedIsolationForest",
+    "ExtendedIsolationTree",
+    "KNNDetector",
+    "LSTMForecaster",
+    "NBeats",
+    "OnlineKMeans",
+    "RSForest",
+    "RandomizedSpaceTree",
+    "NBeatsBlock",
+    "OnlineARIMA",
+    "PCBIForest",
+    "Standardizer",
+    "StreamModel",
+    "TwoLayerAutoencoder",
+    "USAD",
+    "VARModel",
+    "average_path_length",
+    "difference",
+    "kmeans_plus_plus",
+    "lloyd",
+    "seasonality_basis",
+    "trend_basis",
+]

@@ -1,0 +1,167 @@
+"""Base interface shared by all five ML models of the paper.
+
+Every model consumes a *training set* of feature vectors — an array of
+shape ``(n, w, N)``: ``n`` windows of ``w`` stream vectors with ``N``
+channels — and produces per-window predictions whose kind determines how
+the nonconformity measure compares them to the observed data:
+
+- ``"reconstruction"`` — the model reproduces the whole window
+  (autoencoder, USAD): ``predict(x)`` has shape ``(w, N)``;
+- ``"forecast"`` — the model forecasts the newest stream vector ``s_t``
+  from the preceding ``w - 1`` rows (Online ARIMA, VAR, N-BEATS):
+  ``predict(x)`` has shape ``(N,)``;
+- ``"score"`` — the model directly outputs a nonconformity score in
+  ``[0, 1]`` (PCB-iForest): use :meth:`StreamModel.score`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import NotFittedError
+from repro.core.types import FeatureVector, FloatArray
+
+
+class Standardizer:
+    """Per-channel standardization fitted on a training set of windows.
+
+    Neural models are sensitive to input scale; this transformer is fitted
+    once per :meth:`StreamModel.fit` call so models always train and
+    predict in standardized space while the framework exchanges values in
+    original units.
+    """
+
+    def __init__(self) -> None:
+        self.mean: FloatArray | None = None
+        self.std: FloatArray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.mean is not None
+
+    def fit(self, windows: FloatArray) -> "Standardizer":
+        """Fit channel means/stds from a ``(n, w, N)`` array of windows."""
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError(f"expected (n, w, N) windows, got shape {windows.shape}")
+        flat = windows.reshape(-1, windows.shape[-1])
+        self.mean = flat.mean(axis=0)
+        self.std = np.maximum(flat.std(axis=0), 1e-8)
+        return self
+
+    def transform(self, values: FloatArray) -> FloatArray:
+        """Standardize an array whose last axis is the channel axis."""
+        if self.mean is None or self.std is None:
+            raise NotFittedError("Standardizer used before fit")
+        return (np.asarray(values, dtype=np.float64) - self.mean) / self.std
+
+    def inverse(self, values: FloatArray) -> FloatArray:
+        """Map standardized values back to original units."""
+        if self.mean is None or self.std is None:
+            raise NotFittedError("Standardizer used before fit")
+        return np.asarray(values, dtype=np.float64) * self.std + self.mean
+
+
+class MinMaxScaler:
+    """Per-channel min-max scaling to ``[0, 1]`` fitted on windows.
+
+    USAD bounds its adversarial game by keeping data and (sigmoid) decoder
+    outputs in the unit interval; values outside the fitted range are
+    clipped with a small ``margin`` of slack so mild drift does not
+    saturate immediately.
+    """
+
+    def __init__(self, margin: float = 0.5) -> None:
+        if margin < 0:
+            raise ValueError(f"margin must be >= 0, got {margin}")
+        self.margin = margin
+        self.low: FloatArray | None = None
+        self.span: FloatArray | None = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.low is not None
+
+    def fit(self, windows: FloatArray) -> "MinMaxScaler":
+        """Fit channel ranges from a ``(n, w, N)`` array of windows."""
+        windows = np.asarray(windows, dtype=np.float64)
+        if windows.ndim != 3:
+            raise ValueError(f"expected (n, w, N) windows, got shape {windows.shape}")
+        flat = windows.reshape(-1, windows.shape[-1])
+        low = flat.min(axis=0)
+        high = flat.max(axis=0)
+        slack = self.margin * np.maximum(high - low, 1e-8)
+        self.low = low - slack
+        self.span = np.maximum(high + slack - self.low, 1e-8)
+        return self
+
+    def transform(self, values: FloatArray) -> FloatArray:
+        """Scale into ``[0, 1]``, clipping out-of-range values."""
+        if self.low is None or self.span is None:
+            raise NotFittedError("MinMaxScaler used before fit")
+        scaled = (np.asarray(values, dtype=np.float64) - self.low) / self.span
+        return np.clip(scaled, 0.0, 1.0)
+
+    def inverse(self, values: FloatArray) -> FloatArray:
+        """Map unit-interval values back to original units."""
+        if self.low is None or self.span is None:
+            raise NotFittedError("MinMaxScaler used before fit")
+        return np.asarray(values, dtype=np.float64) * self.span + self.low
+
+
+class StreamModel:
+    """Abstract model plugged into the streaming framework."""
+
+    #: registry name, overridden by subclasses.
+    name = "base"
+    #: one of "reconstruction", "forecast", "score".
+    prediction_kind = "reconstruction"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def fit(self, windows: FloatArray, epochs: int = 1) -> float:
+        """(Re)train from scratch on ``(n, w, N)`` windows; return final loss."""
+        raise NotImplementedError
+
+    def finetune(self, windows: FloatArray, epochs: int = 1) -> float:
+        """Update parameters on the current training set (one epoch by default).
+
+        The default delegates to :meth:`fit`; gradient-based models override
+        this to continue from the current parameters instead of restarting.
+        """
+        return self.fit(windows, epochs=epochs)
+
+    def predict(self, x: FeatureVector) -> FloatArray:
+        """Predict for one feature vector ``x`` of shape ``(w, N)``."""
+        raise NotImplementedError
+
+    def loss(self, windows: FloatArray) -> float:
+        """Mean squared prediction error over a set of windows (diagnostics)."""
+        windows = _as_windows(windows)
+        errors = []
+        for window in windows:
+            prediction = self.predict(window)
+            target = window if self.prediction_kind == "reconstruction" else window[-1]
+            errors.append(float(np.mean((prediction - target) ** 2)))
+        return float(np.mean(errors)) if errors else float("nan")
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} used before fit")
+
+
+def _as_windows(windows: FloatArray) -> FloatArray:
+    """Validate and coerce a training set to ``(n, w, N)``."""
+    windows = np.asarray(windows, dtype=np.float64)
+    if windows.ndim == 2:  # a single window
+        windows = windows[None]
+    if windows.ndim != 3:
+        raise ValueError(f"expected (n, w, N) windows, got shape {windows.shape}")
+    if windows.shape[0] == 0:
+        raise ValueError("training set is empty")
+    return windows

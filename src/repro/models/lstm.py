@@ -1,0 +1,217 @@
+"""LSTM forecaster with manual backpropagation through time.
+
+Belacel et al. (related work §II) build their streaming detector on an
+LSTM encoder-decoder; Munir et al. compare LSTM forecasters against
+statistical baselines.  This extension implements the standard LSTM cell
+from scratch on the numpy substrate:
+
+    i_t = sigmoid(x_t W_i + h_{t-1} U_i + b_i)     input gate
+    f_t = sigmoid(x_t W_f + h_{t-1} U_f + b_f)     forget gate
+    o_t = sigmoid(x_t W_o + h_{t-1} U_o + b_o)     output gate
+    g_t = tanh   (x_t W_g + h_{t-1} U_g + b_g)     candidate
+    c_t = f_t * c_{t-1} + i_t * g_t                cell state
+    h_t = o_t * tanh(c_t)                          hidden state
+
+unrolled over the window's first ``w - 1`` stream vectors, with a linear
+read-out forecasting the final one.  The four gates are fused into single
+``(N, 4H)`` / ``(H, 4H)`` matrices so each step is two matmuls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import FeatureVector, FloatArray
+from repro import nn
+from repro.models.base import Standardizer, StreamModel, _as_windows
+
+
+def _sigmoid(x: FloatArray) -> FloatArray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+class LSTMForecaster(StreamModel):
+    """Single-layer LSTM forecasting the newest stream vector.
+
+    Args:
+        window: data representation length ``w`` (consumes ``w - 1`` rows).
+        n_channels: stream channel count ``N``.
+        hidden: LSTM state width ``H``.
+        lr: Adam learning rate.
+        epochs: default epoch count for a full :meth:`fit`.
+        batch_size: minibatch size.
+        clip: per-parameter gradient-norm clip.
+        seed: RNG seed.
+    """
+
+    name = "lstm"
+    prediction_kind = "forecast"
+
+    def __init__(
+        self,
+        window: int,
+        n_channels: int,
+        hidden: int = 32,
+        lr: float = 5e-3,
+        epochs: int = 30,
+        batch_size: int = 32,
+        clip: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if n_channels < 1 or hidden < 1:
+            raise ConfigurationError("n_channels and hidden must be >= 1")
+        self.window = window
+        self.n_channels = n_channels
+        self.hidden = hidden
+        self.default_epochs = epochs
+        self.batch_size = batch_size
+        self.clip = clip
+        self._rng = np.random.default_rng(seed)
+
+        h = hidden
+        scale_x = 1.0 / np.sqrt(n_channels)
+        scale_h = 1.0 / np.sqrt(h)
+        # Gate order inside the fused matrices: [input, forget, output, cand].
+        self.w = nn.Parameter(
+            self._rng.normal(scale=scale_x, size=(n_channels, 4 * h)), "lstm.W"
+        )
+        self.u = nn.Parameter(
+            self._rng.normal(scale=scale_h, size=(h, 4 * h)) * 0.5, "lstm.U"
+        )
+        bias = np.zeros(4 * h)
+        bias[h : 2 * h] = 1.0  # forget-gate bias trick: remember by default
+        self.b = nn.Parameter(bias, "lstm.b")
+        self.w_out = nn.Parameter(
+            self._rng.normal(scale=scale_h, size=(h, n_channels)), "lstm.Wout"
+        )
+        self.b_out = nn.Parameter(np.zeros(n_channels), "lstm.bout")
+        self._parameters = [self.w, self.u, self.b, self.w_out, self.b_out]
+        self._optimizer = nn.Adam(self._parameters, lr=lr)
+        self.scaler = Standardizer()
+
+    def parameters(self):
+        yield from self._parameters
+
+    # ------------------------------------------------------------------
+    def _forward(self, inputs: FloatArray):
+        """Unroll over ``(B, T, N)``; return forecast and the BPTT cache."""
+        batch, steps, _ = inputs.shape
+        h = self.hidden
+        hidden = np.zeros((batch, h))
+        cell = np.zeros((batch, h))
+        cache = []
+        for t in range(steps):
+            gates = inputs[:, t, :] @ self.w.value + hidden @ self.u.value + self.b.value
+            i_gate = _sigmoid(gates[:, :h])
+            f_gate = _sigmoid(gates[:, h : 2 * h])
+            o_gate = _sigmoid(gates[:, 2 * h : 3 * h])
+            g_cand = np.tanh(gates[:, 3 * h :])
+            new_cell = f_gate * cell + i_gate * g_cand
+            tanh_cell = np.tanh(new_cell)
+            new_hidden = o_gate * tanh_cell
+            cache.append(
+                (hidden, cell, i_gate, f_gate, o_gate, g_cand, tanh_cell)
+            )
+            hidden, cell = new_hidden, new_cell
+        forecast = hidden @ self.w_out.value + self.b_out.value
+        return forecast, (inputs, cache, hidden)
+
+    def _backward(self, grad_forecast: FloatArray, forward_state) -> None:
+        inputs, cache, last_hidden = forward_state
+        h = self.hidden
+        self.w_out.grad += last_hidden.T @ grad_forecast
+        self.b_out.grad += grad_forecast.sum(axis=0)
+        grad_hidden = grad_forecast @ self.w_out.value.T
+        grad_cell = np.zeros_like(grad_hidden)
+        for t in range(inputs.shape[1] - 1, -1, -1):
+            prev_hidden, prev_cell, i_gate, f_gate, o_gate, g_cand, tanh_cell = cache[t]
+            grad_o = grad_hidden * tanh_cell
+            grad_cell = grad_cell + grad_hidden * o_gate * (1.0 - tanh_cell**2)
+            grad_i = grad_cell * g_cand
+            grad_f = grad_cell * prev_cell
+            grad_g = grad_cell * i_gate
+            # back through the gate nonlinearities
+            d_gates = np.concatenate(
+                [
+                    grad_i * i_gate * (1.0 - i_gate),
+                    grad_f * f_gate * (1.0 - f_gate),
+                    grad_o * o_gate * (1.0 - o_gate),
+                    grad_g * (1.0 - g_cand**2),
+                ],
+                axis=1,
+            )
+            self.w.grad += inputs[:, t, :].T @ d_gates
+            self.u.grad += prev_hidden.T @ d_gates
+            self.b.grad += d_gates.sum(axis=0)
+            grad_hidden = d_gates @ self.u.value.T
+            grad_cell = grad_cell * f_gate
+
+    def _clip_gradients(self) -> None:
+        for param in self._parameters:
+            norm = float(np.linalg.norm(param.grad))
+            if norm > self.clip:
+                param.grad *= self.clip / norm
+
+    # ------------------------------------------------------------------
+    def fit(self, windows: FloatArray, epochs: int | None = None) -> float:
+        windows = self._check(windows)
+        self.scaler.fit(windows)
+        return self._train(windows, epochs or self.default_epochs)
+
+    def finetune(self, windows: FloatArray, epochs: int = 1) -> float:
+        windows = self._check(windows)
+        if not self.scaler.is_fitted:
+            self.scaler.fit(windows)
+        return self._train(windows, epochs)
+
+    def _train(self, windows: FloatArray, epochs: int) -> float:
+        scaled = self.scaler.transform(windows)
+        inputs = scaled[:, :-1, :]
+        targets = scaled[:, -1, :]
+        last_loss = float("nan")
+        for _ in range(max(epochs, 1)):
+            order = self._rng.permutation(len(inputs))
+            losses = []
+            for start in range(0, len(inputs), self.batch_size):
+                idx = order[start : start + self.batch_size]
+                batch_in, batch_target = inputs[idx], targets[idx]
+                for param in self._parameters:
+                    param.zero_grad()
+                forecast, state = self._forward(batch_in)
+                losses.append(nn.mse_loss(forecast, batch_target))
+                self._backward(nn.mse_loss_grad(forecast, batch_target), state)
+                self._clip_gradients()
+                self._optimizer.step()
+            last_loss = float(np.mean(losses))
+        self._fitted = True
+        return last_loss
+
+    def predict(self, x: FeatureVector) -> FloatArray:
+        """Forecast ``s_t`` from the window's first ``w - 1`` rows."""
+        self._require_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.window, self.n_channels):
+            raise ConfigurationError(
+                f"expected window shape {(self.window, self.n_channels)}, got {x.shape}"
+            )
+        scaled = self.scaler.transform(x)
+        forecast, _ = self._forward(scaled[None, :-1, :])
+        return self.scaler.inverse(forecast[0])
+
+    def _check(self, windows: FloatArray) -> FloatArray:
+        windows = _as_windows(windows)
+        if windows.shape[1:] != (self.window, self.n_channels):
+            raise ConfigurationError(
+                f"expected windows of shape (*, {self.window}, {self.n_channels}), "
+                f"got {windows.shape}"
+            )
+        return windows

@@ -1,0 +1,156 @@
+"""Online ARIMA via online gradient descent (Liu et al., 2016).
+
+The ARIMA(q, d, q') model is approximated by an ARIMA(q+m, d, 0) model
+without noise terms, leaving a single coefficient vector ``gamma`` over
+lagged ``d``-times-differenced values:
+
+    pred(s_t) = sum_i gamma_i * diff^d(s)_{t-i} + sum_{i<d} diff^i(s)_{t-1}
+
+The second sum undoes the differencing.  The coefficients are learned by
+online gradient descent on the squared forecast error.
+
+As in the paper, the model treats a multivariate stream as if all channels
+came from one univariate process: a single shared ``gamma`` is updated
+from every channel's lag/target pairs, and no cross-channel correlations
+are modelled.  The data representation length constrains the lag count as
+``w = lags + d + 1`` (the final row of the window is the forecast target).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import FeatureVector, FloatArray
+from repro.models.base import StreamModel, _as_windows
+
+
+def difference(series: FloatArray, order: int) -> FloatArray:
+    """Apply the differencing operator ``order`` times along axis 0."""
+    result = np.asarray(series, dtype=np.float64)
+    for _ in range(order):
+        result = result[1:] - result[:-1]
+    return result
+
+
+class OnlineARIMA(StreamModel):
+    """Online ARIMA(lags, d, 0) forecaster trained by OGD.
+
+    Args:
+        window: the data representation length ``w``; the usable lag count
+            is ``w - 1 - d`` and must be at least 1.
+        d: differencing order (0, 1 or 2 are sensible).
+        lr: gradient-descent learning rate.
+        clip: gradient-norm clip guarding against exploding updates on
+            badly scaled data.
+    """
+
+    name = "online_arima"
+    prediction_kind = "forecast"
+
+    def __init__(
+        self,
+        window: int,
+        d: int = 1,
+        lr: float = 0.01,
+        clip: float = 10.0,
+    ) -> None:
+        super().__init__()
+        if d < 0:
+            raise ConfigurationError(f"differencing order must be >= 0, got {d}")
+        lags = window - 1 - d
+        if lags < 1:
+            raise ConfigurationError(
+                f"window {window} too short for d={d}: need window >= d + 2"
+            )
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        self.window = window
+        self.d = d
+        self.lags = lags
+        self.lr = lr
+        self.clip = clip
+        self.gamma = np.zeros(lags, dtype=np.float64)
+        # Scale guard learned from the training data so OGD stays stable.
+        self._scale = 1.0
+
+    # ------------------------------------------------------------------
+    def _pairs(self, window_values: FloatArray) -> tuple[FloatArray, FloatArray]:
+        """Lag matrix and targets from one ``(w, N)`` window.
+
+        For each channel, the ``d``-differenced series has ``w - d``
+        values; the last one is the target and the preceding ``lags``
+        values (newest first) are the regressors.
+        """
+        diffed = difference(window_values, self.d)  # (w - d, N)
+        lag_block = diffed[:-1]  # (lags, N)
+        targets = diffed[-1]  # (N,)
+        # newest lag first: gamma_1 multiplies diff^d s_{t-1}
+        lags_newest_first = lag_block[::-1]  # (lags, N)
+        return lags_newest_first.T, targets  # (N, lags), (N,)
+
+    def _reconstruction_terms(self, window_values: FloatArray) -> FloatArray:
+        """The sum ``sum_{i=0}^{d-1} diff^i(s)_{t-1}`` undoing differencing."""
+        total = np.zeros(window_values.shape[1], dtype=np.float64)
+        series = np.asarray(window_values, dtype=np.float64)
+        for _ in range(self.d):
+            total += series[-1]
+            series = series[1:] - series[:-1]
+        return total
+
+    # ------------------------------------------------------------------
+    def fit(self, windows: FloatArray, epochs: int = 1) -> float:
+        windows = _as_windows(windows)
+        if windows.shape[1] != self.window:
+            raise ConfigurationError(
+                f"model expects windows of length {self.window}, got {windows.shape[1]}"
+            )
+        scale = float(np.std(windows))
+        self._scale = scale if scale > 1e-12 else 1.0
+        last_loss = float("nan")
+        for _ in range(max(epochs, 1)):
+            last_loss = self._epoch(windows)
+        self._fitted = True
+        return last_loss
+
+    def finetune(self, windows: FloatArray, epochs: int = 1) -> float:
+        """Continue OGD from the current coefficients (no reset)."""
+        windows = _as_windows(windows)
+        last_loss = float("nan")
+        for _ in range(max(epochs, 1)):
+            last_loss = self._epoch(windows)
+        self._fitted = True
+        return last_loss
+
+    def _epoch(self, windows: FloatArray) -> float:
+        squared_errors = []
+        for window_values in windows:
+            lag_matrix, targets = self._pairs(window_values)
+            for lags, target in zip(lag_matrix / self._scale, targets / self._scale):
+                prediction = float(self.gamma @ lags)
+                error = target - prediction
+                gradient = -2.0 * error * lags
+                norm = float(np.linalg.norm(gradient))
+                if norm > self.clip:
+                    gradient *= self.clip / norm
+                self.gamma -= self.lr * gradient
+                squared_errors.append(error**2)
+        return float(np.mean(squared_errors)) if squared_errors else float("nan")
+
+    def predict(self, x: FeatureVector) -> FloatArray:
+        """Forecast ``s_t`` from the past rows of the window ``x``.
+
+        The window's final row is the observation being scored, so only
+        rows ``0 .. w-2`` feed the forecast.
+        """
+        self._require_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] != self.window:
+            raise ConfigurationError(
+                f"expected window of length {self.window}, got {x.shape[0]}"
+            )
+        past = x[:-1]  # (w - 1, N)
+        diffed = difference(past, self.d)  # (w - 1 - d, N) == (lags, N)
+        lags_newest_first = diffed[::-1] / self._scale  # (lags, N)
+        predicted_diff = self.gamma @ lags_newest_first * self._scale  # (N,)
+        return predicted_diff + self._reconstruction_terms(past)

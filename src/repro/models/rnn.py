@@ -1,0 +1,182 @@
+"""Elman RNN forecaster (library extension).
+
+The related work (Section II) covers recurrent prediction-based detectors
+(Belacel et al.'s LSTM encoder-decoder, Munir et al.'s deep forecasters).
+This extension provides the simplest recurrent member of that family: an
+Elman network unrolled over the window's first ``w - 1`` stream vectors,
+forecasting the final one,
+
+    h_t = tanh(x_t W_x + h_{t-1} W_h + b_h),   y = h_{w-1} W_o + b_o
+
+trained by backpropagation through time on the numpy substrate.  Like the
+other forecasters it pairs with the cosine nonconformity in the framework.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import FeatureVector, FloatArray
+from repro import nn
+from repro.models.base import Standardizer, StreamModel, _as_windows
+
+
+class ElmanForecaster(StreamModel):
+    """Recurrent one-step-ahead forecaster with BPTT training.
+
+    Args:
+        window: data representation length ``w`` (consumes ``w - 1`` rows).
+        n_channels: stream channel count ``N``.
+        hidden: recurrent state width.
+        lr: Adam learning rate.
+        epochs: default epoch count for a full :meth:`fit`.
+        batch_size: minibatch size.
+        clip: gradient-norm clip applied per parameter (BPTT can explode).
+        seed: RNG seed.
+    """
+
+    name = "rnn"
+    prediction_kind = "forecast"
+
+    def __init__(
+        self,
+        window: int,
+        n_channels: int,
+        hidden: int = 32,
+        lr: float = 3e-3,
+        epochs: int = 30,
+        batch_size: int = 32,
+        clip: float = 5.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2, got {window}")
+        if n_channels < 1 or hidden < 1:
+            raise ConfigurationError("n_channels and hidden must be >= 1")
+        self.window = window
+        self.n_channels = n_channels
+        self.hidden = hidden
+        self.default_epochs = epochs
+        self.batch_size = batch_size
+        self.clip = clip
+        self._rng = np.random.default_rng(seed)
+
+        scale_x = 1.0 / np.sqrt(n_channels)
+        scale_h = 1.0 / np.sqrt(hidden)
+        self.w_x = nn.Parameter(
+            self._rng.normal(scale=scale_x, size=(n_channels, hidden)), "rnn.Wx"
+        )
+        self.w_h = nn.Parameter(
+            self._rng.normal(scale=scale_h, size=(hidden, hidden)) * 0.5, "rnn.Wh"
+        )
+        self.b_h = nn.Parameter(np.zeros(hidden), "rnn.bh")
+        self.w_o = nn.Parameter(
+            self._rng.normal(scale=scale_h, size=(hidden, n_channels)), "rnn.Wo"
+        )
+        self.b_o = nn.Parameter(np.zeros(n_channels), "rnn.bo")
+        self._parameters = [self.w_x, self.w_h, self.b_h, self.w_o, self.b_o]
+        self._optimizer = nn.Adam(self._parameters, lr=lr)
+        self.scaler = Standardizer()
+
+    def parameters(self):
+        yield from self._parameters
+
+    # ------------------------------------------------------------------
+    def _forward(self, inputs: FloatArray) -> tuple[FloatArray, list[FloatArray]]:
+        """Unroll over ``inputs`` of shape ``(B, T, N)``; return forecast and states."""
+        batch = inputs.shape[0]
+        state = np.zeros((batch, self.hidden))
+        states = [state]
+        for t in range(inputs.shape[1]):
+            state = np.tanh(
+                inputs[:, t, :] @ self.w_x.value
+                + state @ self.w_h.value
+                + self.b_h.value
+            )
+            states.append(state)
+        forecast = state @ self.w_o.value + self.b_o.value
+        return forecast, states
+
+    def _backward(
+        self,
+        inputs: FloatArray,
+        states: list[FloatArray],
+        grad_forecast: FloatArray,
+    ) -> None:
+        """BPTT: accumulate gradients for one batch."""
+        last = states[-1]
+        self.w_o.grad += last.T @ grad_forecast
+        self.b_o.grad += grad_forecast.sum(axis=0)
+        grad_state = grad_forecast @ self.w_o.value.T
+        for t in range(inputs.shape[1] - 1, -1, -1):
+            # d tanh: states[t+1] is the post-activation at step t.
+            grad_pre = grad_state * (1.0 - states[t + 1] ** 2)
+            self.w_x.grad += inputs[:, t, :].T @ grad_pre
+            self.w_h.grad += states[t].T @ grad_pre
+            self.b_h.grad += grad_pre.sum(axis=0)
+            grad_state = grad_pre @ self.w_h.value.T
+
+    def _clip_gradients(self) -> None:
+        for param in self._parameters:
+            norm = float(np.linalg.norm(param.grad))
+            if norm > self.clip:
+                param.grad *= self.clip / norm
+
+    # ------------------------------------------------------------------
+    def fit(self, windows: FloatArray, epochs: int | None = None) -> float:
+        windows = self._check(windows)
+        self.scaler.fit(windows)
+        return self._train(windows, epochs or self.default_epochs)
+
+    def finetune(self, windows: FloatArray, epochs: int = 1) -> float:
+        windows = self._check(windows)
+        if not self.scaler.is_fitted:
+            self.scaler.fit(windows)
+        return self._train(windows, epochs)
+
+    def _train(self, windows: FloatArray, epochs: int) -> float:
+        scaled = self.scaler.transform(windows)
+        inputs = scaled[:, :-1, :]
+        targets = scaled[:, -1, :]
+        last_loss = float("nan")
+        for _ in range(max(epochs, 1)):
+            order = self._rng.permutation(len(inputs))
+            losses = []
+            for start in range(0, len(inputs), self.batch_size):
+                idx = order[start : start + self.batch_size]
+                batch_in, batch_target = inputs[idx], targets[idx]
+                for param in self._parameters:
+                    param.zero_grad()
+                forecast, states = self._forward(batch_in)
+                losses.append(nn.mse_loss(forecast, batch_target))
+                self._backward(
+                    batch_in, states, nn.mse_loss_grad(forecast, batch_target)
+                )
+                self._clip_gradients()
+                self._optimizer.step()
+            last_loss = float(np.mean(losses))
+        self._fitted = True
+        return last_loss
+
+    def predict(self, x: FeatureVector) -> FloatArray:
+        """Forecast ``s_t`` from the window's first ``w - 1`` rows."""
+        self._require_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.window, self.n_channels):
+            raise ConfigurationError(
+                f"expected window shape {(self.window, self.n_channels)}, got {x.shape}"
+            )
+        scaled = self.scaler.transform(x)
+        forecast, _ = self._forward(scaled[None, :-1, :])
+        return self.scaler.inverse(forecast[0])
+
+    def _check(self, windows: FloatArray) -> FloatArray:
+        windows = _as_windows(windows)
+        if windows.shape[1:] != (self.window, self.n_channels):
+            raise ConfigurationError(
+                f"expected windows of shape (*, {self.window}, {self.n_channels}), "
+                f"got {windows.shape}"
+            )
+        return windows

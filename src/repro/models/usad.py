@@ -1,0 +1,233 @@
+"""USAD: unsupervised anomaly detection with adversarially trained autoencoders.
+
+Following Audibert et al. (2020) as summarised in Section IV-C: one
+encoder ``E`` feeds two decoders ``D1``/``D2``.  With ``AE_i = D_i o E``
+the phase losses at epoch ``n`` (1-indexed over the model's lifetime) are
+
+    L_AE1 = (1/n) ||x - AE1(x)||^2 + (1 - 1/n) ||x - AE2(AE1(x))||^2
+    L_AE2 = (1/n) ||x - AE2(x)||^2 - (1 - 1/n) ||x - AE2(AE1(x))||^2
+
+so the pure reconstruction term fades in favour of the adversarial game:
+``AE2`` learns to distinguish real windows from ``AE1`` reconstructions
+while ``AE1`` learns to fool it.
+
+Implementation notes: the encoder (and second decoder) appear multiple
+times inside one loss; to keep the manual-backprop caches sound each extra
+application uses a :func:`~repro.nn.share.shared_copy` that shares the
+parameters but owns its activation cache.  As in common reimplementations,
+phase 2 feeds ``AE1``'s reconstruction in *detached* form (no gradient
+back into ``AE1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import FeatureVector, FloatArray
+from repro import nn
+from repro.nn.share import shared_copy, unique_parameters
+from repro.models.base import MinMaxScaler, StreamModel, _as_windows
+
+
+def _encoder(input_dim: int, latent_dim: int, rng: np.random.Generator) -> nn.Sequential:
+    # Hidden widths track the bottleneck and are capped relative to it so
+    # wide streams (e.g. 38 channels x window 16 = 608 inputs) do not
+    # produce multi-million-parameter stacks.
+    wide = min(max(2 * latent_dim, input_dim, 4), 4 * latent_dim)
+    mid = min(max(2 * latent_dim, input_dim // 2, 4), 3 * latent_dim)
+    return nn.Sequential(
+        nn.Linear(input_dim, wide, rng),
+        nn.Tanh(),
+        nn.Linear(wide, mid, rng),
+        nn.Tanh(),
+        nn.Linear(mid, latent_dim, rng),
+        nn.Tanh(),
+    )
+
+
+def _decoder(latent_dim: int, output_dim: int, rng: np.random.Generator) -> nn.Sequential:
+    mid = min(max(2 * latent_dim, output_dim // 2, 4), 3 * latent_dim)
+    wide = min(max(2 * latent_dim, output_dim, 4), 4 * latent_dim)
+    return nn.Sequential(
+        nn.Linear(latent_dim, mid, rng),
+        nn.Tanh(),
+        nn.Linear(mid, wide, rng),
+        nn.Tanh(),
+        nn.Linear(wide, output_dim, rng),
+        nn.Sigmoid(),
+    )
+
+
+class USAD(StreamModel):
+    """Adversarial autoencoder pair with a shared encoder.
+
+    Args:
+        window: data representation length ``w``.
+        n_channels: stream channel count ``N``.
+        latent_dim: bottleneck size ``Z`` (paper requires ``Z << w``);
+            defaults to half the flattened input, capped at 64 so wide
+            streams do not blow up the parameter count.
+        lr: Adam learning rate (two optimizers, one per phase).
+        epochs: default epoch count for a full :meth:`fit`.
+        batch_size: minibatch size.
+        blend: inference blend ``x_hat = (1-blend)*AE1(x) + blend*AE2(AE1(x))``;
+            small values favour the plain reconstruction, which predicts
+            better, while keeping some adversarial sharpening.
+        seed: RNG seed.
+    """
+
+    name = "usad"
+    prediction_kind = "reconstruction"
+
+    def __init__(
+        self,
+        window: int,
+        n_channels: int,
+        latent_dim: int | None = None,
+        lr: float = 5e-3,
+        epochs: int = 30,
+        batch_size: int = 32,
+        blend: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if window < 1 or n_channels < 1:
+            raise ConfigurationError("window and n_channels must be >= 1")
+        if not 0.0 <= blend <= 1.0:
+            raise ConfigurationError(f"blend must be in [0, 1], got {blend}")
+        self.window = window
+        self.n_channels = n_channels
+        self.input_dim = window * n_channels
+        self.latent_dim = (
+            latent_dim
+            if latent_dim is not None
+            else min(64, max(8, self.input_dim // 2))
+        )
+        if self.latent_dim < 1:
+            raise ConfigurationError(f"latent_dim must be >= 1, got {self.latent_dim}")
+        self.default_epochs = epochs
+        self.batch_size = batch_size
+        self.blend = blend
+        self._rng = np.random.default_rng(seed)
+
+        self.encoder = _encoder(self.input_dim, self.latent_dim, self._rng)
+        self.decoder1 = _decoder(self.latent_dim, self.input_dim, self._rng)
+        self.decoder2 = _decoder(self.latent_dim, self.input_dim, self._rng)
+        # Parameter-sharing copies for the second applications inside a pass.
+        self._encoder_b = shared_copy(self.encoder)
+        self._decoder2_b = shared_copy(self.decoder2)
+
+        self._opt1 = nn.Adam(
+            unique_parameters(self.encoder, self.decoder1), lr=lr
+        )
+        self._opt2 = nn.Adam(
+            unique_parameters(self.encoder, self.decoder2), lr=lr
+        )
+        self.scaler = MinMaxScaler()
+        self._lifetime_epoch = 0
+
+    # ------------------------------------------------------------------
+    def fit(self, windows: FloatArray, epochs: int | None = None) -> float:
+        windows = self._check(windows)
+        self.scaler.fit(windows)
+        return self._train(windows, epochs or self.default_epochs)
+
+    def finetune(self, windows: FloatArray, epochs: int = 1) -> float:
+        windows = self._check(windows)
+        if not self.scaler.is_fitted:
+            self.scaler.fit(windows)
+        return self._train(windows, epochs)
+
+    def _zero_all(self) -> None:
+        for module in (self.encoder, self.decoder1, self.decoder2):
+            module.zero_grad()
+
+    def _train(self, windows: FloatArray, epochs: int) -> float:
+        flat = self.scaler.transform(windows).reshape(len(windows), -1)
+        last_loss = float("nan")
+        for _ in range(max(epochs, 1)):
+            self._lifetime_epoch += 1
+            n = self._lifetime_epoch
+            alpha = 1.0 / n
+            beta = 1.0 - alpha
+            order = self._rng.permutation(len(flat))
+            losses = []
+            for start in range(0, len(flat), self.batch_size):
+                batch = flat[order[start : start + self.batch_size]]
+                losses.append(self._train_batch(batch, alpha, beta))
+            last_loss = float(np.mean(losses))
+        self._fitted = True
+        return last_loss
+
+    def _train_batch(self, batch: FloatArray, alpha: float, beta: float) -> float:
+        # ---------------- phase 1: train AE1 = D1 o E -------------------
+        self._zero_all()
+        latent = self.encoder(batch)
+        w1 = self.decoder1(latent)
+        w3 = self._decoder2_b(self._encoder_b(w1))
+        loss1 = alpha * nn.mse_loss(w1, batch) + beta * nn.mse_loss(w3, batch)
+        # dL/dw3 flows back through the shared D2/E copies into w1.
+        grad_w1 = alpha * nn.mse_loss_grad(w1, batch)
+        grad_w1 += self._encoder_b.backward(
+            self._decoder2_b.backward(beta * nn.mse_loss_grad(w3, batch))
+        )
+        self.encoder.backward(self.decoder1.backward(grad_w1))
+        self._opt1.step()
+
+        # ---------------- phase 2: train AE2 = D2 o E -------------------
+        self._zero_all()
+        # Detached AE1 reconstruction: recompute without keeping gradients.
+        w1_detached = self.decoder1(self.encoder(batch))
+        self._zero_all()
+        latent2 = self.encoder(batch)
+        w2 = self.decoder2(latent2)
+        w3b = self._decoder2_b(self._encoder_b(w1_detached))
+        loss2 = alpha * nn.mse_loss(w2, batch) - beta * nn.mse_loss(w3b, batch)
+        self.encoder.backward(
+            self.decoder2.backward(alpha * nn.mse_loss_grad(w2, batch))
+        )
+        self._encoder_b.backward(
+            self._decoder2_b.backward(-beta * nn.mse_loss_grad(w3b, batch))
+        )
+        self._opt2.step()
+        return float(loss1 + loss2)
+
+    # ------------------------------------------------------------------
+    def reconstructions(self, x: FeatureVector) -> tuple[FloatArray, FloatArray]:
+        """Return ``(AE1(x), AE2(AE1(x)))`` in original units."""
+        self._require_fitted()
+        flat = self.scaler.transform(np.asarray(x, dtype=np.float64)).reshape(1, -1)
+        w1 = self.decoder1(self.encoder(flat))
+        w3 = self.decoder2(self.encoder(w1))
+        shape = (self.window, self.n_channels)
+        return (
+            self.scaler.inverse(w1.reshape(shape)),
+            self.scaler.inverse(w3.reshape(shape)),
+        )
+
+    def predict(self, x: FeatureVector) -> FloatArray:
+        """Blended reconstruction used by the cosine nonconformity measure."""
+        w1, w3 = self.reconstructions(x)
+        return (1.0 - self.blend) * w1 + self.blend * w3
+
+    def usad_score(self, x: FeatureVector, alpha: float = 0.5) -> float:
+        """The original USAD anomaly score ``a*||x-AE1||^2 + (1-a)*||x-AE2(AE1)||^2``.
+
+        Provided for completeness; the paper's pipeline uses the cosine
+        nonconformity on :meth:`predict` instead.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        w1, w3 = self.reconstructions(x)
+        return float(
+            alpha * np.mean((x - w1) ** 2) + (1.0 - alpha) * np.mean((x - w3) ** 2)
+        )
+
+    def _check(self, windows: FloatArray) -> FloatArray:
+        windows = _as_windows(windows)
+        if windows.shape[1:] != (self.window, self.n_channels):
+            raise ConfigurationError(
+                f"expected windows of shape (*, {self.window}, {self.n_channels}), "
+                f"got {windows.shape}"
+            )
+        return windows

@@ -1,0 +1,104 @@
+"""Vector-autoregressive model estimated by least squares.
+
+The VAR(p) model ``s_t = nu + sum_i A_i s_{t-i} + eps`` (Section IV-C)
+extends autoregression to multivariate streams and captures cross-channel
+correlations.  Parameters are estimated by ordinary least squares on
+consecutive rows; since each feature vector is itself a contiguous window,
+every window contributes ``w - p`` regression rows regardless of which
+Task-1 strategy assembled the training set (the paper pairs VAR with the
+sliding window, which additionally keeps the windows themselves
+consecutive).
+
+Note: the paper describes VAR but does not include it in the Table I
+grid of 26 algorithms; it is provided here as a library extension and is
+benchmarked in the ablation suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import FeatureVector, FloatArray
+from repro.models.base import StreamModel, _as_windows
+
+
+class VARModel(StreamModel):
+    """VAR(p) least-squares forecaster.
+
+    Args:
+        order: the autoregression order ``p``.
+        ridge: small L2 regularisation added to the normal equations so the
+            estimate stays defined when the design matrix is rank-deficient
+            (e.g. constant channels).
+    """
+
+    name = "var"
+    prediction_kind = "forecast"
+
+    def __init__(self, order: int = 3, ridge: float = 1e-6) -> None:
+        super().__init__()
+        if order < 1:
+            raise ConfigurationError(f"order must be >= 1, got {order}")
+        if ridge < 0:
+            raise ConfigurationError(f"ridge must be >= 0, got {ridge}")
+        self.order = order
+        self.ridge = ridge
+        self.intercept: FloatArray | None = None  # nu, shape (N,)
+        self.coefficients: FloatArray | None = None  # stacked A_i, (p*N, N)
+
+    def fit(self, windows: FloatArray, epochs: int = 1) -> float:
+        """Least-squares estimation; ``epochs`` is ignored (closed form)."""
+        windows = _as_windows(windows)
+        _, w, n_channels = windows.shape
+        if w <= self.order:
+            raise ConfigurationError(
+                f"window length {w} must exceed VAR order {self.order}"
+            )
+        design_rows = []
+        target_rows = []
+        for window_values in windows:
+            for tau in range(self.order, w):
+                lags = window_values[tau - self.order : tau][::-1]  # newest first
+                design_rows.append(np.concatenate(([1.0], lags.ravel())))
+                target_rows.append(window_values[tau])
+        design = np.asarray(design_rows)
+        targets = np.asarray(target_rows)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        solution = np.linalg.solve(gram, design.T @ targets)
+        self.intercept = solution[0]
+        self.coefficients = solution[1:]
+        self._fitted = True
+        residual = targets - design @ solution
+        return float(np.mean(residual**2))
+
+    def predict(self, x: FeatureVector) -> FloatArray:
+        """Forecast ``s_t`` from the last ``p`` rows preceding the window end."""
+        self._require_fitted()
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[0] < self.order + 1:
+            raise ConfigurationError(
+                f"window of length {x.shape[0]} too short for VAR({self.order})"
+            )
+        lags = x[-1 - self.order : -1][::-1]  # newest first, excludes final row
+        assert self.intercept is not None and self.coefficients is not None
+        return self.intercept + lags.ravel() @ self.coefficients
+
+    def companion_spectral_radius(self) -> float:
+        """Spectral radius of the companion matrix (stability diagnostic).
+
+        A fitted VAR process is stable iff this value is below 1.
+        """
+        self._require_fitted()
+        assert self.coefficients is not None
+        n = self.coefficients.shape[1]
+        p = self.order
+        companion = np.zeros((n * p, n * p))
+        # coefficient rows are ordered newest lag first
+        for i in range(p):
+            companion[:n, i * n : (i + 1) * n] = self.coefficients[
+                i * n : (i + 1) * n
+            ].T
+        if p > 1:
+            companion[n:, :-n] = np.eye(n * (p - 1))
+        return float(np.max(np.abs(np.linalg.eigvals(companion))))

@@ -1,0 +1,51 @@
+"""A small neural-network substrate on numpy with manual backpropagation.
+
+The paper's autoencoder, USAD and N-BEATS models need gradient-based
+fine-tuning; since no deep-learning framework is available offline, this
+package provides the minimum viable substrate: parameters, fully-connected
+layers, common activations, a sequential container, mean-squared-error
+losses and SGD/Adam optimizers.
+
+All modules follow the same contract:
+
+- ``forward(x)`` consumes a batch ``(B, in)`` and caches whatever the
+  backward pass needs;
+- ``backward(grad)`` consumes ``dL/d(output)`` of shape ``(B, out)``,
+  accumulates parameter gradients and returns ``dL/d(input)``.
+
+Gradients accumulate across backward calls until ``zero_grad`` is invoked,
+matching the usual framework semantics.
+"""
+
+from repro.nn.init import glorot_uniform, zeros
+from repro.nn.layers import (
+    Dropout,
+    Identity,
+    Linear,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import mse_loss, mse_loss_grad
+from repro.nn.module import Module, Parameter
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "Identity",
+    "Linear",
+    "Module",
+    "Optimizer",
+    "Parameter",
+    "ReLU",
+    "SGD",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "glorot_uniform",
+    "mse_loss",
+    "mse_loss_grad",
+    "zeros",
+]

@@ -1,0 +1,35 @@
+"""Weight initializers for the neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import FloatArray
+
+
+def glorot_uniform(
+    fan_in: int, fan_out: int, rng: np.random.Generator
+) -> FloatArray:
+    """Glorot/Xavier uniform initialization for a ``(fan_in, fan_out)`` matrix.
+
+    Samples from ``U(-limit, limit)`` with ``limit = sqrt(6 / (fan_in +
+    fan_out))``, which keeps activation variance roughly constant across
+    sigmoid/tanh layers.
+    """
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_uniform(fan_in: int, fan_out: int, rng: np.random.Generator) -> FloatArray:
+    """He uniform initialization, appropriate for ReLU layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def zeros(*shape: int) -> FloatArray:
+    """An all-zero tensor, used for biases."""
+    return np.zeros(shape, dtype=np.float64)

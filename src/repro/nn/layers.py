@@ -1,0 +1,186 @@
+"""Layers for the numpy neural substrate: Linear, activations, Sequential."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import FloatArray
+from repro.nn.init import glorot_uniform, he_uniform, zeros
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """A fully-connected layer ``y = x @ W + b``.
+
+    Args:
+        in_features: input dimensionality.
+        out_features: output dimensionality.
+        rng: random generator for weight initialization.
+        init: ``"glorot"`` (default, for sigmoid/tanh stacks) or ``"he"``
+            (for ReLU stacks).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator,
+        init: str = "glorot",
+    ) -> None:
+        if init == "glorot":
+            weight = glorot_uniform(in_features, out_features, rng)
+        elif init == "he":
+            weight = he_uniform(in_features, out_features, rng)
+        else:
+            raise ValueError(f"unknown init {init!r}, expected 'glorot' or 'he'")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight, name=f"linear{in_features}x{out_features}.W")
+        self.bias = Parameter(zeros(out_features), name=f"linear{out_features}.b")
+        self._input: FloatArray | None = None
+
+    def forward(self, x: FloatArray) -> FloatArray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected input with {self.in_features} features, got {x.shape[1]}"
+            )
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad: FloatArray) -> FloatArray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        grad = np.atleast_2d(grad)
+        self.weight.grad += self._input.T @ grad
+        self.bias.grad += grad.sum(axis=0)
+        return grad @ self.weight.value.T
+
+
+class Sigmoid(Module):
+    """Element-wise logistic activation."""
+
+    def __init__(self) -> None:
+        self._output: FloatArray | None = None
+
+    def forward(self, x: FloatArray) -> FloatArray:
+        # Numerically stable piecewise formulation.
+        out = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, -500, None))), 0.0)
+        neg = x < 0
+        if np.any(neg):
+            ex = np.exp(np.clip(x, None, 500))
+            out = np.where(neg, ex / (1.0 + ex), out)
+        self._output = out
+        return out
+
+    def backward(self, grad: FloatArray) -> FloatArray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._output * (1.0 - self._output)
+
+
+class ReLU(Module):
+    """Element-wise rectified linear activation."""
+
+    def __init__(self) -> None:
+        self._mask: FloatArray | None = None
+
+    def forward(self, x: FloatArray) -> FloatArray:
+        self._mask = (x > 0).astype(np.float64)
+        return x * self._mask
+
+    def backward(self, grad: FloatArray) -> FloatArray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad * self._mask
+
+
+class Tanh(Module):
+    """Element-wise hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._output: FloatArray | None = None
+
+    def forward(self, x: FloatArray) -> FloatArray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad: FloatArray) -> FloatArray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad * (1.0 - self._output**2)
+
+
+class Identity(Module):
+    """The identity map; useful as a configurable no-op activation."""
+
+    def forward(self, x: FloatArray) -> FloatArray:
+        return x
+
+    def backward(self, grad: FloatArray) -> FloatArray:
+        return grad
+
+
+class Dropout(Module):
+    """Inverted dropout: active in training mode, identity in eval mode.
+
+    The streaming models fine-tune on very small training sets (tens of
+    windows), where a little stochastic regularisation measurably reduces
+    overfitting between drift events.
+
+    Args:
+        rate: probability of zeroing an activation.
+        rng: random generator (required so runs stay reproducible).
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.training = True
+        self._rng = rng
+        self._mask: FloatArray | None = None
+
+    def forward(self, x: FloatArray) -> FloatArray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.uniform(size=x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: FloatArray) -> FloatArray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class Sequential(Module):
+    """Compose modules in order; backward runs them in reverse."""
+
+    def __init__(self, *modules: Module) -> None:
+        self.modules = list(modules)
+
+    def forward(self, x: FloatArray) -> FloatArray:
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def backward(self, grad: FloatArray) -> FloatArray:
+        for module in reversed(self.modules):
+            grad = module.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.modules[index]
+
+    def set_training(self, training: bool) -> None:
+        """Toggle training mode on every Dropout child."""
+        for module in self.modules:
+            if isinstance(module, Dropout):
+                module.training = training
+            elif isinstance(module, Sequential):
+                module.set_training(training)

@@ -1,0 +1,30 @@
+"""Loss functions for the numpy neural substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import FloatArray
+
+
+def mse_loss(prediction: FloatArray, target: FloatArray) -> float:
+    """Mean squared error over all elements of a batch."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    diff = prediction - target
+    return float(np.mean(diff**2))
+
+
+def mse_loss_grad(prediction: FloatArray, target: FloatArray) -> FloatArray:
+    """Gradient of :func:`mse_loss` with respect to ``prediction``."""
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    return 2.0 * (prediction - target) / prediction.size

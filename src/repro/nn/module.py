@@ -1,0 +1,94 @@
+"""Base classes for the numpy neural substrate."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.core.types import FloatArray
+
+
+class Parameter:
+    """A trainable tensor with an accumulated gradient.
+
+    Attributes:
+        value: the current parameter value.
+        grad: the accumulated gradient, same shape as ``value``.
+        name: optional identifier for debugging.
+    """
+
+    def __init__(self, value: FloatArray, name: str = "") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.name or "param"
+        return f"Parameter({label}, shape={self.value.shape})"
+
+
+class Module:
+    """Base class for all layers and models in the substrate."""
+
+    def parameters(self) -> Iterator[Parameter]:
+        """Yield every :class:`Parameter` owned by this module (recursively)."""
+        for attr in vars(self).values():
+            if isinstance(attr, Parameter):
+                yield attr
+            elif isinstance(attr, Module):
+                yield from attr.parameters()
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Parameter):
+                        yield item
+                    elif isinstance(item, Module):
+                        yield from item.parameters()
+
+    def zero_grad(self) -> None:
+        """Reset gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def n_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(param.size for param in self.parameters())
+
+    def forward(self, x: FloatArray) -> FloatArray:
+        raise NotImplementedError
+
+    def backward(self, grad: FloatArray) -> FloatArray:
+        raise NotImplementedError
+
+    def __call__(self, x: FloatArray) -> FloatArray:
+        return self.forward(x)
+
+    def state(self) -> list[FloatArray]:
+        """Return copies of all parameter values (a checkpoint)."""
+        return [param.value.copy() for param in self.parameters()]
+
+    def load_state(self, state: list[FloatArray]) -> None:
+        """Restore parameter values from a checkpoint produced by :meth:`state`."""
+        params = list(self.parameters())
+        if len(params) != len(state):
+            raise ValueError(
+                f"checkpoint has {len(state)} tensors, module has {len(params)}"
+            )
+        for param, value in zip(params, state):
+            if param.value.shape != value.shape:
+                raise ValueError(
+                    f"shape mismatch restoring {param!r}: {value.shape}"
+                )
+            param.value = value.copy()

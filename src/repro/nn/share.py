@@ -1,0 +1,49 @@
+"""Create parameter-sharing copies of modules.
+
+USAD applies its encoder (and second decoder) more than once inside a
+single training pass.  Since each layer caches exactly one forward
+activation, re-invoking the same instance would clobber the cache the
+first application's backward pass needs.  :func:`shared_copy` returns a
+structurally identical module whose :class:`~repro.nn.module.Parameter`
+objects are the *same* instances as the original's — so gradients from
+both applications accumulate into one set of weights — while every copy
+keeps its own activation cache.
+"""
+
+from __future__ import annotations
+
+from repro.nn.layers import Identity, Linear, ReLU, Sequential, Sigmoid, Tanh
+from repro.nn.module import Module
+
+
+def shared_copy(module: Module) -> Module:
+    """Return a cache-independent copy of ``module`` sharing its parameters."""
+    if isinstance(module, Linear):
+        copy = Linear.__new__(Linear)
+        copy.in_features = module.in_features
+        copy.out_features = module.out_features
+        copy.weight = module.weight  # shared Parameter instance
+        copy.bias = module.bias
+        copy._input = None
+        return copy
+    if isinstance(module, Sequential):
+        return Sequential(*(shared_copy(child) for child in module.modules))
+    if isinstance(module, (Sigmoid, ReLU, Tanh, Identity)):
+        return type(module)()
+    raise TypeError(f"shared_copy does not support {type(module).__name__}")
+
+
+def unique_parameters(*modules: Module) -> list:
+    """Collect parameters from several (possibly sharing) modules, deduplicated.
+
+    Optimizers must see each shared :class:`Parameter` exactly once,
+    otherwise a single step would apply the update repeatedly.
+    """
+    seen: set[int] = set()
+    unique = []
+    for module in modules:
+        for param in module.parameters():
+            if id(param) not in seen:
+                seen.add(id(param))
+                unique.append(param)
+    return unique

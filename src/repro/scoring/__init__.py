@@ -1,0 +1,31 @@
+"""Nonconformity measures and anomaly scoring functions."""
+
+from repro.scoring.anomaly_score import (
+    AnomalyLikelihood,
+    AnomalyScorer,
+    AverageScore,
+    ConformalScorer,
+    RawScore,
+    gaussian_tail,
+)
+from repro.scoring.nonconformity import (
+    CosineNonconformity,
+    EuclideanNonconformity,
+    IForestNonconformity,
+    NonconformityMeasure,
+    cosine_distance,
+)
+
+__all__ = [
+    "AnomalyLikelihood",
+    "AnomalyScorer",
+    "AverageScore",
+    "ConformalScorer",
+    "CosineNonconformity",
+    "EuclideanNonconformity",
+    "IForestNonconformity",
+    "NonconformityMeasure",
+    "RawScore",
+    "cosine_distance",
+    "gaussian_tail",
+]

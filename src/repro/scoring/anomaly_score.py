@@ -1,0 +1,141 @@
+"""Anomaly scoring functions (Section IV-E, Definition III.4).
+
+An anomaly scorer maps the window of the ``k`` most recent nonconformity
+scores to the final anomaly score ``f_t``.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+
+import numpy as np
+
+
+def gaussian_tail(z: float) -> float:
+    """The Gaussian tail function ``Q(z) = P(X > z)`` for standard normal X."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+class AnomalyScorer:
+    """Stateful scorer consuming one nonconformity score per step."""
+
+    name = "base"
+
+    def update(self, nonconformity: float) -> float:
+        """Consume ``a_t`` and return ``f_t``."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all history."""
+
+
+class RawScore(AnomalyScorer):
+    """Pass the nonconformity score through unchanged (``f_t = a_t``)."""
+
+    name = "raw"
+
+    def update(self, nonconformity: float) -> float:
+        return float(nonconformity)
+
+
+class AverageScore(AnomalyScorer):
+    """Moving average of the last ``k`` nonconformity scores."""
+
+    name = "avg"
+
+    def __init__(self, k: int = 32) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._window: collections.deque[float] = collections.deque(maxlen=k)
+
+    def update(self, nonconformity: float) -> float:
+        self._window.append(float(nonconformity))
+        return float(np.mean(self._window))
+
+    def reset(self) -> None:
+        self._window.clear()
+
+
+class ConformalScorer(AnomalyScorer):
+    """Conformal rank score over the recent nonconformity history.
+
+    SAFARI's original anomaly score is rooted in conformal prediction:
+    the final score reflects how extreme the newest nonconformity is
+    relative to a calibration set.  The paper's KS-based variant needs
+    i.i.d. feature vectors (and is excluded there for that reason —
+    Section IV-E); this extension keeps the conformal idea in its
+    simplest valid form, the *rank* statistic:
+
+        f_t = #{ a_i <= a_t, i in window } / (k + 1)
+
+    A score of 1 means the newest nonconformity exceeds everything in the
+    calibration window; 0.5 means it is typical.  Being rank-based it is
+    invariant to any monotone rescaling of the nonconformity measure.
+
+    Args:
+        k: calibration window length.
+    """
+
+    name = "conformal"
+
+    def __init__(self, k: int = 64) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self._window: collections.deque[float] = collections.deque(maxlen=k)
+
+    def update(self, nonconformity: float) -> float:
+        value = float(nonconformity)
+        rank = sum(1 for previous in self._window if previous <= value)
+        self._window.append(value)
+        return (rank + 1) / (len(self._window) + 1)
+
+    def reset(self) -> None:
+        self._window.clear()
+
+
+class AnomalyLikelihood(AnomalyScorer):
+    """Numenta anomaly likelihood (Lavin & Ahmad, 2015).
+
+    Compares a short-term mean ``mu~`` over the last ``k'`` scores to the
+    long-term mean ``mu`` and standard deviation ``sigma`` over the last
+    ``k`` scores:
+
+        f_t = 1 - Q((mu~ - mu) / sigma)
+
+    A short-term surge of nonconformity relative to recent history pushes
+    the likelihood toward 1; scores within the historical noise floor stay
+    near 0.5 and below.
+
+    Args:
+        k: long window length (paper: ``k``).
+        k_short: short window length, must satisfy ``k_short < k``
+            (paper: ``k' << k``).
+        min_sigma: numerical floor on the long-window standard deviation.
+    """
+
+    name = "al"
+
+    def __init__(self, k: int = 64, k_short: int = 8, min_sigma: float = 1e-6) -> None:
+        if k < 2:
+            raise ValueError(f"k must be >= 2, got {k}")
+        if not 1 <= k_short < k:
+            raise ValueError(f"k_short must be in [1, k), got {k_short}")
+        self.k = k
+        self.k_short = k_short
+        self.min_sigma = min_sigma
+        self._window: collections.deque[float] = collections.deque(maxlen=k)
+
+    def update(self, nonconformity: float) -> float:
+        self._window.append(float(nonconformity))
+        values = np.fromiter(self._window, dtype=np.float64)
+        long_mean = float(values.mean())
+        short_mean = float(values[-self.k_short :].mean())
+        sigma = max(float(values.std()), self.min_sigma)
+        z = (short_mean - long_mean) / sigma
+        return 1.0 - gaussian_tail(z)
+
+    def reset(self) -> None:
+        self._window.clear()

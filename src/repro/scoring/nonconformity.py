@@ -1,0 +1,130 @@
+"""Nonconformity measures (Section IV-D).
+
+A nonconformity measure maps a feature vector and the model's prediction
+to a "strangeness" value in ``[0, 1]``: 0 means perfectly normal, values
+near 1 indicate an anomaly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import FeatureVector, FloatArray
+from repro.models.base import StreamModel
+
+
+def cosine_distance(a: FloatArray, b: FloatArray) -> float:
+    """``1 - cos(a, b)`` clipped into ``[0, 1]``.
+
+    The raw quantity lies in ``[0, 2]``; the paper requires nonconformity
+    scores in ``[0, 1]``, which holds automatically for non-negatively
+    correlated vectors.  Anti-correlated predictions (raw value above 1)
+    are clipped to 1 — they are maximally strange either way.
+    """
+    a = np.asarray(a, dtype=np.float64).ravel()
+    b = np.asarray(b, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm_a = float(np.linalg.norm(a))
+    norm_b = float(np.linalg.norm(b))
+    if norm_a < 1e-12 or norm_b < 1e-12:
+        # A zero vector carries no direction; treat identical zeros as
+        # perfectly conforming and anything else as maximally strange.
+        return 0.0 if norm_a < 1e-12 and norm_b < 1e-12 else 1.0
+    cosine = float(a @ b) / (norm_a * norm_b)
+    return float(np.clip(1.0 - cosine, 0.0, 1.0))
+
+
+class NonconformityMeasure:
+    """Interface: produce ``a_t`` from the feature vector and the model."""
+
+    name = "base"
+
+    def __call__(self, x: FeatureVector, model: StreamModel) -> float:
+        raise NotImplementedError
+
+
+class CosineNonconformity(NonconformityMeasure):
+    """``a_t = 1 - cosine_similarity`` between observation and prediction.
+
+    For reconstruction models the whole window ``x_t`` is compared to the
+    reconstruction ``x_hat_t``; for forecasting models only the newest
+    stream vector ``s_t`` is compared to the forecast ``s_hat_t`` (the
+    multivariate case the paper points out this requires, ``N > 1``; for
+    ``N = 1`` a cosine between scalars is only ever 0 or 1, so univariate
+    forecasters should wrap the stream accordingly).
+    """
+
+    name = "cosine"
+
+    def __call__(self, x: FeatureVector, model: StreamModel) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        prediction = model.predict(x)
+        if model.prediction_kind == "reconstruction":
+            return cosine_distance(x, prediction)
+        if model.prediction_kind == "forecast":
+            return cosine_distance(x[-1], prediction)
+        raise ConfigurationError(
+            f"cosine nonconformity cannot handle prediction kind "
+            f"{model.prediction_kind!r}"
+        )
+
+
+class EuclideanNonconformity(NonconformityMeasure):
+    """Scale-calibrated RMS error, ``a_t = 1 - exp(-rmse / scale)``.
+
+    The paper's cosine measure degenerates for univariate forecasters
+    (Section IV-D: a cosine between scalars is only ever 0 or 1), so this
+    measure provides the N=1-safe alternative.  ``scale`` tracks a running
+    mean of observed errors, keeping the score adaptive to the stream's
+    units; zero error maps to 0 and large errors saturate toward 1.
+
+    Args:
+        alpha: exponential-moving-average rate of the scale calibration.
+    """
+
+    name = "euclidean"
+
+    def __init__(self, alpha: float = 0.02) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._scale: float | None = None
+
+    def __call__(self, x: FeatureVector, model: StreamModel) -> float:
+        x = np.asarray(x, dtype=np.float64)
+        prediction = model.predict(x)
+        if model.prediction_kind == "reconstruction":
+            target = x
+        elif model.prediction_kind == "forecast":
+            target = x[-1]
+        else:
+            raise ConfigurationError(
+                f"euclidean nonconformity cannot handle prediction kind "
+                f"{model.prediction_kind!r}"
+            )
+        rmse = float(np.sqrt(np.mean((prediction - target) ** 2)))
+        if self._scale is None:
+            self._scale = max(rmse, 1e-12)
+        else:
+            self._scale += self.alpha * (rmse - self._scale)
+        return 1.0 - float(np.exp(-rmse / max(self._scale, 1e-12)))
+
+
+class IForestNonconformity(NonconformityMeasure):
+    """The isolation forest's native score ``a_t = 2^{-E(h(x_t)) / c(n)}``.
+
+    The score is produced by the model itself (PCB-iForest), already in
+    ``(0, 1)``; this measure simply forwards it.
+    """
+
+    name = "iforest"
+
+    def __call__(self, x: FeatureVector, model: StreamModel) -> float:
+        if model.prediction_kind != "score":
+            raise ConfigurationError(
+                "iforest nonconformity requires a score-kind model, got "
+                f"{model.prediction_kind!r}"
+            )
+        return float(model.score(x))

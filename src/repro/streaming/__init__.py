@@ -1,0 +1,16 @@
+"""Stream execution: drive detectors over labelled series."""
+
+from repro.streaming.checkpoint import load_detector, save_detector
+from repro.streaming.corpus import CorpusResult, run_corpus
+from repro.streaming.ensemble import EnsembleDetector
+from repro.streaming.runner import StreamResult, run_stream
+
+__all__ = [
+    "CorpusResult",
+    "EnsembleDetector",
+    "StreamResult",
+    "load_detector",
+    "run_corpus",
+    "run_stream",
+    "save_detector",
+]

@@ -1,0 +1,52 @@
+"""Detector checkpointing.
+
+Streaming deployments restart: the process is upgraded, the edge device
+reboots, the orbit pass ends.  A detector checkpoint captures the model
+parameters, training set, drift-detector state and scorer history so the
+stream can resume where it left off.
+
+Implementation: the whole detector object graph is pure Python + numpy,
+so the checkpoint is a pickle.  The usual pickle caveat applies — only
+load checkpoints you produced yourself.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.core.detector import StreamingAnomalyDetector
+
+#: bump when the detector's persisted structure changes incompatibly.
+CHECKPOINT_VERSION = 1
+
+
+def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
+    """Write a checkpoint of the full detector state."""
+    path = Path(path)
+    payload = {"version": CHECKPOINT_VERSION, "detector": detector}
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_detector(path: str | Path) -> StreamingAnomalyDetector:
+    """Load a checkpoint written by :func:`save_detector`.
+
+    Raises:
+        ValueError: if the file is not a detector checkpoint or was
+            written by an incompatible library version.
+    """
+    with open(Path(path), "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or "detector" not in payload:
+        raise ValueError(f"{path} is not a detector checkpoint")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {payload.get('version')} is incompatible "
+            f"with library version {CHECKPOINT_VERSION}"
+        )
+    detector = payload["detector"]
+    if not isinstance(detector, StreamingAnomalyDetector):
+        raise ValueError(f"{path} does not contain a StreamingAnomalyDetector")
+    return detector

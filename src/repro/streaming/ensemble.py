@@ -1,0 +1,103 @@
+"""Score-fusion ensembles of streaming detectors.
+
+FuseAD (related work §II) combines an ARIMA model with a CNN by fusing
+their scores; this module generalises the idea to any set of framework
+detectors.  Each member processes every stream vector independently (its
+own training set, drift detection and fine-tuning), and the ensemble's
+anomaly score fuses the members' per-step scores.
+
+Fusion rules:
+
+- ``"mean"`` — average member score (smooth, robust to one noisy member);
+- ``"max"`` — most alarmed member wins (sensitive, unions the detectors'
+  coverage);
+- ``"median"`` — majority behaviour, robust to outlier members.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detector import StreamingAnomalyDetector
+from repro.core.exceptions import ConfigurationError
+from repro.core.types import StepResult, StreamVector
+
+FUSION_RULES = ("mean", "max", "median")
+
+
+class EnsembleDetector:
+    """Run several detectors in lockstep and fuse their scores.
+
+    Exposes the same ``step`` interface as a single
+    :class:`~repro.core.detector.StreamingAnomalyDetector`, so it drops
+    into :func:`~repro.streaming.runner.run_stream` unchanged.
+
+    Args:
+        members: detectors to run; each keeps its own learning strategy.
+        fusion: one of ``"mean"``, ``"max"``, ``"median"``.
+    """
+
+    def __init__(
+        self,
+        members: list[StreamingAnomalyDetector],
+        fusion: str = "mean",
+    ) -> None:
+        if not members:
+            raise ConfigurationError("ensemble needs at least one member")
+        if fusion not in FUSION_RULES:
+            raise ConfigurationError(
+                f"fusion must be one of {FUSION_RULES}, got {fusion!r}"
+            )
+        self.members = list(members)
+        self.fusion = fusion
+        self.t = -1
+
+    def _fuse(self, values: list[float]) -> float:
+        if self.fusion == "mean":
+            return float(np.mean(values))
+        if self.fusion == "max":
+            return float(np.max(values))
+        return float(np.median(values))
+
+    def step(self, s: StreamVector) -> StepResult:
+        """Feed one stream vector to every member; return the fused result."""
+        self.t += 1
+        results = [member.step(s) for member in self.members]
+        return StepResult(
+            t=self.t,
+            nonconformity=self._fuse([r.nonconformity for r in results]),
+            score=self._fuse([r.score for r in results]),
+            drift_detected=any(r.drift_detected for r in results),
+            finetuned=any(r.finetuned for r in results),
+        )
+
+    # ------------------------------------------------------------------
+    # run_stream compatibility
+    # ------------------------------------------------------------------
+    @property
+    def first_scored_step(self) -> int | None:
+        """First step at which *every* member produced a real score."""
+        member_starts = [m.first_scored_step for m in self.members]
+        if any(start is None for start in member_starts):
+            return None
+        return max(member_starts)  # type: ignore[arg-type]
+
+    @property
+    def events(self) -> list:
+        """All members' fine-tune events, ordered by step."""
+        merged = [event for member in self.members for event in member.events]
+        return sorted(merged, key=lambda event: event.t)
+
+    @property
+    def model(self):
+        """The first member's model (for result labelling)."""
+        return self.members[0].model
+
+    @property
+    def n_finetunes(self) -> int:
+        return sum(member.n_finetunes for member in self.members)
+
+    def reset(self) -> None:
+        self.t = -1
+        for member in self.members:
+            member.reset()

@@ -1,0 +1,96 @@
+"""Drive a detector over a labelled stream and collect aligned results."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.core.detector import StreamingAnomalyDetector
+from repro.core.types import FineTuneEvent, FloatArray, TimeSeries
+
+
+@dataclass
+class StreamResult:
+    """Scores and events from one detector run over one series.
+
+    All arrays are aligned with the input series (length ``T``); the
+    warm-up region — before the representation buffer filled and the
+    initial model fit happened — holds zeros and is excluded by
+    :meth:`scored_region`.
+    """
+
+    series_name: str
+    algorithm: str
+    scores: FloatArray
+    nonconformities: FloatArray
+    labels: NDArray[np.int_]
+    first_scored: int
+    events: list[FineTuneEvent] = field(default_factory=list)
+    drift_steps: list[int] = field(default_factory=list)
+    runtime_seconds: float = 0.0
+
+    @property
+    def n_steps(self) -> int:
+        return int(self.scores.size)
+
+    @property
+    def n_finetunes(self) -> int:
+        """Fine-tuning sessions excluding the initial fit."""
+        return sum(1 for event in self.events if event.reason != "initial_fit")
+
+    def scored_region(self) -> tuple[FloatArray, NDArray[np.int_]]:
+        """``(scores, labels)`` restricted to the post-warm-up region."""
+        return (
+            self.scores[self.first_scored :],
+            self.labels[self.first_scored :],
+        )
+
+
+def run_stream(
+    detector: StreamingAnomalyDetector,
+    series: TimeSeries,
+    progress_every: int | None = None,
+) -> StreamResult:
+    """Feed every stream vector of ``series`` through ``detector``.
+
+    Args:
+        detector: a freshly built detector (call :meth:`reset` to reuse one).
+        series: the labelled stream.
+        progress_every: optionally print a progress line every N steps.
+
+    Returns:
+        A :class:`StreamResult` with scores aligned to the series.
+    """
+    n_steps = series.n_steps
+    scores = np.zeros(n_steps, dtype=np.float64)
+    nonconformities = np.zeros(n_steps, dtype=np.float64)
+    drift_steps: list[int] = []
+    started = time.perf_counter()
+    for t in range(n_steps):
+        result = detector.step(series.values[t])
+        scores[t] = result.score
+        nonconformities[t] = result.nonconformity
+        if result.drift_detected:
+            drift_steps.append(t)
+        if progress_every and t and t % progress_every == 0:
+            print(f"  [{series.name}] step {t}/{n_steps}")
+    runtime = time.perf_counter() - started
+    first_scored = (
+        detector.first_scored_step
+        if detector.first_scored_step is not None
+        else n_steps
+    )
+    return StreamResult(
+        series_name=series.name,
+        algorithm=type(detector.model).name,
+        scores=scores,
+        nonconformities=nonconformities,
+        labels=series.labels.copy(),
+        first_scored=first_scored,
+        events=list(detector.events),
+        drift_steps=drift_steps,
+        runtime_seconds=runtime,
+    )

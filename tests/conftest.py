@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import AnomalyWindow, TimeSeries, labels_from_windows
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_windows(rng: np.random.Generator) -> np.ndarray:
+    """A training set of 40 windows, shape (40, 8, 3)."""
+    t = np.arange(200, dtype=np.float64)
+    base = np.stack(
+        [
+            np.sin(2 * np.pi * t / 25.0),
+            np.cos(2 * np.pi * t / 25.0),
+            0.5 * np.sin(2 * np.pi * t / 50.0),
+        ],
+        axis=1,
+    )
+    base += rng.normal(scale=0.05, size=base.shape)
+    return np.stack([base[i : i + 8] for i in range(40)])
+
+
+@pytest.fixture
+def labelled_series(rng: np.random.Generator) -> TimeSeries:
+    """A 600-step 2-channel series with two anomaly windows."""
+    t = np.arange(600, dtype=np.float64)
+    values = np.stack(
+        [np.sin(2 * np.pi * t / 40.0), np.cos(2 * np.pi * t / 40.0)], axis=1
+    )
+    values += rng.normal(scale=0.05, size=values.shape)
+    windows = [AnomalyWindow(300, 320), AnomalyWindow(450, 465)]
+    for window in windows:
+        values[window.start : window.end] += 3.0
+    return TimeSeries(
+        values=values,
+        labels=labels_from_windows(windows, 600),
+        name="test/series",
+        windows=windows,
+    )

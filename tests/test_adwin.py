@@ -1,0 +1,85 @@
+"""Tests for the ADWIN drift detector (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.learning import ADWIN
+from repro.learning.base import Update, UpdateKind
+
+
+def feed(detector, values, start_t=0):
+    for i, value in enumerate(values):
+        detector.observe(
+            Update(UpdateKind.ADDED, added=np.full(3, value)), t=start_t + i
+        )
+
+
+class TestADWIN:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ADWIN(delta=0.0)
+        with pytest.raises(ValueError):
+            ADWIN(max_window=10, min_subwindow=10)
+        with pytest.raises(ValueError):
+            ADWIN(check_every=0)
+
+    def test_no_fire_on_stationary_stream(self, rng):
+        detector = ADWIN()
+        feed(detector, rng.normal(size=600))
+        assert not detector.should_finetune(600, np.empty(0))
+
+    def test_fires_on_mean_shift(self, rng):
+        detector = ADWIN()
+        feed(detector, rng.normal(size=300))
+        feed(detector, rng.normal(loc=2.0, size=120), start_t=300)
+        assert detector.should_finetune(420, np.empty(0))
+
+    def test_window_shrinks_after_cut(self, rng):
+        detector = ADWIN()
+        feed(detector, rng.normal(size=300))
+        length_before = detector.window_length
+        feed(detector, rng.normal(loc=3.0, size=120), start_t=300)
+        detector.should_finetune(420, np.empty(0))
+        # The stale prefix was dropped, only the post-drift data remains.
+        assert detector.window_length < length_before + 120
+
+    def test_drift_flag_consumed_once(self, rng):
+        detector = ADWIN()
+        feed(detector, rng.normal(size=300))
+        feed(detector, rng.normal(loc=3.0, size=120), start_t=300)
+        assert detector.should_finetune(420, np.empty(0))
+        # The pending flag was consumed; quiet until new evidence arrives.
+        assert not detector.should_finetune(421, np.empty(0))
+
+    def test_window_capped(self, rng):
+        detector = ADWIN(max_window=100)
+        feed(detector, rng.normal(size=500))
+        assert detector.window_length <= 100
+
+    def test_unchanged_updates_ignored(self):
+        detector = ADWIN()
+        detector.observe(Update(UpdateKind.UNCHANGED), t=0)
+        assert detector.window_length == 0
+
+    def test_reset(self, rng):
+        detector = ADWIN()
+        feed(detector, rng.normal(size=50))
+        detector.reset()
+        assert detector.window_length == 0
+        assert detector.ops.additions == 0
+
+    def test_usable_in_detector_pipeline(self, rng):
+        from repro.core.config import DetectorConfig
+        from repro.core.registry import AlgorithmSpec, build_detector
+        from repro.core.types import TimeSeries
+        from repro.streaming import run_stream
+
+        n = 800
+        values = rng.normal(size=(n, 3))
+        values[500:] += 3.0
+        series = TimeSeries(values=values, labels=np.zeros(n, dtype=np.int_))
+        config = DetectorConfig(window=6, train_capacity=48, fit_epochs=2)
+        detector = build_detector(AlgorithmSpec("ae", "sw", "adwin"), 3, config)
+        result = run_stream(detector, series)
+        fired = [e.t for e in result.events if e.reason == "adwin"]
+        assert any(t >= 500 for t in fired)

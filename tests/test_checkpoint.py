@@ -1,0 +1,88 @@
+"""Tests for detector checkpointing."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.streaming import load_detector, run_stream, save_detector
+
+
+def make_stream(n, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    values = np.stack(
+        [np.sin(2 * np.pi * t / 30), np.cos(2 * np.pi * t / 30)], axis=1
+    )
+    return values + rng.normal(scale=0.05, size=values.shape)
+
+
+def fresh_detector(spec=("ae", "sw", "musigma")):
+    return build_detector(
+        AlgorithmSpec(*spec),
+        n_channels=2,
+        config=DetectorConfig(window=6, train_capacity=24, fit_epochs=3),
+    )
+
+
+class TestCheckpoint:
+    def test_roundtrip_resumes_identically(self, tmp_path):
+        values = make_stream(400)
+        detector = fresh_detector()
+        for v in values[:200]:
+            detector.step(v)
+        path = save_detector(detector, tmp_path / "ckpt.pkl")
+        resumed = load_detector(path)
+
+        original_scores = [detector.step(v).score for v in values[200:]]
+        resumed_scores = [resumed.step(v).score for v in values[200:]]
+        np.testing.assert_allclose(original_scores, resumed_scores)
+
+    def test_roundtrip_preserves_time_and_events(self, tmp_path):
+        detector = fresh_detector()
+        for v in make_stream(120):
+            detector.step(v)
+        resumed = load_detector(save_detector(detector, tmp_path / "c.pkl"))
+        assert resumed.t == detector.t
+        assert len(resumed.events) == len(detector.events)
+        assert resumed.model.is_fitted
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            ("online_arima", "sw", "musigma"),
+            ("usad", "ares", "kswin"),
+            ("nbeats", "ures", "musigma"),
+            ("pcb_iforest", "sw", "kswin"),
+        ],
+    )
+    def test_every_model_family_picklable(self, tmp_path, spec):
+        detector = fresh_detector(spec)
+        for v in make_stream(120):
+            detector.step(v)
+        resumed = load_detector(save_detector(detector, tmp_path / "m.pkl"))
+        next_value = make_stream(121)[-1]
+        assert np.isfinite(resumed.step(next_value).score)
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump([1, 2, 3], handle)
+        with pytest.raises(ValueError, match="not a detector checkpoint"):
+            load_detector(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "old.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"version": -1, "detector": None}, handle)
+        with pytest.raises(ValueError, match="incompatible"):
+            load_detector(path)
+
+    def test_wrong_payload_type_rejected(self, tmp_path):
+        path = tmp_path / "odd.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"version": 1, "detector": "not a detector"}, handle)
+        with pytest.raises(ValueError, match="does not contain"):
+            load_detector(path)

@@ -1,0 +1,40 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table3_defaults(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.corpus == "daphnet"
+        assert args.window == 16
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3", "--corpus", "yahoo"])
+
+    def test_scale_overrides(self):
+        args = build_parser().parse_args(
+            ["table3", "--corpus", "smd", "--steps", "900", "--window", "8"]
+        )
+        assert args.corpus == "smd"
+        assert args.steps == 900
+        assert args.window == 8
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "26 algorithm combinations" in out
+        assert out.count("kswin") >= 14
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Table II" in capsys.readouterr().out

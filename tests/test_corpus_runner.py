@@ -1,0 +1,59 @@
+"""Tests for the corpus runner helper."""
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.datasets import make_smd
+from repro.experiments.table3 import Table3Config
+from repro.streaming import run_corpus
+
+
+class TestRunCorpus:
+    def test_runs_every_series(self):
+        corpus = make_smd(n_series=3, n_steps=500, clean_prefix=120, seed=0)
+        config = DetectorConfig(window=8, train_capacity=24, fit_epochs=1)
+
+        def factory(series):
+            return build_detector(
+                AlgorithmSpec("online_arima", "sw", "musigma"),
+                series.n_channels,
+                config,
+            )
+
+        result = run_corpus(factory, corpus)
+        assert result.n_series == 3
+        assert result.total_runtime_seconds > 0
+        for stream_result in result:
+            assert np.all(np.isfinite(stream_result.scores))
+
+    def test_fresh_detector_per_series(self):
+        corpus = make_smd(n_series=2, n_steps=400, clean_prefix=100, seed=1)
+        built = []
+
+        def factory(series):
+            detector = build_detector(
+                AlgorithmSpec("online_arima", "sw", "never"),
+                series.n_channels,
+                DetectorConfig(window=8, train_capacity=24, fit_epochs=1),
+            )
+            built.append(detector)
+            return detector
+
+        run_corpus(factory, corpus)
+        assert len(built) == 2
+        assert built[0] is not built[1]
+
+    def test_empty_corpus(self):
+        result = run_corpus(lambda s: None, [])
+        assert result.n_series == 0
+        assert result.total_finetunes == 0
+
+
+class TestPaperScaleConfig:
+    def test_paper_parameters(self):
+        config = Table3Config.paper_scale()
+        assert config.detector.window == 100
+        assert config.clean_prefix == 5000
+        assert config.detector.initial_train_size == 4900
+        assert config.detector.kswin_check_every == 1

@@ -1,0 +1,200 @@
+"""Tests for synthetic primitives, injectors and the corpus emulators."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import AnomalyWindow
+from repro.datasets import (
+    apply_mean_shift,
+    apply_variance_scale,
+    ar1_noise,
+    inject_flatline,
+    inject_level_shift,
+    inject_spike,
+    inject_tremor,
+    latent_factor_mix,
+    make_corpus,
+    make_daphnet,
+    make_exathlon,
+    make_smd,
+    place_windows,
+    periodic_channel,
+    sinusoid,
+)
+
+
+class TestSyntheticPrimitives:
+    def test_sinusoid_period(self):
+        wave = sinusoid(100, period=25.0, amplitude=2.0)
+        assert wave.shape == (100,)
+        assert wave.max() <= 2.0 + 1e-9
+        np.testing.assert_allclose(wave[0], wave[25], atol=1e-9)
+
+    def test_sinusoid_validation(self):
+        with pytest.raises(ValueError):
+            sinusoid(0, 10.0)
+        with pytest.raises(ValueError):
+            sinusoid(10, -1.0)
+
+    def test_ar1_stationary_variance(self, rng):
+        noise = ar1_noise(20000, rho=0.5, sigma=1.0, rng=rng)
+        # stationary std = sigma / sqrt(1 - rho^2)
+        assert noise.std() == pytest.approx(1.0 / np.sqrt(0.75), rel=0.1)
+
+    def test_ar1_validation(self, rng):
+        with pytest.raises(ValueError):
+            ar1_noise(10, rho=1.0, sigma=1.0, rng=rng)
+        with pytest.raises(ValueError):
+            ar1_noise(10, rho=0.5, sigma=-1.0, rng=rng)
+
+    def test_latent_factor_mix_correlated(self, rng):
+        values = latent_factor_mix(5000, n_channels=6, n_factors=2, rng=rng)
+        assert values.shape == (5000, 6)
+        correlation = np.corrcoef(values.T)
+        off_diagonal = np.abs(correlation[np.triu_indices(6, 1)])
+        assert off_diagonal.mean() > 0.2  # channels co-move
+
+    def test_periodic_channel_shape(self, rng):
+        channel = periodic_channel(500, period=40.0, rng=rng)
+        assert channel.shape == (500,)
+
+
+class TestPlaceWindows:
+    def test_respects_forbidden_prefix(self, rng):
+        windows = place_windows(
+            1000, 5, 10, 20, rng, forbidden_prefix=300
+        )
+        assert all(w.start >= 300 for w in windows)
+
+    def test_non_overlapping_with_gap(self, rng):
+        windows = place_windows(2000, 8, 20, 40, rng, min_gap=15)
+        for first, second in zip(windows, windows[1:]):
+            assert second.start - first.end >= 15
+
+    def test_sorted_by_start(self, rng):
+        windows = place_windows(2000, 6, 10, 30, rng)
+        starts = [w.start for w in windows]
+        assert starts == sorted(starts)
+
+    def test_lengths_in_range(self, rng):
+        windows = place_windows(2000, 6, 10, 30, rng)
+        assert all(10 <= len(w) <= 30 for w in windows)
+
+    def test_too_small_stream_rejected(self, rng):
+        with pytest.raises(ValueError):
+            place_windows(50, 1, 30, 60, rng, forbidden_prefix=30)
+
+    def test_invalid_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            place_windows(100, 1, 20, 10, rng)
+
+
+class TestInjectors:
+    def _values(self, rng):
+        return rng.normal(size=(200, 5))
+
+    def test_spike_changes_window_only(self, rng):
+        values = self._values(rng)
+        original = values.copy()
+        window = AnomalyWindow(50, 60)
+        inject_spike(values, window, rng)
+        assert not np.allclose(values[50:60], original[50:60])
+        np.testing.assert_array_equal(values[:50], original[:50])
+        np.testing.assert_array_equal(values[60:], original[60:])
+
+    def test_level_shift_raises_mean(self, rng):
+        values = self._values(rng)
+        window = AnomalyWindow(50, 100)
+        before = values[50:100].mean()
+        inject_level_shift(values, window, rng, magnitude=3.0, channel_fraction=1.0)
+        assert values[50:100].mean() > before + 1.0
+
+    def test_flatline_freezes_channels(self, rng):
+        values = self._values(rng)
+        window = AnomalyWindow(50, 80)
+        inject_flatline(values, window, rng, channel_fraction=1.0)
+        for channel in range(values.shape[1]):
+            assert np.all(values[50:80, channel] == values[50, channel])
+
+    def test_tremor_damps_and_oscillates(self, rng):
+        t = np.arange(400, dtype=np.float64)
+        values = np.stack([np.sin(2 * np.pi * t / 40)] * 3, axis=1) * 2.0
+        window = AnomalyWindow(100, 200)
+        inject_tremor(values, window, rng, period=8.0, channel_fraction=1.0)
+        segment = values[100:200, 0]
+        # The tremor has a dominant frequency near period 8.
+        spectrum = np.abs(np.fft.rfft(segment - segment.mean()))
+        dominant_period = len(segment) / np.argmax(spectrum)
+        assert dominant_period < 20
+
+
+class TestDriftInjectors:
+    def test_mean_shift_applied_from_at(self, rng):
+        values = rng.normal(size=(300, 4))
+        apply_mean_shift(values, 150, rng, magnitude=5.0, channel_fraction=1.0)
+        # Directions are random per channel, so check channel-wise shifts.
+        per_channel = np.abs(values[150:].mean(axis=0))
+        assert np.all(per_channel > 1.0)
+        assert np.all(np.abs(values[:150].mean(axis=0)) < 0.5)
+
+    def test_variance_scale(self, rng):
+        values = rng.normal(size=(400, 3))
+        apply_variance_scale(values, 200, rng, factor=3.0, channel_fraction=1.0)
+        assert values[200:].std() > 2.0 * values[:200].std()
+
+    def test_invalid_at_rejected(self, rng):
+        values = rng.normal(size=(100, 2))
+        with pytest.raises(ValueError):
+            apply_mean_shift(values, 0, rng)
+        with pytest.raises(ValueError):
+            apply_mean_shift(values, 100, rng)
+
+
+@pytest.mark.parametrize("builder", [make_daphnet, make_exathlon, make_smd])
+class TestCorpora:
+    def test_series_well_formed(self, builder):
+        for series in builder(n_series=2, n_steps=1500, clean_prefix=300, seed=0):
+            assert series.n_steps == 1500
+            assert series.labels.shape == (1500,)
+            assert np.all(np.isfinite(series.values))
+            assert series.drift_points
+
+    def test_clean_prefix_has_no_anomalies(self, builder):
+        for series in builder(n_series=2, n_steps=1500, clean_prefix=300, seed=1):
+            assert series.labels[:300].sum() == 0
+
+    def test_labels_match_windows(self, builder):
+        from repro.core.types import labels_from_windows
+
+        for series in builder(n_series=1, n_steps=1500, clean_prefix=300, seed=2):
+            np.testing.assert_array_equal(
+                series.labels, labels_from_windows(series.windows, series.n_steps)
+            )
+
+    def test_deterministic_given_seed(self, builder):
+        a = builder(n_series=1, n_steps=1000, clean_prefix=200, seed=7)[0]
+        b = builder(n_series=1, n_steps=1000, clean_prefix=200, seed=7)[0]
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self, builder):
+        a = builder(n_series=1, n_steps=1000, clean_prefix=200, seed=1)[0]
+        b = builder(n_series=1, n_steps=1000, clean_prefix=200, seed=2)[0]
+        assert not np.allclose(a.values, b.values)
+
+
+class TestCorpusRegistry:
+    def test_channel_counts_match_real_corpora(self):
+        assert make_daphnet(n_series=1, n_steps=800, clean_prefix=100)[0].n_channels == 9
+        assert make_smd(n_series=1, n_steps=800, clean_prefix=100)[0].n_channels == 38
+
+    def test_make_corpus_dispatch(self):
+        series = make_corpus("daphnet", n_series=1, n_steps=800, clean_prefix=100)
+        assert series[0].name.startswith("daphnet/")
+
+    def test_unknown_corpus_rejected(self):
+        with pytest.raises(KeyError):
+            make_corpus("yahoo")
+
+    def test_smd_sparse_anomalies(self):
+        series = make_smd(n_series=1, n_steps=3000, clean_prefix=400, seed=0)[0]
+        assert series.anomaly_rate < 0.08  # SMD-like sparsity

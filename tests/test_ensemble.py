@@ -1,0 +1,88 @@
+"""Tests for the ensemble detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.exceptions import ConfigurationError
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.streaming import EnsembleDetector, run_stream
+
+
+def members(n_channels=2, specs=(("ae", "sw", "musigma"), ("online_arima", "sw", "musigma"))):
+    config = DetectorConfig(window=8, train_capacity=24, fit_epochs=3)
+    return [
+        build_detector(AlgorithmSpec(*spec), n_channels, config) for spec in specs
+    ]
+
+
+def stream(n, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    values = np.stack(
+        [np.sin(2 * np.pi * t / 30), np.cos(2 * np.pi * t / 30)], axis=1
+    )
+    return values + rng.normal(scale=0.05, size=values.shape)
+
+
+class TestEnsembleDetector:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnsembleDetector([])
+        with pytest.raises(ConfigurationError):
+            EnsembleDetector(members(), fusion="vote")
+
+    def test_mean_fusion_is_member_mean(self):
+        ensemble = EnsembleDetector(members(), fusion="mean")
+        values = stream(100)
+        for v in values[:-1]:
+            ensemble.step(v)
+        # Compare against manually stepping fresh members on the same data.
+        fresh = members()
+        for v in values[:-1]:
+            for member in fresh:
+                member.step(v)
+        fused = ensemble.step(values[-1])
+        individual = [member.step(values[-1]).score for member in fresh]
+        assert fused.score == pytest.approx(float(np.mean(individual)))
+
+    def test_max_fusion_upper_bounds_mean(self):
+        values = stream(150)
+        mean_scores, max_scores = [], []
+        for fusion, sink in (("mean", mean_scores), ("max", max_scores)):
+            ensemble = EnsembleDetector(members(), fusion=fusion)
+            for v in values:
+                sink.append(ensemble.step(v).score)
+        assert all(m <= x + 1e-12 for m, x in zip(mean_scores, max_scores))
+
+    def test_first_scored_is_last_member_ready(self):
+        config_fast = DetectorConfig(window=6, train_capacity=12, fit_epochs=1)
+        config_slow = DetectorConfig(window=6, train_capacity=40, fit_epochs=1)
+        fast = build_detector(AlgorithmSpec("ae", "sw", "never"), 2, config_fast)
+        slow = build_detector(AlgorithmSpec("ae", "sw", "never"), 2, config_slow)
+        ensemble = EnsembleDetector([fast, slow])
+        for v in stream(100):
+            ensemble.step(v)
+        assert ensemble.first_scored_step == slow.first_scored_step
+
+    def test_runs_through_run_stream(self, labelled_series):
+        ensemble = EnsembleDetector(members())
+        result = run_stream(ensemble, labelled_series)
+        assert result.scores.shape == (labelled_series.n_steps,)
+        assert np.all(np.isfinite(result.scores))
+
+    def test_events_merged_sorted(self):
+        ensemble = EnsembleDetector(members())
+        for v in stream(200):
+            ensemble.step(v)
+        steps = [event.t for event in ensemble.events]
+        assert steps == sorted(steps)
+        assert len(steps) >= 2  # at least both initial fits
+
+    def test_reset(self):
+        ensemble = EnsembleDetector(members())
+        for v in stream(50):
+            ensemble.step(v)
+        ensemble.reset()
+        assert ensemble.t == -1
+        assert all(member.t == -1 for member in ensemble.members)

@@ -1,0 +1,64 @@
+"""Tests for the Euclidean (RMS) nonconformity measure."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.models import OnlineARIMA, PCBIForest, TwoLayerAutoencoder
+from repro.scoring import EuclideanNonconformity
+
+
+def windows_from(series, w):
+    return np.stack([series[i : i + w] for i in range(series.shape[0] - w)])
+
+
+class TestEuclideanNonconformity:
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            EuclideanNonconformity(alpha=0.0)
+        with pytest.raises(ValueError):
+            EuclideanNonconformity(alpha=1.5)
+
+    def test_bounded(self, small_windows):
+        model = TwoLayerAutoencoder(window=8, n_channels=3, epochs=20, seed=0)
+        model.fit(small_windows)
+        measure = EuclideanNonconformity()
+        for window in small_windows[:20]:
+            score = measure(window, model)
+            assert 0.0 <= score < 1.0
+
+    def test_works_for_univariate_forecaster(self):
+        # The case the paper's cosine cannot handle (N = 1).
+        t = np.arange(300, dtype=np.float64)
+        series = np.sin(t / 10)[:, None]
+        w = 10
+        model = OnlineARIMA(window=w, d=1, lr=0.05)
+        windows = windows_from(series, w)
+        model.fit(windows, epochs=20)
+        measure = EuclideanNonconformity()
+        normal_scores = [measure(window, model) for window in windows[-30:]]
+        anomalous = windows[-1].copy()
+        anomalous[-1] += 10.0
+        assert measure(anomalous, model) > np.mean(normal_scores) + 0.1
+
+    def test_score_model_rejected(self, small_windows):
+        model = PCBIForest(n_trees=5, seed=0)
+        model.fit(small_windows)
+        with pytest.raises(ConfigurationError):
+            EuclideanNonconformity()(small_windows[0], model)
+
+    def test_scale_adapts(self, small_windows):
+        model = TwoLayerAutoencoder(window=8, n_channels=3, epochs=20, seed=0)
+        model.fit(small_windows)
+        measure = EuclideanNonconformity(alpha=0.5)
+        for window in small_windows[:10]:
+            measure(window, model)
+        # After calibration, typical windows sit around 1 - e^-1 ~ 0.63.
+        typical = measure(small_windows[11], model)
+        assert 0.2 < typical < 0.9
+
+    def test_registry_builds_it(self):
+        from repro.core.registry import make_nonconformity
+
+        measure = make_nonconformity("euclidean")
+        assert isinstance(measure, EuclideanNonconformity)

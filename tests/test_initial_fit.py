@@ -1,0 +1,88 @@
+"""Tests for the decoupled initial training set (paper's 5000-step warm-up)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import StreamingAnomalyDetector
+from repro.core.exceptions import ConfigurationError
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.learning import NeverFineTune, SlidingWindow
+from repro.models import TwoLayerAutoencoder
+from repro.scoring import AverageScore, CosineNonconformity
+
+
+def make_detector(capacity, min_train_size):
+    return StreamingAnomalyDetector(
+        model=TwoLayerAutoencoder(window=4, n_channels=2, epochs=2, seed=0),
+        train_strategy=SlidingWindow(capacity),
+        drift_detector=NeverFineTune(),
+        nonconformity=CosineNonconformity(),
+        scorer=AverageScore(k=4),
+        window=4,
+        min_train_size=min_train_size,
+    )
+
+
+def stream(n):
+    rng = np.random.default_rng(0)
+    t = np.arange(n, dtype=np.float64)
+    return np.stack([np.sin(t / 5), np.cos(t / 5)], axis=1) + rng.normal(
+        scale=0.05, size=(n, 2)
+    )
+
+
+class TestInitialTrainSize:
+    def test_initial_fit_uses_larger_buffer(self):
+        detector = make_detector(capacity=10, min_train_size=50)
+        for v in stream(80):
+            detector.step(v)
+        assert detector.model.is_fitted
+        assert detector.events[0].train_set_size == 50
+        # The maintained training set stays at its capacity.
+        assert len(detector.train_strategy) == 10
+
+    def test_initial_buffer_discarded_after_fit(self):
+        detector = make_detector(capacity=10, min_train_size=30)
+        for v in stream(60):
+            detector.step(v)
+        assert detector._initial_buffer == []
+
+    def test_fit_timing(self):
+        detector = make_detector(capacity=10, min_train_size=30)
+        fitted_at = None
+        for t, v in enumerate(stream(60)):
+            detector.step(v)
+            if detector.model.is_fitted and fitted_at is None:
+                fitted_at = t
+        # Window warm-up (first vector at t=3) + 29 more vectors.
+        assert fitted_at == 32
+
+    def test_default_equals_capacity(self):
+        detector = make_detector(capacity=10, min_train_size=None)
+        for v in stream(40):
+            detector.step(v)
+        assert detector.events[0].train_set_size == 10
+
+    def test_config_plumbs_through_registry(self):
+        config = DetectorConfig(
+            window=6, train_capacity=8, initial_train_size=20, fit_epochs=1
+        )
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "never"), n_channels=2, config=config
+        )
+        for v in stream(60):
+            detector.step(v)
+        assert detector.events[0].train_set_size == 20
+
+    def test_config_validates_initial_train_size(self):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(initial_train_size=1)
+
+    def test_reset_clears_initial_buffer(self):
+        detector = make_detector(capacity=10, min_train_size=100)
+        for v in stream(20):
+            detector.step(v)
+        assert detector._initial_buffer
+        detector.reset()
+        assert detector._initial_buffer == []

@@ -1,0 +1,101 @@
+"""Tests for dataset IO (NPZ and CSV round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_csv, load_npz, save_csv, save_npz
+
+
+class TestNPZRoundtrip:
+    def test_roundtrip_preserves_everything(self, labelled_series, tmp_path):
+        path = tmp_path / "series.npz"
+        save_npz(labelled_series, path)
+        loaded = load_npz(path)
+        np.testing.assert_array_equal(loaded.values, labelled_series.values)
+        np.testing.assert_array_equal(loaded.labels, labelled_series.labels)
+        assert loaded.name == labelled_series.name
+        assert len(loaded.windows) == len(labelled_series.windows)
+
+    def test_drift_points_preserved(self, tmp_path):
+        from repro.core.types import TimeSeries
+
+        series = TimeSeries(
+            values=np.zeros((10, 2)),
+            labels=np.zeros(10, dtype=int),
+            drift_points=[3, 7],
+        )
+        path = tmp_path / "drifty.npz"
+        save_npz(series, path)
+        assert load_npz(path).drift_points == [3, 7]
+
+
+class TestCSVRoundtrip:
+    def test_roundtrip(self, labelled_series, tmp_path):
+        path = tmp_path / "series.csv"
+        save_csv(labelled_series, path)
+        loaded = load_csv(path)
+        np.testing.assert_allclose(
+            loaded.values, labelled_series.values, rtol=1e-9
+        )
+        np.testing.assert_array_equal(loaded.labels, labelled_series.labels)
+        assert loaded.name == "series"  # file stem
+
+    def test_windows_reconstructed(self, labelled_series, tmp_path):
+        path = tmp_path / "series.csv"
+        save_csv(labelled_series, path)
+        loaded = load_csv(path)
+        assert [(w.start, w.end) for w in loaded.windows] == [
+            (w.start, w.end) for w in labelled_series.windows
+        ]
+
+    def test_unlabelled_csv(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("a,b\n1.0,2.0\n3.0,4.0\n")
+        loaded = load_csv(path, label_column=None)
+        assert loaded.values.shape == (2, 2)
+        assert loaded.labels.sum() == 0
+
+    def test_custom_name(self, labelled_series, tmp_path):
+        path = tmp_path / "series.csv"
+        save_csv(labelled_series, path)
+        assert load_csv(path, name="custom").name == "custom"
+
+    def test_missing_label_column_rejected(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("a,b\n1.0,2.0\n")
+        with pytest.raises(ValueError, match="label column"):
+            load_csv(path, label_column="anomaly")
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_csv(path)
+
+    def test_header_only_rejected(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b,label\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            load_csv(path)
+
+    def test_malformed_value_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,label\nnot_a_number,0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_csv(path)
+
+    def test_loaded_series_streams(self, labelled_series, tmp_path):
+        from repro.core.config import DetectorConfig
+        from repro.core.registry import AlgorithmSpec, build_detector
+        from repro.streaming import run_stream
+
+        path = tmp_path / "series.csv"
+        save_csv(labelled_series, path)
+        loaded = load_csv(path)
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "musigma"),
+            loaded.n_channels,
+            DetectorConfig(window=6, train_capacity=12, fit_epochs=1),
+        )
+        result = run_stream(detector, loaded)
+        assert np.all(np.isfinite(result.scores))

@@ -1,0 +1,91 @@
+"""Tests for the k-NN similarity detector (the SAFARI special case)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.models import KNNDetector
+from repro.streaming import run_stream
+
+
+@pytest.fixture
+def reference_windows(rng):
+    points = rng.normal(size=(100, 4))
+    return np.stack([np.tile(p, (3, 1)) for p in points])
+
+
+class TestKNNDetector:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            KNNDetector(k=0)
+        with pytest.raises(ConfigurationError):
+            KNNDetector(scale_quantile=1.0)
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            KNNDetector().score(np.zeros(4))
+
+    def test_too_few_reference_vectors_rejected(self):
+        model = KNNDetector(k=10)
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((5, 3, 2)))
+
+    def test_scores_bounded(self, reference_windows, rng):
+        model = KNNDetector(k=3)
+        model.fit(reference_windows)
+        for window in reference_windows[:20]:
+            assert 0.0 <= model.score(window) < 1.0
+
+    def test_outlier_scores_higher(self, reference_windows):
+        model = KNNDetector(k=3)
+        model.fit(reference_windows)
+        inlier = float(np.mean([model.score(w) for w in reference_windows[:30]]))
+        outlier = model.score(np.tile(np.full(4, 10.0), (3, 1)))
+        assert outlier > inlier + 0.3
+        assert outlier > 0.8
+
+    def test_reference_vector_scores_near_zero(self, reference_windows):
+        model = KNNDetector(k=1)
+        model.fit(reference_windows)
+        assert model.score(reference_windows[0]) < 0.05
+
+    def test_dimension_mismatch_rejected(self, reference_windows):
+        model = KNNDetector()
+        model.fit(reference_windows)
+        with pytest.raises(ConfigurationError):
+            model.score(np.zeros(5))
+
+    def test_refit_replaces_reference(self, reference_windows, rng):
+        model = KNNDetector(k=2)
+        model.fit(reference_windows)
+        shifted = reference_windows + 100.0
+        model.fit(shifted)
+        # The shifted region is now "normal", the old one far out.
+        assert model.score(shifted[0]) < 0.5
+        assert model.score(reference_windows[0]) > 0.9
+
+    def test_streams_through_framework(self, rng):
+        from repro.core.types import AnomalyWindow, TimeSeries, labels_from_windows
+
+        n = 600
+        values = rng.normal(size=(n, 3))
+        window = AnomalyWindow(400, 420)
+        values[window.start : window.end] += 6.0
+        series = TimeSeries(
+            values=values,
+            labels=labels_from_windows([window], n),
+            windows=[window],
+        )
+        config = DetectorConfig(
+            window=4, train_capacity=64, initial_train_size=150, fit_epochs=1
+        )
+        detector = build_detector(
+            AlgorithmSpec("knn", "ares", "musigma"), 3, config
+        )
+        result = run_stream(detector, series)
+        nc = result.nonconformities
+        assert nc[window.start : window.end].max() > np.median(
+            nc[result.first_scored : window.start]
+        ) + 0.2

@@ -1,0 +1,162 @@
+"""Tests for the KSWIN drift detector and the KS statistic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.learning import KSWIN, ks_critical_value, ks_statistic
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestKSStatistic:
+    @given(
+        st.lists(floats, min_size=1, max_size=100),
+        st.lists(floats, min_size=1, max_size=100),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_scipy(self, a, b):
+        ours = ks_statistic(np.asarray(a), np.asarray(b))
+        scipy_stat = stats.ks_2samp(a, b).statistic
+        assert ours == pytest.approx(scipy_stat, abs=1e-12)
+
+    def test_identical_samples_zero(self):
+        sample = np.arange(50.0)
+        assert ks_statistic(sample, sample) == 0.0
+
+    def test_disjoint_samples_one(self):
+        assert ks_statistic(np.zeros(10), np.ones(10) * 5) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ks_statistic(np.array([]), np.array([1.0]))
+
+    @given(
+        st.lists(floats, min_size=1, max_size=50),
+        st.lists(floats, min_size=1, max_size=50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_and_bounded(self, a, b):
+        d1 = ks_statistic(np.asarray(a), np.asarray(b))
+        d2 = ks_statistic(np.asarray(b), np.asarray(a))
+        assert d1 == pytest.approx(d2)
+        assert 0.0 <= d1 <= 1.0
+
+
+class TestCriticalValue:
+    def test_decreases_with_sample_size(self):
+        small = ks_critical_value(0.05, 20, 20)
+        large = ks_critical_value(0.05, 2000, 2000)
+        assert large < small
+
+    def test_decreases_with_alpha(self):
+        strict = ks_critical_value(0.001, 100, 100)
+        loose = ks_critical_value(0.1, 100, 100)
+        assert strict > loose
+
+    def test_paper_form_more_conservative(self):
+        standard = ks_critical_value(0.05, 100, 100, form="standard")
+        paper = ks_critical_value(0.05, 100, 100, form="paper")
+        assert paper == pytest.approx(standard * np.sqrt(2.0))
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ks_critical_value(0.0, 10, 10)
+        with pytest.raises(ValueError):
+            ks_critical_value(0.05, 0, 10)
+        with pytest.raises(ValueError):
+            ks_critical_value(0.05, 10, 10, form="nonsense")
+
+    def test_controls_false_positives(self):
+        # Two same-distribution samples should rarely exceed the critical
+        # value at alpha = 0.01.
+        rng = np.random.default_rng(0)
+        rejections = 0
+        trials = 200
+        for _ in range(trials):
+            a = rng.normal(size=100)
+            b = rng.normal(size=100)
+            if ks_statistic(a, b) > ks_critical_value(0.01, 100, 100):
+                rejections += 1
+        assert rejections / trials < 0.05
+
+
+class TestKSWINDetector:
+    def _train_set(self, rng, m=20, w=8, n=3, shift=0.0):
+        return rng.normal(loc=shift, size=(m, w, n))
+
+    def test_first_call_installs_reference(self, rng):
+        detector = KSWIN()
+        train = self._train_set(rng)
+        assert not detector.should_finetune(0, train)
+
+    def test_no_drift_no_fire(self, rng):
+        detector = KSWIN(alpha=0.005)
+        reference = self._train_set(rng)
+        detector.should_finetune(0, reference)
+        fired = sum(
+            detector.should_finetune(t, self._train_set(rng)) for t in range(1, 20)
+        )
+        assert fired == 0
+
+    def test_fires_on_mean_shift(self, rng):
+        detector = KSWIN()
+        detector.should_finetune(0, self._train_set(rng))
+        assert detector.should_finetune(1, self._train_set(rng, shift=5.0))
+
+    def test_notify_updates_reference(self, rng):
+        detector = KSWIN()
+        detector.should_finetune(0, self._train_set(rng))
+        shifted = self._train_set(rng, shift=5.0)
+        assert detector.should_finetune(1, shifted)
+        detector.notify_finetuned(1, shifted)
+        assert not detector.should_finetune(2, self._train_set(rng, shift=5.0))
+
+    def test_check_every_skips_steps(self, rng):
+        detector = KSWIN(check_every=5)
+        detector.should_finetune(0, self._train_set(rng))
+        shifted = self._train_set(rng, shift=5.0)
+        assert not detector.should_finetune(3, shifted)  # 3 % 5 != 0
+        assert detector.should_finetune(5, shifted)
+
+    def test_two_dimensional_training_set_supported(self, rng):
+        detector = KSWIN()
+        flat = rng.normal(size=(30, 4))
+        detector.should_finetune(0, flat)
+        assert detector.should_finetune(1, flat + 5.0)
+
+    def test_channel_count_change_rejected(self, rng):
+        detector = KSWIN()
+        detector.should_finetune(0, self._train_set(rng, n=3))
+        with pytest.raises(ValueError):
+            detector.should_finetune(1, self._train_set(rng, n=4))
+
+    def test_counts_operations(self, rng):
+        detector = KSWIN()
+        train = self._train_set(rng)
+        detector.should_finetune(0, train)
+        detector.should_finetune(1, train)
+        assert detector.ops.comparisons > 0
+
+    def test_reset_clears_reference(self, rng):
+        detector = KSWIN()
+        detector.should_finetune(0, self._train_set(rng))
+        detector.reset()
+        assert not detector.should_finetune(0, self._train_set(rng, shift=5.0))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            KSWIN(alpha=0.0)
+        with pytest.raises(ValueError):
+            KSWIN(check_every=0)
+
+    def test_single_channel_drift_detected(self, rng):
+        # Drift confined to one of several channels must still fire.
+        detector = KSWIN()
+        reference = self._train_set(rng, n=4)
+        detector.should_finetune(0, reference)
+        drifted = self._train_set(rng, n=4)
+        drifted[:, :, 2] += 5.0
+        assert detector.should_finetune(1, drifted)

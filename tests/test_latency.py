@@ -1,0 +1,71 @@
+"""Tests for the detection-latency metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import detection_latency
+
+
+@pytest.fixture
+def labels():
+    out = np.zeros(300, dtype=int)
+    out[100:120] = 1
+    out[200:230] = 1
+    return out
+
+
+class TestDetectionLatency:
+    def test_instant_detection_zero_delay(self, labels):
+        scores = labels.astype(float)
+        result = detection_latency(scores, labels, 0.5)
+        assert result.delays == (0, 0)
+        assert result.mean_delay == 0.0
+        assert result.detection_rate == 1.0
+
+    def test_delay_counted_from_window_start(self, labels):
+        scores = np.zeros(300)
+        scores[107] = 1.0  # 7 steps into the first window
+        scores[200] = 1.0  # immediate for the second
+        result = detection_latency(scores, labels, 0.5)
+        assert result.delays == (7, 0)
+        assert result.mean_delay == pytest.approx(3.5)
+
+    def test_missed_window_excluded_from_delays(self, labels):
+        scores = np.zeros(300)
+        scores[105] = 1.0
+        result = detection_latency(scores, labels, 0.5)
+        assert result.n_detected == 1
+        assert result.delays == (5,)
+        assert result.detection_rate == 0.5
+
+    def test_nothing_detected(self, labels):
+        result = detection_latency(np.zeros(300), labels, 0.5)
+        assert result.delays == ()
+        assert np.isnan(result.mean_delay)
+        assert result.detection_rate == 0.0
+
+    def test_tolerance_counts_late_detection(self, labels):
+        scores = np.zeros(300)
+        scores[125] = 1.0  # 5 steps after the first window ends
+        strict = detection_latency(scores, labels, 0.5, tolerance=0)
+        lenient = detection_latency(scores, labels, 0.5, tolerance=10)
+        assert strict.n_detected == 0
+        assert lenient.n_detected == 1
+        assert lenient.delays == (25,)  # larger than the window length
+
+    def test_no_windows(self):
+        result = detection_latency(np.ones(50), np.zeros(50, dtype=int), 0.5)
+        assert result.n_windows == 0
+        assert result.detection_rate == 0.0
+
+    def test_validation(self, labels):
+        with pytest.raises(ValueError):
+            detection_latency(np.zeros(10), labels, 0.5)
+        with pytest.raises(ValueError):
+            detection_latency(np.zeros(300), labels, 0.5, tolerance=-1)
+
+    def test_early_alarm_before_window_not_counted(self, labels):
+        scores = np.zeros(300)
+        scores[95] = 1.0  # before the first window starts
+        result = detection_latency(scores, labels, 0.5)
+        assert result.n_detected == 0

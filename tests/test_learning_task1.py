@@ -1,0 +1,160 @@
+"""Tests for Task-1 training-set strategies: SW, URES, ARES."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning import (
+    AnomalyAwareReservoir,
+    SlidingWindow,
+    UniformReservoir,
+    UpdateKind,
+)
+
+
+def vec(i):
+    return np.array([float(i), float(i) * 2])
+
+
+class TestSlidingWindow:
+    def test_grows_until_capacity(self):
+        sw = SlidingWindow(3)
+        for i in range(3):
+            update = sw.update(vec(i))
+            assert update.kind is UpdateKind.ADDED
+        assert len(sw) == 3
+
+    def test_evicts_oldest(self):
+        sw = SlidingWindow(3)
+        for i in range(5):
+            sw.update(vec(i))
+        train = sw.training_set()
+        np.testing.assert_array_equal(train[:, 0], [2.0, 3.0, 4.0])
+
+    def test_replace_reports_removed_vector(self):
+        sw = SlidingWindow(2)
+        sw.update(vec(0))
+        sw.update(vec(1))
+        update = sw.update(vec(2))
+        assert update.kind is UpdateKind.REPLACED
+        np.testing.assert_array_equal(update.removed, vec(0))
+
+    def test_reset(self):
+        sw = SlidingWindow(2)
+        sw.update(vec(0))
+        sw.reset()
+        assert len(sw) == 0
+        assert sw.training_set().size == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+    def test_preserves_order(self):
+        sw = SlidingWindow(4)
+        for i in range(10):
+            sw.update(vec(i))
+        train = sw.training_set()
+        assert np.all(np.diff(train[:, 0]) > 0)
+
+
+class TestUniformReservoir:
+    def test_fills_then_bounded(self, rng):
+        res = UniformReservoir(10, rng=rng)
+        for i in range(100):
+            res.update(vec(i))
+            assert len(res) <= 10
+        assert len(res) == 10
+
+    def test_inclusion_probability_roughly_uniform(self):
+        # Each of 200 items should be retained with probability 10/200.
+        counts = np.zeros(200)
+        for seed in range(300):
+            res = UniformReservoir(10, rng=np.random.default_rng(seed))
+            for i in range(200):
+                res.update(np.array([float(i)]))
+            for value in res.training_set().ravel():
+                counts[int(value)] += 1
+        frequency = counts / 300
+        # Expected inclusion probability is 10/200 = 0.05 for every item.
+        assert abs(frequency.mean() - 0.05) < 0.005
+        # Early items must not be systematically preferred over late ones.
+        assert abs(frequency[:100].mean() - frequency[100:].mean()) < 0.02
+
+    def test_update_kinds_valid(self, rng):
+        res = UniformReservoir(5, rng=rng)
+        kinds = {res.update(vec(i)).kind for i in range(50)}
+        assert UpdateKind.ADDED in kinds
+        assert kinds <= {UpdateKind.ADDED, UpdateKind.REPLACED, UpdateKind.UNCHANGED}
+
+    def test_reset_restarts_counting(self, rng):
+        res = UniformReservoir(5, rng=rng)
+        for i in range(20):
+            res.update(vec(i))
+        res.reset()
+        assert len(res) == 0
+        assert res.update(vec(0)).kind is UpdateKind.ADDED
+
+
+class TestAnomalyAwareReservoir:
+    def test_priority_decreases_with_score(self, rng):
+        res = AnomalyAwareReservoir(5, rng=np.random.default_rng(0))
+        # Average priorities over draws to smooth the random base u.
+        normal = np.mean([res.priority(0.0) for _ in range(200)])
+        anomalous = np.mean([res.priority(1.0) for _ in range(200)])
+        assert normal > anomalous
+
+    def test_priority_in_unit_interval(self, rng):
+        res = AnomalyAwareReservoir(5, rng=rng)
+        for score in np.linspace(0, 1, 11):
+            p = res.priority(float(score))
+            assert 0.0 <= p <= 1.0
+
+    def test_retains_normal_vectors(self):
+        res = AnomalyAwareReservoir(10, rng=np.random.default_rng(1))
+        # Alternate normal (score 0) and anomalous (score 1) vectors; the
+        # reservoir should be dominated by normal ones.
+        for i in range(200):
+            score = 1.0 if i % 2 else 0.0
+            res.update(np.array([float(i % 2)]), score=score)
+        values = res.training_set().ravel()
+        assert values.mean() < 0.3  # mostly the score-0 vectors
+
+    def test_capacity_respected(self, rng):
+        res = AnomalyAwareReservoir(7, rng=rng)
+        for i in range(50):
+            res.update(vec(i), score=rng.uniform())
+            assert len(res) <= 7
+
+    def test_replacement_requires_lower_priority(self):
+        res = AnomalyAwareReservoir(
+            2, u_range=(0.8, 0.800001), rng=np.random.default_rng(0)
+        )
+        res.update(vec(0), score=0.0)
+        res.update(vec(1), score=0.0)
+        # A maximally anomalous vector has far lower priority than residents.
+        update = res.update(vec(2), score=1.0)
+        assert update.kind is UpdateKind.UNCHANGED
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AnomalyAwareReservoir(5, lambda1=0.0)
+        with pytest.raises(ValueError):
+            AnomalyAwareReservoir(5, u_range=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            AnomalyAwareReservoir(5, u_range=(0.9, 0.7))
+
+    def test_priorities_tracked_alongside_buffer(self, rng):
+        res = AnomalyAwareReservoir(4, rng=rng)
+        for i in range(10):
+            res.update(vec(i), score=0.1)
+        assert len(res.priorities()) == len(res)
+
+    @given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=60))
+    @settings(max_examples=30, deadline=None)
+    def test_size_invariant(self, capacity, n_updates):
+        res = AnomalyAwareReservoir(capacity, rng=np.random.default_rng(0))
+        for i in range(n_updates):
+            res.update(np.array([float(i)]), score=(i % 3) / 3)
+        assert len(res) == min(capacity, n_updates)

@@ -1,0 +1,162 @@
+"""Tests for Task-2 strategies: regular, mu/sigma-Change, never."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning import MuSigmaChange, NeverFineTune, RegularFineTuning
+from repro.learning.base import Update, UpdateKind
+
+
+def feed(detector, vectors, kind=UpdateKind.ADDED, removed=None):
+    for i, vector in enumerate(vectors):
+        update = Update(kind, added=np.asarray(vector, dtype=float), removed=removed)
+        detector.observe(update, t=i)
+
+
+class TestRegularFineTuning:
+    def test_fires_on_interval(self):
+        detector = RegularFineTuning(interval=5)
+        fired = [t for t in range(1, 21) if detector.should_finetune(t, np.empty(0))]
+        assert fired == [5, 10, 15, 20]
+
+    def test_never_fires_at_zero(self):
+        detector = RegularFineTuning(interval=3)
+        assert not detector.should_finetune(0, np.empty(0))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            RegularFineTuning(interval=0)
+
+
+class TestNeverFineTune:
+    def test_never_fires(self):
+        detector = NeverFineTune()
+        assert not any(
+            detector.should_finetune(t, np.empty(0)) for t in range(100)
+        )
+
+
+class TestMuSigmaRunningStats:
+    def test_running_mean_matches_numpy(self, rng):
+        detector = MuSigmaChange()
+        vectors = rng.normal(size=(30, 6))
+        feed(detector, vectors)
+        np.testing.assert_allclose(detector.mean, vectors.mean(axis=0))
+
+    def test_running_std_matches_numpy(self, rng):
+        detector = MuSigmaChange()
+        vectors = rng.normal(size=(30, 6))
+        feed(detector, vectors)
+        np.testing.assert_allclose(detector.std, vectors.std(axis=0), atol=1e-10)
+
+    def test_replacement_updates_stats(self, rng):
+        detector = MuSigmaChange()
+        vectors = rng.normal(size=(10, 4))
+        feed(detector, vectors)
+        replacement = rng.normal(size=4)
+        detector.observe(
+            Update(UpdateKind.REPLACED, added=replacement, removed=vectors[0]),
+            t=10,
+        )
+        current = np.vstack([vectors[1:], replacement])
+        np.testing.assert_allclose(detector.mean, current.mean(axis=0))
+        np.testing.assert_allclose(detector.std, current.std(axis=0), atol=1e-10)
+
+    def test_unchanged_leaves_stats(self, rng):
+        detector = MuSigmaChange()
+        feed(detector, rng.normal(size=(5, 3)))
+        before = detector.mean.copy()
+        detector.observe(Update(UpdateKind.UNCHANGED), t=5)
+        np.testing.assert_array_equal(detector.mean, before)
+
+    @given(
+        st.lists(
+            st.lists(
+                st.floats(min_value=-100, max_value=100, allow_nan=False),
+                min_size=3,
+                max_size=3,
+            ),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_running_stats_property(self, rows):
+        detector = MuSigmaChange()
+        vectors = np.asarray(rows, dtype=np.float64)
+        feed(detector, vectors)
+        np.testing.assert_allclose(detector.mean, vectors.mean(axis=0), atol=1e-8)
+        np.testing.assert_allclose(detector.std, vectors.std(axis=0), atol=1e-6)
+
+
+class TestMuSigmaTrigger:
+    def _primed(self, vectors):
+        detector = MuSigmaChange()
+        feed(detector, vectors)
+        # First should_finetune call installs the reference snapshot.
+        assert not detector.should_finetune(0, vectors)
+        return detector
+
+    def test_no_trigger_without_change(self, rng):
+        vectors = rng.normal(size=(50, 4))
+        detector = self._primed(vectors)
+        assert not detector.should_finetune(1, vectors)
+
+    def test_triggers_on_mean_shift(self, rng):
+        vectors = rng.normal(size=(50, 4))
+        detector = self._primed(vectors)
+        shifted = vectors + 10.0
+        for i, (new, old) in enumerate(zip(shifted, vectors)):
+            detector.observe(
+                Update(UpdateKind.REPLACED, added=new, removed=old), t=50 + i
+            )
+        assert detector.should_finetune(100, shifted)
+
+    def test_triggers_on_variance_blowup(self, rng):
+        vectors = rng.normal(size=(50, 4))
+        detector = self._primed(vectors)
+        scaled = vectors * 5.0
+        for i, (new, old) in enumerate(zip(scaled, vectors)):
+            detector.observe(
+                Update(UpdateKind.REPLACED, added=new, removed=old), t=50 + i
+            )
+        assert detector.should_finetune(100, scaled)
+
+    def test_triggers_on_variance_collapse(self, rng):
+        vectors = rng.normal(size=(50, 4))
+        detector = self._primed(vectors)
+        flat = vectors * 0.01
+        for i, (new, old) in enumerate(zip(flat, vectors)):
+            detector.observe(
+                Update(UpdateKind.REPLACED, added=new, removed=old), t=50 + i
+            )
+        assert detector.should_finetune(100, flat)
+
+    def test_notify_resets_reference(self, rng):
+        vectors = rng.normal(size=(50, 4))
+        detector = self._primed(vectors)
+        shifted = vectors + 10.0
+        for i, (new, old) in enumerate(zip(shifted, vectors)):
+            detector.observe(
+                Update(UpdateKind.REPLACED, added=new, removed=old), t=50 + i
+            )
+        assert detector.should_finetune(100, shifted)
+        detector.notify_finetuned(100, shifted)
+        assert not detector.should_finetune(101, shifted)
+
+    def test_counts_operations(self, rng):
+        detector = MuSigmaChange()
+        feed(detector, rng.normal(size=(10, 4)))
+        assert detector.ops.additions > 0
+        detector.reset()
+        assert detector.ops.additions == 0
+
+    def test_invalid_aggregate(self):
+        with pytest.raises(ValueError):
+            MuSigmaChange(aggregate="median")
+
+    def test_invalid_std_factor(self):
+        with pytest.raises(ValueError):
+            MuSigmaChange(std_factor=1.0)

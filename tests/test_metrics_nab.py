@@ -1,0 +1,110 @@
+"""Tests for the NAB scoring function."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import AnomalyWindow
+from repro.metrics import detection_reward, nab_score, scaled_sigmoid
+
+
+class TestScaledSigmoid:
+    def test_monotone_decreasing(self):
+        ys = np.linspace(-2, 2, 50)
+        values = [scaled_sigmoid(y) for y in ys]
+        assert all(b <= a for a, b in zip(values, values[1:]))
+
+    def test_zero_at_origin(self):
+        assert scaled_sigmoid(0.0) == pytest.approx(0.0)
+
+    def test_negative_after_window(self):
+        assert scaled_sigmoid(0.5) < 0.0
+
+
+class TestDetectionReward:
+    def test_window_start_full_reward(self):
+        window = AnomalyWindow(100, 120)
+        assert detection_reward(100, window) == pytest.approx(1.0)
+
+    def test_window_end_low_reward(self):
+        window = AnomalyWindow(100, 120)
+        assert detection_reward(119, window) < 0.05
+
+    def test_earlier_is_better(self):
+        window = AnomalyWindow(100, 150)
+        rewards = [detection_reward(t, window) for t in range(100, 150)]
+        assert all(b <= a for a, b in zip(rewards, rewards[1:]))
+
+    def test_outside_window_rejected(self):
+        with pytest.raises(ValueError):
+            detection_reward(120, AnomalyWindow(100, 120))
+
+    def test_single_step_window(self):
+        window = AnomalyWindow(5, 6)
+        assert detection_reward(5, window) == pytest.approx(1.0)
+
+
+class TestNABScore:
+    def _series(self, n=1000):
+        labels = np.zeros(n, dtype=int)
+        labels[200:220] = 1
+        labels[600:640] = 1
+        return labels
+
+    def test_perfect_early_detector(self):
+        labels = self._series()
+        scores = labels.astype(float)
+        result = nab_score(scores, labels, threshold=0.5)
+        assert result.score == pytest.approx(1.0)
+        assert result.n_detected == 2
+        assert result.n_false_positive_steps == 0
+
+    def test_blind_detector(self):
+        labels = self._series()
+        result = nab_score(np.zeros(labels.size), labels, threshold=0.5)
+        assert result.score == pytest.approx(-1.0)
+        assert result.n_missed == 2
+
+    def test_always_positive_detector_deeply_negative(self):
+        # The paper's hallmark: long false-positive intervals crater the
+        # point-wise NAB score while range metrics stay high.
+        labels = self._series()
+        result = nab_score(np.ones(labels.size), labels, threshold=0.5)
+        assert result.score < -100.0
+        assert result.n_detected == 2
+
+    def test_late_detection_scores_below_early(self):
+        labels = self._series()
+        early = np.zeros(labels.size)
+        early[200] = 1.0
+        early[600] = 1.0
+        late = np.zeros(labels.size)
+        late[219] = 1.0
+        late[639] = 1.0
+        early_score = nab_score(early, labels, 0.5).score
+        late_score = nab_score(late, labels, 0.5).score
+        assert early_score > late_score
+
+    def test_fp_penalty_weight(self):
+        labels = self._series()
+        scores = labels.astype(float).copy()
+        scores[50:60] = 1.0  # 10 false-positive steps
+        lenient = nab_score(scores, labels, 0.5, a_fp=0.5).score
+        harsh = nab_score(scores, labels, 0.5, a_fp=2.0).score
+        assert lenient > harsh
+
+    def test_no_true_windows_returns_zero(self):
+        result = nab_score(np.ones(100), np.zeros(100, dtype=int), 0.5)
+        assert result.score == 0.0
+        assert result.n_false_positive_steps == 100
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nab_score(np.zeros(5), np.zeros(6, dtype=int), 0.5)
+
+    def test_components_consistent(self):
+        labels = self._series()
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(size=labels.size)
+        result = nab_score(scores, labels, threshold=0.8)
+        assert result.n_detected + result.n_missed == 2
+        assert 0.0 <= result.rewards <= result.n_detected

@@ -1,0 +1,115 @@
+"""Tests for point-wise metrics and threshold candidates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    candidate_thresholds,
+    point_adjusted_confusion,
+    point_adjusted_predictions,
+    pointwise_confusion,
+)
+
+
+class TestPointwiseConfusion:
+    def test_perfect_prediction(self):
+        labels = np.array([0, 0, 1, 1, 0])
+        scores = labels.astype(float)
+        confusion = pointwise_confusion(scores, labels, threshold=0.5)
+        assert (confusion.tp, confusion.fp, confusion.fn, confusion.tn) == (2, 0, 0, 3)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+        assert confusion.f1 == 1.0
+
+    def test_all_negative_prediction(self):
+        labels = np.array([0, 1, 1, 0])
+        confusion = pointwise_confusion(np.zeros(4), labels, threshold=0.5)
+        assert confusion.tp == 0
+        assert confusion.precision == 0.0
+        assert confusion.recall == 0.0
+        assert confusion.f1 == 0.0
+
+    def test_threshold_inclusive(self):
+        scores = np.array([0.5, 0.4])
+        labels = np.array([1, 0])
+        confusion = pointwise_confusion(scores, labels, threshold=0.5)
+        assert confusion.tp == 1
+        assert confusion.fp == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pointwise_confusion(np.zeros(3), np.zeros(4, dtype=int), 0.5)
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            pointwise_confusion(np.zeros((2, 2)), np.zeros((2, 2), dtype=int), 0.5)
+
+
+class TestPointAdjusted:
+    def test_single_hit_fills_window(self):
+        labels = np.array([0, 1, 1, 1, 0])
+        predicted = np.array([False, False, True, False, False])
+        adjusted = point_adjusted_predictions(predicted, labels)
+        np.testing.assert_array_equal(adjusted, [False, True, True, True, False])
+
+    def test_no_hit_stays_empty(self):
+        labels = np.array([0, 1, 1, 0])
+        predicted = np.zeros(4, dtype=bool)
+        adjusted = point_adjusted_predictions(predicted, labels)
+        assert not adjusted.any()
+
+    def test_false_positives_preserved(self):
+        labels = np.array([0, 0, 1, 1])
+        predicted = np.array([True, False, False, False])
+        adjusted = point_adjusted_predictions(predicted, labels)
+        assert adjusted[0]
+
+    def test_confusion_improves_recall(self):
+        labels = np.array([0, 1, 1, 1, 1, 0])
+        scores = np.array([0.0, 0.9, 0.0, 0.0, 0.0, 0.0])
+        raw = pointwise_confusion(scores, labels, 0.5)
+        adjusted = point_adjusted_confusion(scores, labels, 0.5)
+        assert adjusted.recall > raw.recall
+        assert adjusted.recall == 1.0
+
+    def test_input_not_mutated(self):
+        labels = np.array([1, 1])
+        predicted = np.array([True, False])
+        point_adjusted_predictions(predicted, labels)
+        np.testing.assert_array_equal(predicted, [True, False])
+
+
+class TestCandidateThresholds:
+    def test_includes_above_max(self):
+        scores = np.array([0.1, 0.5, 0.9])
+        thresholds = candidate_thresholds(scores, n_thresholds=5)
+        assert thresholds.max() > scores.max()
+
+    def test_sorted_unique(self):
+        scores = np.array([0.3] * 10 + [0.7] * 10)
+        thresholds = candidate_thresholds(scores, n_thresholds=10)
+        assert np.all(np.diff(thresholds) > 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_thresholds(np.array([]))
+
+    def test_too_few_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_thresholds(np.array([1.0]), n_thresholds=1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=2,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_negative_operating_point_reachable(self, values):
+        scores = np.asarray(values)
+        thresholds = candidate_thresholds(scores, n_thresholds=10)
+        # The largest threshold predicts nothing positive.
+        assert not np.any(scores >= thresholds.max())

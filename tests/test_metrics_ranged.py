@@ -1,0 +1,116 @@
+"""Tests for range-based (Hundman-style) precision, recall and PR-AUC."""
+
+import numpy as np
+import pytest
+
+from repro.core.types import AnomalyWindow
+from repro.metrics import (
+    range_confusion,
+    range_pr_auc,
+    range_pr_curve,
+    range_precision_recall,
+)
+
+
+class TestRangeConfusion:
+    def test_exact_match(self):
+        truth = [AnomalyWindow(10, 20)]
+        predicted = [AnomalyWindow(10, 20)]
+        confusion = range_confusion(predicted, truth)
+        assert (confusion.tp, confusion.fp, confusion.fn) == (1, 0, 0)
+
+    def test_partial_overlap_counts_tp(self):
+        truth = [AnomalyWindow(10, 20)]
+        predicted = [AnomalyWindow(19, 30)]
+        confusion = range_confusion(predicted, truth)
+        assert confusion.tp == 1
+        assert confusion.fp == 0  # the prediction overlaps a truth window
+
+    def test_miss_counts_fn(self):
+        confusion = range_confusion([], [AnomalyWindow(0, 5)])
+        assert confusion.fn == 1
+        assert confusion.recall == 0.0
+
+    def test_spurious_prediction_counts_fp(self):
+        confusion = range_confusion([AnomalyWindow(50, 60)], [AnomalyWindow(0, 5)])
+        assert confusion.fp == 1
+        assert confusion.fn == 1
+
+    def test_one_long_prediction_covers_all(self):
+        # The paper's Exathlon phenomenon: one giant predicted interval
+        # overlapping every truth window yields perfect ranged P/R.
+        truth = [AnomalyWindow(10, 20), AnomalyWindow(50, 60), AnomalyWindow(90, 95)]
+        predicted = [AnomalyWindow(0, 100)]
+        confusion = range_confusion(predicted, truth)
+        assert confusion.precision == 1.0
+        assert confusion.recall == 1.0
+
+    def test_multiple_predictions_in_one_window(self):
+        truth = [AnomalyWindow(10, 30)]
+        predicted = [AnomalyWindow(12, 14), AnomalyWindow(20, 22)]
+        confusion = range_confusion(predicted, truth)
+        assert confusion.tp == 1  # counted once per truth window
+        assert confusion.fp == 0
+
+    def test_f1(self):
+        confusion = range_confusion(
+            [AnomalyWindow(0, 5), AnomalyWindow(50, 55)],
+            [AnomalyWindow(0, 5), AnomalyWindow(10, 15)],
+        )
+        assert confusion.precision == 0.5
+        assert confusion.recall == 0.5
+        assert confusion.f1 == 0.5
+
+
+class TestRangePrecisionRecall:
+    def test_perfect_scores(self, labelled_series):
+        scores = labelled_series.labels.astype(float)
+        precision, recall = range_precision_recall(
+            scores, labelled_series.labels, threshold=0.5
+        )
+        assert precision == 1.0 and recall == 1.0
+
+    def test_inverted_scores(self, labelled_series):
+        scores = 1.0 - labelled_series.labels.astype(float)
+        precision, recall = range_precision_recall(
+            scores, labelled_series.labels, threshold=0.5
+        )
+        assert recall == 0.0
+
+
+class TestRangePRAUC:
+    def test_perfect_detector_high_auc(self, labelled_series):
+        rng = np.random.default_rng(0)
+        scores = labelled_series.labels + rng.uniform(0, 0.1, labelled_series.n_steps)
+        auc = range_pr_auc(scores, labelled_series.labels)
+        assert auc > 0.9
+
+    def test_random_detector_low_auc(self, labelled_series):
+        rng = np.random.default_rng(0)
+        scores = rng.uniform(size=labelled_series.n_steps)
+        auc = range_pr_auc(scores, labelled_series.labels)
+        assert auc < 0.9
+
+    def test_auc_in_unit_interval(self, labelled_series):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            scores = rng.uniform(size=labelled_series.n_steps)
+            auc = range_pr_auc(scores, labelled_series.labels)
+            assert 0.0 <= auc <= 1.0
+
+    def test_curve_shapes(self, labelled_series):
+        scores = np.random.default_rng(0).uniform(size=labelled_series.n_steps)
+        thresholds, precisions, recalls = range_pr_curve(
+            scores, labelled_series.labels, n_thresholds=20
+        )
+        assert thresholds.shape == precisions.shape == recalls.shape
+        assert np.all((precisions >= 0) & (precisions <= 1))
+        assert np.all((recalls >= 0) & (recalls <= 1))
+
+    def test_perfect_better_than_random(self, labelled_series):
+        rng = np.random.default_rng(2)
+        perfect = labelled_series.labels + rng.uniform(0, 0.05, labelled_series.n_steps)
+        random_scores = rng.uniform(size=labelled_series.n_steps)
+        assert range_pr_auc(perfect, labelled_series.labels) > range_pr_auc(
+            random_scores, labelled_series.labels
+        )

@@ -1,0 +1,116 @@
+"""Tests for the VUS metric and buffered label weights."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import buffered_label_weights, vus
+
+
+class TestBufferedLabelWeights:
+    def test_zero_buffer_is_identity(self):
+        labels = np.array([0, 1, 1, 0, 0])
+        np.testing.assert_array_equal(
+            buffered_label_weights(labels, 0), labels.astype(float)
+        )
+
+    def test_inside_window_stays_one(self):
+        labels = np.zeros(20, dtype=int)
+        labels[8:12] = 1
+        weights = buffered_label_weights(labels, 8)
+        np.testing.assert_array_equal(weights[8:12], 1.0)
+
+    def test_ramp_decreasing_outward(self):
+        labels = np.zeros(30, dtype=int)
+        labels[10:15] = 1
+        weights = buffered_label_weights(labels, 8)
+        assert weights[9] > weights[8] > weights[7]
+        assert weights[15] > weights[16] > weights[17]
+
+    def test_ramp_symmetric(self):
+        labels = np.zeros(30, dtype=int)
+        labels[10:15] = 1
+        weights = buffered_label_weights(labels, 8)
+        assert weights[9] == pytest.approx(weights[15])
+
+    def test_weights_bounded(self):
+        labels = np.zeros(20, dtype=int)
+        labels[5:8] = 1
+        labels[10:12] = 1
+        weights = buffered_label_weights(labels, 10)
+        assert np.all(weights >= 0.0) and np.all(weights <= 1.0)
+
+    def test_window_at_edge(self):
+        labels = np.zeros(10, dtype=int)
+        labels[0:2] = 1
+        weights = buffered_label_weights(labels, 6)
+        assert weights[0] == 1.0
+        assert weights[2] > 0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=5, max_size=80),
+        st.integers(min_value=0, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_weights_dominate_labels(self, bits, buffer):
+        labels = np.asarray(bits, dtype=np.int_)
+        weights = buffered_label_weights(labels, buffer)
+        assert np.all(weights >= labels.astype(float))
+        assert np.all(weights <= 1.0)
+
+
+class TestVUS:
+    def test_perfect_scores_high_volume(self, labelled_series):
+        rng = np.random.default_rng(0)
+        scores = labelled_series.labels + rng.uniform(0, 0.05, labelled_series.n_steps)
+        result = vus(scores, labelled_series.labels)
+        assert result.vus_pr > 0.7
+        assert result.vus_roc > 0.9
+
+    def test_random_scores_lower(self, labelled_series):
+        rng = np.random.default_rng(0)
+        perfect = labelled_series.labels + rng.uniform(0, 0.05, labelled_series.n_steps)
+        noise = rng.uniform(size=labelled_series.n_steps)
+        assert (
+            vus(perfect, labelled_series.labels).vus_pr
+            > vus(noise, labelled_series.labels).vus_pr
+        )
+
+    def test_buffers_swept(self, labelled_series):
+        scores = labelled_series.labels.astype(float)
+        result = vus(scores, labelled_series.labels, max_buffer=8, n_buffers=3)
+        assert len(result.buffers) == 3
+        assert len(result.pr_aucs) == 3
+        assert result.vus_pr == pytest.approx(float(np.mean(result.pr_aucs)))
+
+    def test_buffer_credits_near_miss_over_far_miss(self):
+        # VUS's point: a prediction just before the window earns weighted
+        # credit under buffering, a far-away prediction does not.
+        labels = np.zeros(200, dtype=int)
+        labels[100:120] = 1
+        near = np.zeros(200)
+        near[95:100] = 1.0  # early by five steps
+        far = np.zeros(200)
+        far[20:25] = 1.0  # nowhere near the window
+        near_result = vus(near, labels, max_buffer=16, n_buffers=3)
+        far_result = vus(far, labels, max_buffer=16, n_buffers=3)
+        assert near_result.vus_pr > far_result.vus_pr
+        # And the near-miss weights are strictly positive under buffering.
+        weights = buffered_label_weights(labels, 16)
+        assert weights[95:100].sum() > 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            vus(np.zeros(5), np.zeros(6, dtype=int))
+        with pytest.raises(ValueError):
+            vus(np.zeros(5), np.zeros(5, dtype=int), max_buffer=-1)
+        with pytest.raises(ValueError):
+            vus(np.zeros(5), np.zeros(5, dtype=int), existence_weight=2.0)
+
+    def test_volumes_bounded(self, labelled_series):
+        rng = np.random.default_rng(3)
+        scores = rng.uniform(size=labelled_series.n_steps)
+        result = vus(scores, labelled_series.labels)
+        assert 0.0 <= result.vus_pr <= 1.0
+        assert 0.0 <= result.vus_roc <= 1.0

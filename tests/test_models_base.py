@@ -1,0 +1,96 @@
+"""Tests for the model base utilities: Standardizer, MinMaxScaler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import NotFittedError
+from repro.models.base import MinMaxScaler, Standardizer, _as_windows
+
+
+class TestStandardizer:
+    def test_transform_standardizes(self, small_windows):
+        scaler = Standardizer().fit(small_windows)
+        flat = scaler.transform(small_windows).reshape(-1, small_windows.shape[-1])
+        np.testing.assert_allclose(flat.mean(axis=0), 0.0, atol=1e-10)
+        np.testing.assert_allclose(flat.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_roundtrip(self, small_windows):
+        scaler = Standardizer().fit(small_windows)
+        recovered = scaler.inverse(scaler.transform(small_windows))
+        np.testing.assert_allclose(recovered, small_windows, atol=1e-10)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            Standardizer().transform(np.zeros((2, 2)))
+        with pytest.raises(NotFittedError):
+            Standardizer().inverse(np.zeros((2, 2)))
+
+    def test_constant_channel_no_division_by_zero(self):
+        windows = np.zeros((5, 4, 2))
+        scaler = Standardizer().fit(windows)
+        assert np.all(np.isfinite(scaler.transform(windows)))
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            Standardizer().fit(np.zeros((4, 4)))
+
+
+class TestMinMaxScaler:
+    def test_transform_in_unit_interval(self, small_windows):
+        scaler = MinMaxScaler().fit(small_windows)
+        scaled = scaler.transform(small_windows)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+    def test_inverse_roundtrip_in_range(self, small_windows):
+        scaler = MinMaxScaler(margin=0.0).fit(small_windows)
+        recovered = scaler.inverse(scaler.transform(small_windows))
+        np.testing.assert_allclose(recovered, small_windows, atol=1e-8)
+
+    def test_out_of_range_clipped(self, small_windows):
+        scaler = MinMaxScaler(margin=0.0).fit(small_windows)
+        extreme = small_windows[0] + 1000.0
+        assert scaler.transform(extreme).max() == 1.0
+
+    def test_margin_gives_headroom(self, small_windows):
+        scaler = MinMaxScaler(margin=0.5).fit(small_windows)
+        scaled = scaler.transform(small_windows)
+        # With margin, the data strictly inside (0, 1).
+        assert scaled.min() > 0.0 and scaled.max() < 1.0
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            MinMaxScaler().transform(np.zeros(3))
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError):
+            MinMaxScaler(margin=-0.1)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=8,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_always_unit_interval(self, values):
+        usable = len(values) - len(values) % 4
+        data = np.asarray(values[:usable], dtype=np.float64).reshape(-1, 2, 2)
+        scaler = MinMaxScaler().fit(data)
+        scaled = scaler.transform(data)
+        assert scaled.min() >= 0.0 and scaled.max() <= 1.0
+
+
+class TestAsWindows:
+    def test_single_window_promoted(self):
+        assert _as_windows(np.zeros((4, 2))).shape == (1, 4, 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _as_windows(np.zeros((0, 4, 2)))
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            _as_windows(np.zeros(4))

@@ -1,0 +1,59 @@
+"""Tests for NAB application profiles."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    PROFILES,
+    REWARD_LOW_FN,
+    REWARD_LOW_FP,
+    STANDARD,
+    nab_score,
+    nab_score_profile,
+)
+
+
+@pytest.fixture
+def labels():
+    out = np.zeros(500, dtype=int)
+    out[100:120] = 1
+    out[300:330] = 1
+    return out
+
+
+class TestNABProfiles:
+    def test_registry_complete(self):
+        assert set(PROFILES) == {"standard", "reward_low_FP", "reward_low_FN"}
+
+    def test_standard_matches_default(self, labels):
+        scores = np.random.default_rng(0).uniform(size=labels.size)
+        default = nab_score(scores, labels, 0.8)
+        standard = nab_score_profile(scores, labels, 0.8, STANDARD)
+        assert default.score == standard.score
+
+    def test_low_fp_punishes_false_alarms_harder(self, labels):
+        scores = labels.astype(float).copy()
+        scores[400:420] = 1.0  # 20 false-positive steps
+        standard = nab_score_profile(scores, labels, 0.5, STANDARD)
+        low_fp = nab_score_profile(scores, labels, 0.5, REWARD_LOW_FP)
+        assert low_fp.score < standard.score
+
+    def test_low_fn_punishes_misses_harder(self, labels):
+        scores = np.zeros(labels.size)
+        scores[100] = 1.0  # detect one window, miss the other
+        standard = nab_score_profile(scores, labels, 0.5, STANDARD)
+        low_fn = nab_score_profile(scores, labels, 0.5, REWARD_LOW_FN)
+        assert low_fn.score < standard.score
+
+    def test_low_fn_tolerates_false_alarms(self, labels):
+        scores = labels.astype(float).copy()
+        scores[400:420] = 1.0
+        standard = nab_score_profile(scores, labels, 0.5, STANDARD)
+        low_fn = nab_score_profile(scores, labels, 0.5, REWARD_LOW_FN)
+        assert low_fn.score > standard.score  # a_fp halved
+
+    def test_perfect_detector_scores_one_under_all_profiles(self, labels):
+        scores = labels.astype(float)
+        for profile in PROFILES.values():
+            result = nab_score_profile(scores, labels, 0.5, profile)
+            assert result.score == pytest.approx(1.0)

@@ -1,0 +1,109 @@
+"""Tests for the N-BEATS forecaster and its basis expansions."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.models import NBeats, seasonality_basis, trend_basis
+
+
+def windows_from(series, w):
+    return np.stack([series[i : i + w] for i in range(series.shape[0] - w)])
+
+
+class TestBases:
+    def test_trend_basis_shape(self):
+        basis = trend_basis(theta_per_channel=3, length=10, n_channels=2)
+        assert basis.shape == (6, 20)
+
+    def test_trend_basis_rows_are_polynomials(self):
+        basis = trend_basis(theta_per_channel=3, length=4, n_channels=1)
+        grid = np.arange(4) / 4
+        np.testing.assert_allclose(basis[0], np.ones(4))
+        np.testing.assert_allclose(basis[1], grid)
+        np.testing.assert_allclose(basis[2], grid**2)
+
+    def test_seasonality_basis_shape(self):
+        basis = seasonality_basis(harmonics=2, length=8, n_channels=3)
+        assert basis.shape == ((1 + 2 * 2) * 3, 8 * 3)
+
+    def test_seasonality_contains_constant(self):
+        basis = seasonality_basis(harmonics=1, length=6, n_channels=1)
+        np.testing.assert_allclose(basis[0], np.ones(6))
+
+
+class TestNBeats:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            NBeats(window=1, n_channels=2)
+        with pytest.raises(ConfigurationError):
+            NBeats(window=8, n_channels=2, stack_types=())
+        with pytest.raises(ConfigurationError):
+            NBeats(window=8, n_channels=2, stack_types=("wavelet",))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            NBeats(window=8, n_channels=2).predict(np.zeros((8, 2)))
+
+    def test_forecast_shape(self, small_windows):
+        model = NBeats(window=8, n_channels=3, epochs=2, seed=0)
+        model.fit(small_windows)
+        assert model.predict(small_windows[0]).shape == (3,)
+
+    def test_learns_sinusoid(self):
+        t = np.arange(400, dtype=np.float64)
+        series = np.stack(
+            [np.sin(2 * np.pi * t / 25), np.cos(2 * np.pi * t / 25)], axis=1
+        )
+        w = 16
+        windows = windows_from(series, w)
+        model = NBeats(window=w, n_channels=2, epochs=60, seed=0, hidden=32)
+        model.fit(windows)
+        errors = [
+            np.linalg.norm(model.predict(window) - window[-1])
+            for window in windows[-50:]
+        ]
+        assert np.mean(errors) < 0.3
+
+    def test_training_reduces_loss(self, small_windows):
+        model = NBeats(window=8, n_channels=3, seed=0)
+        first = model.fit(small_windows, epochs=1)
+        last = model.finetune(small_windows, epochs=40)
+        assert last < first
+
+    def test_interpretable_stacks(self, small_windows):
+        model = NBeats(
+            window=8,
+            n_channels=3,
+            stack_types=("trend", "seasonality"),
+            epochs=5,
+            seed=0,
+        )
+        loss = model.fit(small_windows)
+        assert np.isfinite(loss)
+        assert model.predict(small_windows[0]).shape == (3,)
+
+    def test_wrong_shape_rejected(self, small_windows):
+        model = NBeats(window=8, n_channels=3, epochs=1)
+        model.fit(small_windows)
+        with pytest.raises(ConfigurationError):
+            model.predict(np.zeros((7, 3)))
+
+    def test_deterministic_given_seed(self, small_windows):
+        predictions = []
+        for _ in range(2):
+            model = NBeats(window=8, n_channels=3, epochs=3, seed=9)
+            model.fit(small_windows)
+            predictions.append(model.predict(small_windows[0]))
+        np.testing.assert_allclose(predictions[0], predictions[1])
+
+    def test_residual_gradients_flow_to_all_blocks(self, small_windows):
+        model = NBeats(window=8, n_channels=3, stack_types=("generic",) * 3, seed=0)
+        model.fit(small_windows, epochs=2)
+        for block in model.blocks:
+            grads = [np.abs(p.value).sum() for p in block.parameters()]
+            assert any(g > 0 for g in grads)
+
+    def test_block_count_matches_stack_types(self):
+        model = NBeats(window=8, n_channels=2, stack_types=("generic",) * 4)
+        assert len(model.blocks) == 4

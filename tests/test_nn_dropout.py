@@ -1,0 +1,73 @@
+"""Tests for the Dropout layer."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestDropout:
+    def test_invalid_rate(self, rng):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0, rng)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1, rng)
+
+    def test_eval_mode_identity(self, rng):
+        layer = nn.Dropout(0.5, rng)
+        layer.training = False
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_zero_rate_identity(self, rng):
+        layer = nn.Dropout(0.0, rng)
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_drops_expected_fraction(self, rng):
+        layer = nn.Dropout(0.3, rng)
+        x = np.ones((100, 100))
+        out = layer(x)
+        dropped = np.mean(out == 0.0)
+        assert dropped == pytest.approx(0.3, abs=0.02)
+
+    def test_inverted_scaling_preserves_expectation(self, rng):
+        layer = nn.Dropout(0.4, rng)
+        x = np.ones((200, 200))
+        out = layer(x)
+        assert out.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = nn.Dropout(0.5, rng)
+        x = rng.normal(size=(5, 8))
+        out = layer(x)
+        grad = layer.backward(np.ones_like(x))
+        # Gradient is zero exactly where the forward output was zeroed.
+        np.testing.assert_array_equal(grad == 0.0, out == 0.0)
+
+    def test_backward_in_eval_mode_passthrough(self, rng):
+        layer = nn.Dropout(0.5, rng)
+        layer.training = False
+        layer(np.ones((2, 2)))
+        grad = layer.backward(np.full((2, 2), 3.0))
+        np.testing.assert_array_equal(grad, np.full((2, 2), 3.0))
+
+    def test_sequential_set_training(self, rng):
+        net = nn.Sequential(
+            nn.Linear(4, 4, rng),
+            nn.Dropout(0.5, rng),
+            nn.Sequential(nn.Dropout(0.5, rng)),
+        )
+        net.set_training(False)
+        assert net[1].training is False
+        assert net[2][0].training is False
+        net.set_training(True)
+        assert net[1].training is True
+
+    def test_no_parameters(self, rng):
+        assert list(nn.Dropout(0.5, rng).parameters()) == []

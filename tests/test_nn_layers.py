@@ -1,0 +1,211 @@
+"""Tests for the neural substrate: numerical gradient checks and shapes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+def numerical_gradient(f, x, eps=1e-6):
+    """Central-difference gradient of a scalar function of an array."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = f()
+        x[idx] = original - eps
+        minus = f()
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def loss_through(module, x, target):
+    out = module(x)
+    return float(np.sum((out - target) ** 2))
+
+
+def check_param_gradients(module, x, target, atol=1e-5):
+    """Backprop gradients must match finite differences for every parameter."""
+    out = module(x)
+    module.zero_grad()
+    module.backward(2.0 * (out - target))
+    for param in module.parameters():
+        expected = numerical_gradient(
+            lambda: loss_through(module, x, target), param.value
+        )
+        np.testing.assert_allclose(param.grad, expected, atol=atol, rtol=1e-4)
+
+
+def check_input_gradient(module, x, target, atol=1e-5):
+    out = module(x)
+    module.zero_grad()
+    grad_in = module.backward(2.0 * (out - target))
+    expected = numerical_gradient(lambda: loss_through(module, x, target), x)
+    np.testing.assert_allclose(grad_in, expected, atol=atol, rtol=1e-4)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = nn.Linear(4, 7, rng)
+        assert layer(rng.normal(size=(3, 4))).shape == (3, 7)
+
+    def test_forward_rejects_wrong_width(self, rng):
+        layer = nn.Linear(4, 7, rng)
+        with pytest.raises(ValueError):
+            layer(rng.normal(size=(3, 5)))
+
+    def test_backward_before_forward_raises(self, rng):
+        layer = nn.Linear(4, 7, rng)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((3, 7)))
+
+    def test_parameter_gradients(self, rng):
+        layer = nn.Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3))
+        target = rng.normal(size=(5, 2))
+        check_param_gradients(layer, x, target)
+
+    def test_input_gradient(self, rng):
+        layer = nn.Linear(3, 2, rng)
+        x = rng.normal(size=(5, 3))
+        check_input_gradient(layer, x, rng.normal(size=(5, 2)))
+
+    def test_gradients_accumulate(self, rng):
+        layer = nn.Linear(2, 2, rng)
+        x = rng.normal(size=(1, 2))
+        layer(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.weight.grad.copy()
+        layer(x)
+        layer.backward(np.ones((1, 2)))
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+    def test_unknown_init_rejected(self, rng):
+        with pytest.raises(ValueError):
+            nn.Linear(2, 2, rng, init="nope")
+
+
+@pytest.mark.parametrize("activation_cls", [nn.Sigmoid, nn.ReLU, nn.Tanh])
+class TestActivations:
+    def test_input_gradient(self, activation_cls, rng):
+        act = activation_cls()
+        x = rng.normal(size=(4, 3)) + 0.1  # avoid ReLU kink at exactly 0
+        check_input_gradient(act, x, rng.normal(size=(4, 3)))
+
+    def test_shape_preserved(self, activation_cls, rng):
+        act = activation_cls()
+        x = rng.normal(size=(2, 5))
+        assert act(x).shape == x.shape
+
+
+class TestSigmoid:
+    def test_range(self, rng):
+        out = nn.Sigmoid()(rng.normal(scale=100, size=(10, 10)))
+        assert np.all(out >= 0) and np.all(out <= 1)
+
+    def test_extreme_values_stable(self):
+        out = nn.Sigmoid()(np.array([[-1e4, 1e4]]))
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+
+class TestReLU:
+    def test_zeroes_negatives(self):
+        out = nn.ReLU()(np.array([[-1.0, 2.0, -3.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0, 0.0]])
+
+
+class TestIdentity:
+    def test_passthrough(self, rng):
+        x = rng.normal(size=(3, 3))
+        ident = nn.Identity()
+        np.testing.assert_array_equal(ident(x), x)
+        np.testing.assert_array_equal(ident.backward(x), x)
+
+
+class TestSequential:
+    def test_compose_and_gradients(self, rng):
+        net = nn.Sequential(
+            nn.Linear(3, 5, rng), nn.Tanh(), nn.Linear(5, 2, rng), nn.Sigmoid()
+        )
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+        check_param_gradients(net, x, target)
+        check_input_gradient(net, x, target)
+
+    def test_len_and_getitem(self, rng):
+        net = nn.Sequential(nn.Linear(2, 2, rng), nn.ReLU())
+        assert len(net) == 2
+        assert isinstance(net[1], nn.ReLU)
+
+    def test_n_parameters(self, rng):
+        net = nn.Sequential(nn.Linear(3, 4, rng), nn.Linear(4, 2, rng))
+        assert net.n_parameters() == 3 * 4 + 4 + 4 * 2 + 2
+
+
+class TestModuleState:
+    def test_state_roundtrip(self, rng):
+        net = nn.Sequential(nn.Linear(3, 3, rng), nn.Tanh(), nn.Linear(3, 1, rng))
+        state = net.state()
+        x = rng.normal(size=(2, 3))
+        before = net(x).copy()
+        for param in net.parameters():
+            param.value += 1.0
+        assert not np.allclose(net(x), before)
+        net.load_state(state)
+        np.testing.assert_allclose(net(x), before)
+
+    def test_load_state_wrong_length_rejected(self, rng):
+        net = nn.Sequential(nn.Linear(2, 2, rng))
+        with pytest.raises(ValueError):
+            net.load_state([])
+
+    def test_load_state_wrong_shape_rejected(self, rng):
+        net = nn.Sequential(nn.Linear(2, 2, rng))
+        state = [np.zeros((3, 3)), np.zeros(2)]
+        with pytest.raises(ValueError):
+            net.load_state(state)
+
+
+class TestLosses:
+    def test_mse_loss_value(self):
+        assert nn.mse_loss(np.array([[1.0, 2.0]]), np.array([[0.0, 0.0]])) == pytest.approx(2.5)
+
+    def test_mse_grad_matches_numeric(self, rng):
+        pred = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 4))
+        grad = nn.mse_loss_grad(pred, target)
+        expected = numerical_gradient(lambda: nn.mse_loss(pred, target), pred)
+        np.testing.assert_allclose(grad, expected, atol=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nn.mse_loss(np.zeros((2, 2)), np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            nn.mse_loss_grad(np.zeros((2, 2)), np.zeros((2, 3)))
+
+
+class TestInit:
+    def test_glorot_bounds(self, rng):
+        from repro.nn.init import glorot_uniform
+
+        weights = glorot_uniform(100, 100, rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_invalid_fans_rejected(self, rng):
+        from repro.nn.init import glorot_uniform, he_uniform
+
+        with pytest.raises(ValueError):
+            glorot_uniform(0, 5, rng)
+        with pytest.raises(ValueError):
+            he_uniform(5, 0, rng)

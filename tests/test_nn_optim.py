@@ -1,0 +1,86 @@
+"""Tests for the SGD and Adam optimizers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+
+
+def quadratic_descent(optimizer_factory, steps=200):
+    """Minimize ||p - target||^2; return the final distance to the optimum."""
+    param = Parameter(np.array([5.0, -3.0]))
+    target = np.array([1.0, 2.0])
+    optimizer = optimizer_factory([param])
+    for _ in range(steps):
+        optimizer.zero_grad()
+        param.grad += 2.0 * (param.value - target)
+        optimizer.step()
+    return float(np.linalg.norm(param.value - target))
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(lambda p: nn.SGD(p, lr=0.1)) < 1e-6
+
+    def test_momentum_converges(self):
+        assert quadratic_descent(lambda p: nn.SGD(p, lr=0.05, momentum=0.9)) < 1e-4
+
+    def test_invalid_lr_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.zeros(2))], lr=0.0)
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([Parameter(np.zeros(2))], lr=0.1, momentum=1.0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(lambda p: nn.Adam(p, lr=0.3), steps=400) < 1e-4
+
+    def test_invalid_betas_rejected(self):
+        with pytest.raises(ValueError):
+            nn.Adam([Parameter(np.zeros(2))], beta1=1.0)
+        with pytest.raises(ValueError):
+            nn.Adam([Parameter(np.zeros(2))], beta2=-0.1)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction the first update has magnitude ~lr regardless
+        # of the gradient scale.
+        param = Parameter(np.array([0.0]))
+        optimizer = nn.Adam([param], lr=0.01)
+        param.grad += np.array([1234.5])
+        optimizer.step()
+        assert abs(param.value[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_zero_grad_resets(self):
+        param = Parameter(np.array([0.0]))
+        optimizer = nn.Adam([param])
+        param.grad += 5.0
+        optimizer.zero_grad()
+        np.testing.assert_array_equal(param.grad, [0.0])
+
+
+class TestTrainingEndToEnd:
+    def test_network_learns_linear_map(self):
+        rng = np.random.default_rng(1)
+        true_w = rng.normal(size=(4, 2))
+        x = rng.normal(size=(256, 4))
+        y = x @ true_w
+        net = nn.Sequential(nn.Linear(4, 8, rng), nn.Tanh(), nn.Linear(8, 2, rng))
+        optimizer = nn.Adam(list(net.parameters()), lr=5e-3)
+        first_loss = None
+        for _ in range(300):
+            optimizer.zero_grad()
+            out = net(x)
+            loss = nn.mse_loss(out, y)
+            if first_loss is None:
+                first_loss = loss
+            net.backward(nn.mse_loss_grad(out, y))
+            optimizer.step()
+        assert loss < first_loss * 0.05

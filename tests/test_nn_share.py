@@ -1,0 +1,72 @@
+"""Tests for parameter-sharing module copies (used by USAD)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.share import shared_copy, unique_parameters
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestSharedCopy:
+    def test_parameters_are_shared_instances(self, rng):
+        net = nn.Sequential(nn.Linear(3, 4, rng), nn.ReLU(), nn.Linear(4, 3, rng))
+        copy = shared_copy(net)
+        originals = list(net.parameters())
+        copies = list(copy.parameters())
+        assert len(originals) == len(copies)
+        for a, b in zip(originals, copies):
+            assert a is b
+
+    def test_forward_caches_are_independent(self, rng):
+        layer = nn.Linear(2, 2, rng)
+        twin = shared_copy(layer)
+        x1 = rng.normal(size=(1, 2))
+        x2 = rng.normal(size=(1, 2))
+        layer(x1)
+        twin(x2)
+        # Backward through the original must use x1's cache, not x2's.
+        layer.zero_grad()
+        layer.backward(np.ones((1, 2)))
+        np.testing.assert_allclose(layer.weight.grad, x1.T @ np.ones((1, 2)))
+
+    def test_gradients_accumulate_across_copies(self, rng):
+        layer = nn.Linear(2, 2, rng)
+        twin = shared_copy(layer)
+        x = rng.normal(size=(1, 2))
+        layer(x)
+        twin(x)
+        layer.zero_grad()
+        layer.backward(np.ones((1, 2)))
+        twin.backward(np.ones((1, 2)))
+        np.testing.assert_allclose(layer.weight.grad, 2 * (x.T @ np.ones((1, 2))))
+
+    def test_unsupported_module_rejected(self):
+        class Custom(nn.Module):
+            pass
+
+        with pytest.raises(TypeError):
+            shared_copy(Custom())
+
+    def test_shared_forward_identical(self, rng):
+        net = nn.Sequential(nn.Linear(3, 3, rng), nn.Sigmoid())
+        copy = shared_copy(net)
+        x = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(net(x), copy(x))
+
+
+class TestUniqueParameters:
+    def test_deduplicates_shared(self, rng):
+        net = nn.Sequential(nn.Linear(2, 2, rng))
+        twin = shared_copy(net)
+        params = unique_parameters(net, twin)
+        assert len(params) == 2  # weight + bias, once
+
+    def test_distinct_modules_kept(self, rng):
+        a = nn.Sequential(nn.Linear(2, 2, rng))
+        b = nn.Sequential(nn.Linear(2, 2, rng))
+        assert len(unique_parameters(a, b)) == 4

@@ -1,0 +1,116 @@
+"""Tests for the Online ARIMA model."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.models import OnlineARIMA, difference
+
+
+class TestDifference:
+    def test_zero_order_identity(self):
+        series = np.arange(5.0)
+        np.testing.assert_array_equal(difference(series, 0), series)
+
+    def test_first_order(self):
+        np.testing.assert_array_equal(
+            difference(np.array([1.0, 3.0, 6.0]), 1), [2.0, 3.0]
+        )
+
+    def test_second_order_kills_linear_trend(self):
+        trend = 2.0 * np.arange(10.0) + 5.0
+        np.testing.assert_allclose(difference(trend, 2), np.zeros(8))
+
+    def test_multichannel(self):
+        series = np.stack([np.arange(5.0), np.arange(5.0) * 2], axis=1)
+        diffed = difference(series, 1)
+        assert diffed.shape == (4, 2)
+        np.testing.assert_allclose(diffed[:, 1], 2.0)
+
+
+def windows_from(series, w):
+    return np.stack([series[i : i + w] for i in range(series.shape[0] - w)])
+
+
+class TestOnlineARIMA:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            OnlineARIMA(window=3, d=2)  # lags would be 0
+        with pytest.raises(ConfigurationError):
+            OnlineARIMA(window=10, d=-1)
+        with pytest.raises(ConfigurationError):
+            OnlineARIMA(window=10, lr=0.0)
+
+    def test_predict_before_fit_raises(self):
+        model = OnlineARIMA(window=8)
+        with pytest.raises(NotFittedError):
+            model.predict(np.zeros((8, 1)))
+
+    def test_wrong_window_rejected(self):
+        model = OnlineARIMA(window=8)
+        model.fit(np.zeros((3, 8, 1)) + np.arange(8.0)[None, :, None])
+        with pytest.raises(ConfigurationError):
+            model.predict(np.zeros((9, 1)))
+
+    def test_learns_linear_trend(self):
+        # With d=1 a linear trend has constant differences; gamma should
+        # learn to predict that constant.
+        t = np.arange(300, dtype=np.float64)
+        series = (3.0 * t)[:, None]
+        w = 10
+        model = OnlineARIMA(window=w, d=1, lr=0.05)
+        model.fit(windows_from(series, w), epochs=30)
+        window = series[100 : 100 + w]
+        prediction = model.predict(window)
+        assert prediction[0] == pytest.approx(series[100 + w - 1, 0], rel=0.05)
+
+    def test_learns_ar_process(self):
+        rng = np.random.default_rng(0)
+        n = 1000
+        series = np.zeros(n)
+        for t in range(2, n):
+            series[t] = 0.6 * series[t - 1] - 0.3 * series[t - 2] + rng.normal(scale=0.1)
+        w = 12
+        windows = windows_from(series[:, None], w)
+        model = OnlineARIMA(window=w, d=0, lr=0.05)
+        model.fit(windows, epochs=10)
+        errors = []
+        for window in windows[-100:]:
+            errors.append(abs(model.predict(window)[0] - window[-1, 0]))
+        # Prediction error should approach the noise floor.
+        assert np.mean(errors) < 0.3
+
+    def test_multichannel_shared_coefficients(self):
+        t = np.arange(200, dtype=np.float64)
+        series = np.stack([np.sin(t / 10), np.sin(t / 10 + 1.0)], axis=1)
+        w = 12
+        model = OnlineARIMA(window=w, d=1, lr=0.05)
+        model.fit(windows_from(series, w), epochs=20)
+        prediction = model.predict(series[50 : 50 + w])
+        assert prediction.shape == (2,)
+        np.testing.assert_allclose(prediction, series[50 + w - 1], atol=0.2)
+
+    def test_finetune_continues_learning(self):
+        t = np.arange(300, dtype=np.float64)
+        series = (2.0 * t)[:, None]
+        w = 10
+        windows = windows_from(series, w)
+        model = OnlineARIMA(window=w, d=1, lr=0.02)
+        model.fit(windows[:50], epochs=2)
+        gamma_before = model.gamma.copy()
+        model.finetune(windows[50:100], epochs=2)
+        assert not np.allclose(model.gamma, gamma_before)
+
+    def test_gradient_clipping_keeps_finite(self):
+        rng = np.random.default_rng(1)
+        # Badly scaled data should not blow up the coefficients.
+        series = rng.normal(scale=1e6, size=(200, 1))
+        w = 10
+        model = OnlineARIMA(window=w, d=0, lr=0.5)
+        model.fit(windows_from(series, w), epochs=3)
+        assert np.all(np.isfinite(model.gamma))
+
+    def test_lag_count_relation(self):
+        # The paper's constraint w = lags + d + 1.
+        model = OnlineARIMA(window=20, d=2)
+        assert model.lags == 20 - 1 - 2

@@ -1,0 +1,51 @@
+"""Tests for the Table II operation-count formulas."""
+
+import pytest
+
+from repro.learning import kswin_ops, mu_sigma_ops
+
+
+class TestMuSigmaOps:
+    def test_formula_values(self):
+        ops = mu_sigma_ops(m=100, w=100, n_channels=9)
+        assert ops.additions == 6 * 9 * 100
+        assert ops.multiplications == 2 * 9 * 100
+        assert ops.comparisons == 3 * 9 * 100
+
+    def test_independent_of_m(self):
+        assert mu_sigma_ops(10, 50, 4) == mu_sigma_ops(1000, 50, 4)
+
+    def test_linear_in_channels(self):
+        small = mu_sigma_ops(10, 50, 2)
+        large = mu_sigma_ops(10, 50, 4)
+        assert large.additions == 2 * small.additions
+
+
+class TestKSWINOps:
+    def test_formula_values(self):
+        ops = kswin_ops(m=100, w=100, n_channels=9)
+        assert ops.additions == 2 * 9 * 100 * 100
+        assert ops.multiplications == 2 * 9 * 100 * 100
+
+    def test_comparisons_superlinear_in_m(self):
+        small = kswin_ops(10, 100, 1)
+        large = kswin_ops(100, 100, 1)
+        assert large.comparisons > 10 * small.comparisons
+
+    def test_kswin_dominates_musigma(self):
+        # Table II's point: KSWIN costs far more per step.
+        for m, w, n in [(50, 100, 9), (100, 100, 38), (200, 50, 4)]:
+            assert kswin_ops(m, w, n).total > 10 * mu_sigma_ops(m, w, n).total
+
+    def test_total(self):
+        ops = kswin_ops(2, 2, 1)
+        assert ops.total == ops.additions + ops.multiplications + ops.comparisons
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, 0, 1), (1, 1, 0)])
+    def test_invalid_inputs(self, bad):
+        with pytest.raises(ValueError):
+            mu_sigma_ops(*bad)
+        with pytest.raises(ValueError):
+            kswin_ops(*bad)

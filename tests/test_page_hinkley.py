@@ -1,0 +1,87 @@
+"""Tests for the Page-Hinkley drift detector (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.learning import PageHinkley
+from repro.learning.base import Update, UpdateKind
+
+
+def feed(detector, values, start_t=0):
+    for i, value in enumerate(values):
+        detector.observe(
+            Update(UpdateKind.ADDED, added=np.full(4, value)), t=start_t + i
+        )
+
+
+class TestPageHinkley:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PageHinkley(delta=-1.0)
+        with pytest.raises(ValueError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(ValueError):
+            PageHinkley(min_samples=1)
+
+    def test_no_fire_before_min_samples(self, rng):
+        detector = PageHinkley(min_samples=50)
+        feed(detector, rng.normal(size=20))
+        assert not detector.should_finetune(20, np.empty(0))
+
+    def test_no_fire_on_stationary_stream(self, rng):
+        detector = PageHinkley()
+        feed(detector, rng.normal(size=500))
+        assert not detector.should_finetune(500, np.empty(0))
+
+    def test_fires_on_upward_shift(self, rng):
+        detector = PageHinkley()
+        feed(detector, rng.normal(size=200))
+        feed(detector, rng.normal(loc=3.0, size=100), start_t=200)
+        assert detector.should_finetune(300, np.empty(0))
+
+    def test_fires_on_downward_shift(self, rng):
+        detector = PageHinkley()
+        feed(detector, rng.normal(size=200))
+        feed(detector, rng.normal(loc=-3.0, size=100), start_t=200)
+        assert detector.should_finetune(300, np.empty(0))
+
+    def test_notify_restarts_test(self, rng):
+        detector = PageHinkley()
+        feed(detector, rng.normal(size=200))
+        feed(detector, rng.normal(loc=3.0, size=100), start_t=200)
+        assert detector.should_finetune(300, np.empty(0))
+        detector.notify_finetuned(300, np.empty(0))
+        # Shortly after the restart the detector must be quiet again.
+        feed(detector, rng.normal(loc=3.0, size=100), start_t=300)
+        assert not detector.should_finetune(400, np.empty(0))
+
+    def test_unchanged_updates_ignored(self):
+        detector = PageHinkley()
+        detector.observe(Update(UpdateKind.UNCHANGED), t=0)
+        assert detector._count == 0
+
+    def test_counts_operations(self, rng):
+        detector = PageHinkley()
+        feed(detector, rng.normal(size=10))
+        assert detector.ops.additions > 0
+        detector.reset()
+        assert detector.ops.additions == 0
+
+    def test_usable_in_detector_pipeline(self, rng):
+        from repro.core.config import DetectorConfig
+        from repro.core.registry import AlgorithmSpec, build_detector
+        from repro.core.types import TimeSeries
+        from repro.streaming import run_stream
+
+        n = 700
+        values = rng.normal(size=(n, 3))
+        values[400:] += 4.0
+        series = TimeSeries(values=values, labels=np.zeros(n, dtype=np.int_))
+        config = DetectorConfig(window=6, train_capacity=48, fit_epochs=2)
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "page_hinkley"), 3, config
+        )
+        result = run_stream(detector, series)
+        assert result.n_finetunes >= 1
+        fired = [e.t for e in result.events if e.reason == "page_hinkley"]
+        assert any(t >= 400 for t in fired)

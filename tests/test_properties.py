@@ -1,0 +1,124 @@
+"""Cross-cutting property-based tests on framework invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.core.types import TimeSeries
+from repro.metrics import (
+    buffered_label_weights,
+    nab_score,
+    range_precision_recall,
+    vus,
+)
+from repro.streaming import run_stream
+
+bounded_floats = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+class TestMetricInvariants:
+    @given(
+        st.lists(bounded_floats, min_size=10, max_size=120),
+        st.integers(min_value=0, max_value=5),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_pr_bounded(self, scores, n_windows, threshold):
+        scores = np.asarray(scores)
+        labels = np.zeros(scores.size, dtype=int)
+        rng = np.random.default_rng(n_windows)
+        for _ in range(n_windows):
+            start = int(rng.integers(0, max(scores.size - 3, 1)))
+            labels[start : start + 3] = 1
+        precision, recall = range_precision_recall(scores, labels, threshold)
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+
+    @given(st.lists(bounded_floats, min_size=20, max_size=150))
+    @settings(max_examples=30, deadline=None)
+    def test_nab_upper_bound(self, scores):
+        # No detector can beat the perfect score of 1.
+        scores = np.asarray(scores)
+        labels = np.zeros(scores.size, dtype=int)
+        labels[5:10] = 1
+        result = nab_score(scores, labels, threshold=0.5)
+        assert result.score <= 1.0 + 1e-12
+
+    @given(st.lists(bounded_floats, min_size=20, max_size=120))
+    @settings(max_examples=25, deadline=None)
+    def test_vus_bounded(self, scores):
+        scores = np.asarray(scores)
+        labels = np.zeros(scores.size, dtype=int)
+        labels[8:14] = 1
+        result = vus(scores, labels, max_buffer=8, n_buffers=3, n_thresholds=15)
+        assert 0.0 <= result.vus_pr <= 1.0
+        assert 0.0 <= result.vus_roc <= 1.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), min_size=10, max_size=80),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_buffer_monotone_in_length(self, bits, buffer):
+        # A longer buffer never decreases any weight.
+        labels = np.asarray(bits, dtype=np.int_)
+        small = buffered_label_weights(labels, buffer)
+        large = buffered_label_weights(labels, buffer + 4)
+        assert np.all(large >= small - 1e-12)
+
+
+class TestDetectorInvariants:
+    @pytest.mark.parametrize("scorer", ["raw", "avg", "al", "conformal"])
+    def test_scores_always_in_unit_interval(self, scorer, rng):
+        n = 400
+        values = rng.normal(size=(n, 2)).cumsum(axis=0) * 0.05
+        values += rng.normal(scale=0.1, size=(n, 2))
+        series = TimeSeries(values=values, labels=np.zeros(n, dtype=np.int_))
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "musigma"),
+            2,
+            DetectorConfig(window=6, train_capacity=24, fit_epochs=2, scorer=scorer),
+        )
+        result = run_stream(detector, series)
+        assert np.all(result.scores >= 0.0)
+        assert np.all(result.scores <= 1.0)
+        assert np.all(result.nonconformities >= 0.0)
+        assert np.all(result.nonconformities <= 1.0)
+
+    def test_constant_stream_does_not_crash(self):
+        values = np.ones((200, 3))
+        series = TimeSeries(values=values, labels=np.zeros(200, dtype=np.int_))
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "musigma"),
+            3,
+            DetectorConfig(window=6, train_capacity=24, fit_epochs=2),
+        )
+        result = run_stream(detector, series)
+        assert np.all(np.isfinite(result.scores))
+
+    def test_single_channel_stream(self, rng):
+        values = np.sin(np.arange(300) / 10.0)[:, None] + rng.normal(
+            scale=0.05, size=(300, 1)
+        )
+        series = TimeSeries(values=values, labels=np.zeros(300, dtype=np.int_))
+        detector = build_detector(
+            AlgorithmSpec("online_arima", "sw", "musigma"),
+            1,
+            DetectorConfig(window=8, train_capacity=24, fit_epochs=2),
+        )
+        result = run_stream(detector, series)
+        assert np.all(np.isfinite(result.scores))
+
+    def test_extreme_scale_stream(self, rng):
+        values = rng.normal(scale=1e7, size=(300, 2)) + 1e9
+        series = TimeSeries(values=values, labels=np.zeros(300, dtype=np.int_))
+        detector = build_detector(
+            AlgorithmSpec("usad", "sw", "musigma"),
+            2,
+            DetectorConfig(window=6, train_capacity=24, fit_epochs=2),
+        )
+        result = run_stream(detector, series)
+        assert np.all(np.isfinite(result.scores))

@@ -1,0 +1,160 @@
+"""Tests for the algorithm registry and Table I grid."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.exceptions import ConfigurationError, UnknownComponentError
+from repro.core.registry import (
+    AlgorithmSpec,
+    build_algorithm_grid,
+    build_detector,
+    make_model,
+    make_nonconformity,
+    make_scorer,
+    make_task1,
+    make_task2,
+)
+from repro.learning import (
+    KSWIN,
+    AnomalyAwareReservoir,
+    MuSigmaChange,
+    SlidingWindow,
+    UniformReservoir,
+)
+from repro.scoring import AnomalyLikelihood, AverageScore, RawScore
+
+
+class TestAlgorithmGrid:
+    def test_grid_has_26_algorithms(self):
+        # The paper's headline: 26 distinct combinations (Table I).
+        assert len(build_algorithm_grid()) == 26
+
+    def test_grid_entries_unique(self):
+        grid = build_algorithm_grid()
+        assert len(set(grid)) == 26
+
+    def test_gradient_models_have_six_combinations(self):
+        grid = build_algorithm_grid()
+        for model in ("online_arima", "ae", "usad", "nbeats"):
+            assert sum(1 for s in grid if s.model == model) == 6
+
+    def test_pcb_iforest_has_two_combinations(self):
+        grid = build_algorithm_grid()
+        pcb = [s for s in grid if s.model == "pcb_iforest"]
+        assert len(pcb) == 2
+        assert all(s.task2 == "kswin" for s in pcb)
+        assert {s.task1 for s in pcb} == {"sw", "ares"}
+
+    def test_nonconformity_pairing(self):
+        for spec in build_algorithm_grid():
+            expected = "iforest" if spec.model == "pcb_iforest" else "cosine"
+            assert spec.nonconformity == expected
+
+    def test_label(self):
+        assert AlgorithmSpec("ae", "sw", "kswin").label == "ae+sw+kswin"
+
+
+class TestSpecValidation:
+    def test_unknown_model(self):
+        with pytest.raises(UnknownComponentError):
+            AlgorithmSpec("transformer", "sw", "kswin")
+
+    def test_unknown_task1(self):
+        with pytest.raises(UnknownComponentError):
+            AlgorithmSpec("ae", "fifo", "kswin")
+
+    def test_unknown_task2(self):
+        with pytest.raises(UnknownComponentError):
+            AlgorithmSpec("ae", "sw", "ddm")
+
+
+class TestFactories:
+    def test_make_task1_types(self):
+        config = DetectorConfig()
+        rng = np.random.default_rng(0)
+        assert isinstance(make_task1("sw", config, rng), SlidingWindow)
+        assert isinstance(make_task1("ures", config, rng), UniformReservoir)
+        assert isinstance(make_task1("ares", config, rng), AnomalyAwareReservoir)
+        with pytest.raises(UnknownComponentError):
+            make_task1("lifo", config, rng)
+
+    def test_make_task2_types(self):
+        config = DetectorConfig()
+        assert isinstance(make_task2("musigma", config), MuSigmaChange)
+        assert isinstance(make_task2("kswin", config), KSWIN)
+        with pytest.raises(UnknownComponentError):
+            make_task2("page-hinkley", config)
+
+    def test_make_scorer_types(self):
+        config = DetectorConfig()
+        assert isinstance(make_scorer("raw", config), RawScore)
+        assert isinstance(make_scorer("avg", config), AverageScore)
+        assert isinstance(make_scorer("al", config), AnomalyLikelihood)
+        with pytest.raises(UnknownComponentError):
+            make_scorer("ewma", config)
+
+    def test_make_model_all_names(self):
+        config = DetectorConfig(window=8)
+        grid_and_extensions = (
+            "online_arima", "ae", "usad", "nbeats", "pcb_iforest",
+            "var", "knn", "kmeans", "rs_forest", "rnn", "lstm",
+        )
+        for name in grid_and_extensions:
+            model = make_model(name, config, n_channels=3)
+            assert model is not None
+        with pytest.raises(UnknownComponentError):
+            make_model("transformer", config, n_channels=3)
+
+    def test_make_nonconformity(self):
+        make_nonconformity("cosine")
+        make_nonconformity("iforest")
+        with pytest.raises(UnknownComponentError):
+            make_nonconformity("mahalanobis")
+
+    def test_model_kwargs_forwarded(self):
+        config = DetectorConfig(window=8, model_kwargs={"hidden": 5})
+        model = make_model("ae", config, n_channels=2)
+        assert model.hidden == 5
+
+    def test_kswin_config_forwarded(self):
+        config = DetectorConfig(kswin_alpha=0.01, kswin_check_every=4)
+        detector = make_task2("kswin", config)
+        assert detector.alpha == 0.01
+        assert detector.check_every == 4
+
+
+class TestDetectorConfig:
+    def test_defaults_valid(self):
+        DetectorConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 1},
+            {"train_capacity": 1},
+            {"scorer": "median"},
+            {"scorer_k": 5, "scorer_k_short": 5},
+            {"fit_epochs": 0},
+            {"finetune_epochs": 0},
+            {"kswin_check_every": 0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            DetectorConfig(**kwargs)
+
+
+class TestBuildDetector:
+    def test_builds_every_grid_entry(self):
+        config = DetectorConfig(window=8, train_capacity=12, fit_epochs=1)
+        for spec in build_algorithm_grid():
+            detector = build_detector(spec, n_channels=3, config=config)
+            assert detector.window == 8
+
+    def test_scorer_override(self):
+        spec = AlgorithmSpec("ae", "sw", "musigma")
+        detector = build_detector(
+            spec, n_channels=2, config=DetectorConfig(scorer="al"), scorer="raw"
+        )
+        assert isinstance(detector.scorer, RawScore)

@@ -1,0 +1,115 @@
+"""Tests for the Elman RNN forecaster, including a BPTT gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.models import ElmanForecaster
+from repro import nn
+
+
+def windows_from(series, w):
+    return np.stack([series[i : i + w] for i in range(series.shape[0] - w)])
+
+
+class TestElmanForecaster:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ElmanForecaster(window=1, n_channels=2)
+        with pytest.raises(ConfigurationError):
+            ElmanForecaster(window=8, n_channels=0)
+        with pytest.raises(ConfigurationError):
+            ElmanForecaster(window=8, n_channels=2, hidden=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            ElmanForecaster(window=6, n_channels=2).predict(np.zeros((6, 2)))
+
+    def test_forecast_shape(self, small_windows):
+        model = ElmanForecaster(window=8, n_channels=3, epochs=2, seed=0)
+        model.fit(small_windows)
+        assert model.predict(small_windows[0]).shape == (3,)
+
+    def test_bptt_gradients_match_finite_differences(self):
+        rng = np.random.default_rng(0)
+        model = ElmanForecaster(window=5, n_channels=2, hidden=4, seed=0)
+        inputs = rng.normal(size=(3, 4, 2))
+        targets = rng.normal(size=(3, 2))
+
+        def loss():
+            forecast, _ = model._forward(inputs)
+            return nn.mse_loss(forecast, targets)
+
+        for param in model.parameters():
+            param.zero_grad()
+        forecast, states = model._forward(inputs)
+        model._backward(inputs, states, nn.mse_loss_grad(forecast, targets))
+        eps = 1e-6
+        for param in model.parameters():
+            numeric = np.zeros_like(param.value)
+            it = np.nditer(param.value, flags=["multi_index"])
+            while not it.finished:
+                idx = it.multi_index
+                original = param.value[idx]
+                param.value[idx] = original + eps
+                plus = loss()
+                param.value[idx] = original - eps
+                minus = loss()
+                param.value[idx] = original
+                numeric[idx] = (plus - minus) / (2 * eps)
+                it.iternext()
+            np.testing.assert_allclose(
+                param.grad, numeric, atol=1e-5, rtol=1e-4,
+                err_msg=param.name,
+            )
+
+    def test_learns_sinusoid(self):
+        t = np.arange(400, dtype=np.float64)
+        series = np.stack(
+            [np.sin(2 * np.pi * t / 25), np.cos(2 * np.pi * t / 25)], axis=1
+        )
+        w = 12
+        windows = windows_from(series, w)
+        model = ElmanForecaster(window=w, n_channels=2, epochs=60, seed=0)
+        model.fit(windows)
+        errors = [
+            np.linalg.norm(model.predict(window) - window[-1])
+            for window in windows[-50:]
+        ]
+        assert np.mean(errors) < 0.3
+
+    def test_training_reduces_loss(self, small_windows):
+        model = ElmanForecaster(window=8, n_channels=3, seed=0)
+        first = model.fit(small_windows, epochs=1)
+        last = model.finetune(small_windows, epochs=40)
+        assert last < first
+
+    def test_gradient_clipping_keeps_finite(self, rng):
+        windows = rng.normal(scale=1e4, size=(30, 8, 2))
+        model = ElmanForecaster(window=8, n_channels=2, epochs=5, seed=0)
+        model.fit(windows)
+        for param in model.parameters():
+            assert np.all(np.isfinite(param.value))
+
+    def test_wrong_shape_rejected(self, small_windows):
+        model = ElmanForecaster(window=8, n_channels=3, epochs=1)
+        model.fit(small_windows)
+        with pytest.raises(ConfigurationError):
+            model.predict(np.zeros((7, 3)))
+
+    def test_streams_through_framework(self, rng):
+        from repro.core.config import DetectorConfig
+        from repro.core.registry import AlgorithmSpec, build_detector
+        from repro.core.types import TimeSeries
+        from repro.streaming import run_stream
+
+        n = 500
+        t = np.arange(n, dtype=np.float64)
+        values = np.stack(
+            [np.sin(2 * np.pi * t / 40), np.cos(2 * np.pi * t / 40)], axis=1
+        ) + rng.normal(scale=0.05, size=(n, 2))
+        series = TimeSeries(values=values, labels=np.zeros(n, dtype=np.int_))
+        config = DetectorConfig(window=8, train_capacity=48, fit_epochs=5)
+        detector = build_detector(AlgorithmSpec("rnn", "sw", "musigma"), 2, config)
+        result = run_stream(detector, series)
+        assert np.all(np.isfinite(result.scores))

@@ -1,0 +1,109 @@
+"""Tests for the RS-Forest density estimator."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.models import RandomizedSpaceTree, RSForest
+
+
+@pytest.fixture
+def cluster_windows(rng):
+    """Windows whose newest rows form a tight cluster at the origin."""
+    points = rng.normal(scale=0.5, size=(200, 3))
+    return np.stack([np.tile(p, (4, 1)) for p in points])
+
+
+class TestRandomizedSpaceTree:
+    def test_invalid_box(self, rng):
+        with pytest.raises(ValueError):
+            RandomizedSpaceTree(np.ones(2), np.ones(2), depth=3, rng=rng)
+
+    def test_invalid_depth(self, rng):
+        with pytest.raises(ValueError):
+            RandomizedSpaceTree(np.zeros(2), np.ones(2), depth=0, rng=rng)
+
+    def test_counts_sum_to_population(self, rng):
+        tree = RandomizedSpaceTree(np.full(2, -5.0), np.full(2, 5.0), 6, rng)
+        data = rng.normal(size=(150, 2))
+        tree.populate(data)
+
+        def leaf_sum(node):
+            if node.is_leaf:
+                return node.count
+            return leaf_sum(node.left) + leaf_sum(node.right)
+
+        assert leaf_sum(tree.root) == 150
+
+    def test_repopulate_resets(self, rng):
+        tree = RandomizedSpaceTree(np.full(2, -5.0), np.full(2, 5.0), 5, rng)
+        tree.populate(rng.normal(size=(100, 2)))
+        tree.populate(rng.normal(size=(30, 2)))
+
+        def leaf_sum(node):
+            if node.is_leaf:
+                return node.count
+            return leaf_sum(node.left) + leaf_sum(node.right)
+
+        assert leaf_sum(tree.root) == 30
+
+    def test_density_zero_in_empty_region(self, rng):
+        tree = RandomizedSpaceTree(np.full(2, -10.0), np.full(2, 10.0), 6, rng)
+        tree.populate(rng.normal(scale=0.3, size=(200, 2)))
+        assert tree.density(np.array([9.0, 9.0])) == 0.0
+
+    def test_density_positive_in_dense_region(self, rng):
+        tree = RandomizedSpaceTree(np.full(2, -10.0), np.full(2, 10.0), 4, rng)
+        tree.populate(rng.normal(scale=0.3, size=(200, 2)))
+        assert tree.density(np.zeros(2)) > 0.0
+
+
+class TestRSForest:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            RSForest(n_trees=0)
+        with pytest.raises(ConfigurationError):
+            RSForest(depth=0)
+        with pytest.raises(ConfigurationError):
+            RSForest(margin=-0.1)
+
+    def test_score_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            RSForest().score(np.zeros(3))
+        with pytest.raises(NotFittedError):
+            RSForest().finetune(np.zeros((5, 4, 3)))
+
+    def test_scores_bounded(self, cluster_windows):
+        model = RSForest(seed=0)
+        model.fit(cluster_windows)
+        for window in cluster_windows[:20]:
+            assert 0.0 <= model.score(window) <= 1.0
+
+    def test_outlier_scores_near_one(self, cluster_windows):
+        model = RSForest(seed=0)
+        model.fit(cluster_windows)
+        inlier = np.mean([model.score(w) for w in cluster_windows[:30]])
+        outlier = model.score(np.tile(np.full(3, 4.0), (4, 1)))
+        assert outlier > 0.9
+        assert outlier > inlier + 0.3
+
+    def test_finetune_keeps_structure(self, cluster_windows):
+        model = RSForest(seed=0)
+        model.fit(cluster_windows)
+        trees_before = list(model.trees)
+        model.finetune(cluster_windows + 0.2)
+        assert model.trees == trees_before  # same objects, refreshed counts
+
+    def test_finetune_adapts_density(self, cluster_windows, rng):
+        model = RSForest(seed=0, margin=3.0)
+        model.fit(cluster_windows)
+        shifted = cluster_windows + 1.5  # still inside the expanded box
+        before = model.score(shifted[0])
+        model.finetune(shifted)
+        after = model.score(shifted[0])
+        assert after < before
+
+    def test_bare_stream_vector_accepted(self, cluster_windows):
+        model = RSForest(seed=0)
+        model.fit(cluster_windows)
+        assert 0.0 <= model.score(np.zeros(3)) <= 1.0

@@ -1,0 +1,64 @@
+"""Tests for the stream runner."""
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.streaming import run_stream
+
+
+def small_config():
+    return DetectorConfig(window=6, train_capacity=12, fit_epochs=3)
+
+
+class TestRunStream:
+    def test_result_aligned_with_series(self, labelled_series):
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "musigma"), 2, small_config()
+        )
+        result = run_stream(detector, labelled_series)
+        assert result.scores.shape == (labelled_series.n_steps,)
+        assert result.nonconformities.shape == (labelled_series.n_steps,)
+        np.testing.assert_array_equal(result.labels, labelled_series.labels)
+
+    def test_warmup_region_zero(self, labelled_series):
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "musigma"), 2, small_config()
+        )
+        result = run_stream(detector, labelled_series)
+        assert np.all(result.scores[: result.first_scored] == 0.0)
+        scores, labels = result.scored_region()
+        assert scores.size == labelled_series.n_steps - result.first_scored
+        assert labels.size == scores.size
+
+    def test_events_and_drifts_recorded(self, labelled_series):
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "musigma"), 2, small_config()
+        )
+        result = run_stream(detector, labelled_series)
+        assert result.events[0].reason == "initial_fit"
+        for step in result.drift_steps:
+            assert 0 <= step < labelled_series.n_steps
+
+    def test_runtime_measured(self, labelled_series):
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "musigma"), 2, small_config()
+        )
+        result = run_stream(detector, labelled_series)
+        assert result.runtime_seconds > 0
+
+    def test_series_name_and_algorithm_recorded(self, labelled_series):
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "musigma"), 2, small_config()
+        )
+        result = run_stream(detector, labelled_series)
+        assert result.series_name == "test/series"
+        assert result.algorithm == "ae"
+
+    def test_n_finetunes_excludes_initial_fit(self, labelled_series):
+        detector = build_detector(
+            AlgorithmSpec("ae", "sw", "never"), 2, small_config()
+        )
+        result = run_stream(detector, labelled_series)
+        assert result.n_finetunes == 0
+        assert len(result.events) == 1

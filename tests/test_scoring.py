@@ -1,0 +1,229 @@
+"""Tests for nonconformity measures and anomaly scoring functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import ConfigurationError
+from repro.models import PCBIForest, TwoLayerAutoencoder
+from repro.scoring import (
+    AnomalyLikelihood,
+    AverageScore,
+    ConformalScorer,
+    CosineNonconformity,
+    IForestNonconformity,
+    RawScore,
+    cosine_distance,
+    gaussian_tail,
+)
+
+finite_vectors = st.lists(
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    min_size=2,
+    max_size=10,
+)
+
+
+class TestCosineDistance:
+    def test_identical_vectors_zero(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert cosine_distance(v, v) == pytest.approx(0.0, abs=1e-12)
+
+    def test_orthogonal_vectors_one(self):
+        assert cosine_distance(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_opposite_vectors_clipped_to_one(self):
+        v = np.array([1.0, 1.0])
+        assert cosine_distance(v, -v) == 1.0
+
+    def test_scale_invariant(self):
+        a = np.array([1.0, 2.0])
+        assert cosine_distance(a, 100 * a) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_vectors(self):
+        zero = np.zeros(3)
+        assert cosine_distance(zero, zero) == 0.0
+        assert cosine_distance(zero, np.ones(3)) == 1.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            cosine_distance(np.zeros(3), np.zeros(4))
+
+    @given(finite_vectors, finite_vectors)
+    @settings(max_examples=60, deadline=None)
+    def test_always_in_unit_interval(self, a, b):
+        n = min(len(a), len(b))
+        d = cosine_distance(np.asarray(a[:n]), np.asarray(b[:n]))
+        assert 0.0 <= d <= 1.0
+
+    @given(finite_vectors)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric(self, a):
+        vec = np.asarray(a)
+        other = vec[::-1].copy()
+        assert cosine_distance(vec, other) == pytest.approx(
+            cosine_distance(other, vec)
+        )
+
+
+class TestCosineNonconformity:
+    def test_reconstruction_model(self, small_windows):
+        model = TwoLayerAutoencoder(window=8, n_channels=3, epochs=30, seed=0)
+        model.fit(small_windows)
+        measure = CosineNonconformity()
+        score = measure(small_windows[0], model)
+        assert 0.0 <= score <= 1.0
+
+    def test_score_model_rejected(self, small_windows):
+        model = PCBIForest(n_trees=5, seed=0)
+        model.fit(small_windows)
+        with pytest.raises(ConfigurationError):
+            CosineNonconformity()(small_windows[0], model)
+
+
+class TestIForestNonconformity:
+    def test_forwards_model_score(self, small_windows):
+        model = PCBIForest(n_trees=10, seed=0)
+        model.fit(small_windows)
+        measure = IForestNonconformity()
+        assert 0.0 < measure(small_windows[0], model) < 1.0
+
+    def test_non_score_model_rejected(self, small_windows):
+        model = TwoLayerAutoencoder(window=8, n_channels=3, epochs=1, seed=0)
+        model.fit(small_windows)
+        with pytest.raises(ConfigurationError):
+            IForestNonconformity()(small_windows[0], model)
+
+
+class TestGaussianTail:
+    def test_symmetry(self):
+        assert gaussian_tail(0.0) == pytest.approx(0.5)
+        assert gaussian_tail(1.0) + gaussian_tail(-1.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        zs = np.linspace(-5, 5, 50)
+        tails = [gaussian_tail(z) for z in zs]
+        assert all(b <= a for a, b in zip(tails, tails[1:]))
+
+    def test_known_value(self):
+        # P(X > 1.96) ~ 0.025 for standard normal.
+        assert gaussian_tail(1.96) == pytest.approx(0.025, abs=1e-3)
+
+
+class TestRawScore:
+    def test_passthrough(self):
+        scorer = RawScore()
+        assert scorer.update(0.7) == 0.7
+
+
+class TestAverageScore:
+    def test_window_average(self):
+        scorer = AverageScore(k=3)
+        assert scorer.update(1.0) == pytest.approx(1.0)
+        assert scorer.update(0.0) == pytest.approx(0.5)
+        assert scorer.update(0.5) == pytest.approx(0.5)
+        assert scorer.update(0.5) == pytest.approx(1.0 / 3)  # the 1.0 left
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            AverageScore(k=0)
+
+    def test_reset(self):
+        scorer = AverageScore(k=3)
+        scorer.update(1.0)
+        scorer.reset()
+        assert scorer.update(0.0) == 0.0
+
+    def test_smooths_spikes(self, rng):
+        scorer = AverageScore(k=10)
+        for _ in range(10):
+            scorer.update(0.1)
+        spiked = scorer.update(1.0)
+        assert 0.1 < spiked < 0.3
+
+
+class TestConformalScorer:
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ConformalScorer(k=0)
+
+    def test_first_score_is_half(self):
+        scorer = ConformalScorer(k=10)
+        assert scorer.update(0.3) == pytest.approx(0.5)  # rank 1 of 2 slots
+
+    def test_extreme_value_scores_high(self):
+        scorer = ConformalScorer(k=20)
+        for value in np.linspace(0.1, 0.3, 20):
+            scorer.update(float(value))
+        # rank 20 of a full window of 20 (the deque evicts on append).
+        assert scorer.update(0.9) == pytest.approx(1.0)
+
+    def test_typical_value_scores_mid(self, rng):
+        scorer = ConformalScorer(k=50)
+        for _ in range(50):
+            scorer.update(float(rng.uniform()))
+        scores = [scorer.update(0.5) for _ in range(5)]
+        assert all(0.2 < score < 0.8 for score in scores)
+
+    def test_monotone_rescaling_invariant(self):
+        history = [0.1, 0.4, 0.2, 0.8, 0.3, 0.6]
+        plain = ConformalScorer(k=10)
+        squared = ConformalScorer(k=10)
+        plain_scores = [plain.update(v) for v in history]
+        squared_scores = [squared.update(v**2) for v in history]
+        assert plain_scores == squared_scores
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=40, deadline=None)
+    def test_bounded(self, values):
+        scorer = ConformalScorer(k=16)
+        for value in values:
+            assert 0.0 < scorer.update(value) <= 1.0
+
+    def test_reset(self):
+        scorer = ConformalScorer(k=4)
+        scorer.update(0.9)
+        scorer.reset()
+        assert scorer.update(0.1) == pytest.approx(0.5)
+
+
+class TestAnomalyLikelihood:
+    def test_invalid_windows(self):
+        with pytest.raises(ValueError):
+            AnomalyLikelihood(k=1)
+        with pytest.raises(ValueError):
+            AnomalyLikelihood(k=10, k_short=10)
+        with pytest.raises(ValueError):
+            AnomalyLikelihood(k=10, k_short=0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_output_in_unit_interval(self, values):
+        scorer = AnomalyLikelihood(k=20, k_short=3)
+        for value in values:
+            likelihood = scorer.update(value)
+            assert 0.0 <= likelihood <= 1.0
+
+    def test_surge_pushes_likelihood_up(self, rng):
+        scorer = AnomalyLikelihood(k=50, k_short=5)
+        for _ in range(50):
+            scorer.update(0.2 + rng.normal(scale=0.01))
+        quiet = scorer.update(0.2)
+        for _ in range(5):
+            surged = scorer.update(0.9)
+        assert surged > 0.95
+        assert surged > quiet
+
+    def test_steady_stream_near_half(self, rng):
+        scorer = AnomalyLikelihood(k=50, k_short=5)
+        for _ in range(100):
+            last = scorer.update(0.5 + rng.normal(scale=0.05))
+        assert 0.0 < last < 1.0
+
+    def test_reset(self):
+        scorer = AnomalyLikelihood(k=10, k_short=2)
+        for _ in range(10):
+            scorer.update(0.9)
+        scorer.reset()
+        assert len(scorer._window) == 0

@@ -1,0 +1,64 @@
+"""Tests for the sensitivity-sweep harness."""
+
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec
+from repro.experiments import render_sweep, sweep_parameter
+
+
+def tiny_base():
+    return DetectorConfig(
+        window=8,
+        train_capacity=24,
+        initial_train_size=100,
+        fit_epochs=2,
+        kswin_check_every=16,
+        scorer_k=24,
+        scorer_k_short=4,
+    )
+
+
+class TestSweepParameter:
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown DetectorConfig field"):
+            sweep_parameter("windowz", [8, 16])
+
+    def test_sweep_returns_point_per_value(self):
+        points = sweep_parameter(
+            "train_capacity",
+            [16, 32],
+            spec=AlgorithmSpec("online_arima", "sw", "musigma"),
+            n_steps=600,
+            clean_prefix=130,
+            base_config=tiny_base(),
+        )
+        assert [point.value for point in points] == [16, 32]
+        for point in points:
+            assert 0.0 <= point.metrics.auc <= 1.0
+            assert point.runtime_seconds > 0
+
+    def test_render(self):
+        points = sweep_parameter(
+            "window",
+            [6, 10],
+            spec=AlgorithmSpec("online_arima", "sw", "musigma"),
+            n_steps=600,
+            clean_prefix=130,
+            base_config=tiny_base(),
+        )
+        text = render_sweep("window", points)
+        assert "Sensitivity sweep: window" in text
+        assert "AUC" in text
+
+    def test_kswin_alpha_sweepable(self):
+        points = sweep_parameter(
+            "kswin_alpha",
+            [0.001, 0.1],
+            spec=AlgorithmSpec("ae", "sw", "kswin"),
+            n_steps=600,
+            clean_prefix=130,
+            base_config=tiny_base(),
+        )
+        # A looser alpha cannot fine-tune less often.
+        assert points[1].mean_finetunes >= points[0].mean_finetunes

@@ -1,0 +1,119 @@
+"""Tests for core value objects: AnomalyWindow, TimeSeries, label helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import (
+    AnomalyWindow,
+    TimeSeries,
+    labels_from_windows,
+    windows_from_labels,
+)
+
+
+class TestAnomalyWindow:
+    def test_length(self):
+        assert len(AnomalyWindow(5, 12)) == 7
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyWindow(5, 5)
+
+    def test_reversed_window_rejected(self):
+        with pytest.raises(ValueError):
+            AnomalyWindow(10, 3)
+
+    def test_contains_boundaries(self):
+        window = AnomalyWindow(5, 10)
+        assert window.contains(5)
+        assert window.contains(9)
+        assert not window.contains(10)
+        assert not window.contains(4)
+
+    def test_overlaps_true(self):
+        assert AnomalyWindow(0, 10).overlaps(AnomalyWindow(9, 20))
+
+    def test_overlaps_false_adjacent(self):
+        assert not AnomalyWindow(0, 10).overlaps(AnomalyWindow(10, 20))
+
+    def test_overlaps_contained(self):
+        assert AnomalyWindow(0, 100).overlaps(AnomalyWindow(40, 50))
+
+
+class TestWindowsFromLabels:
+    def test_empty(self):
+        assert windows_from_labels(np.zeros(10, dtype=int)) == []
+
+    def test_single_run(self):
+        labels = np.array([0, 0, 1, 1, 1, 0])
+        windows = windows_from_labels(labels)
+        assert len(windows) == 1
+        assert (windows[0].start, windows[0].end) == (2, 5)
+
+    def test_run_at_edges(self):
+        labels = np.array([1, 1, 0, 0, 1])
+        windows = windows_from_labels(labels)
+        assert [(w.start, w.end) for w in windows] == [(0, 2), (4, 5)]
+
+    def test_all_positive(self):
+        windows = windows_from_labels(np.ones(7, dtype=int))
+        assert [(w.start, w.end) for w in windows] == [(0, 7)]
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            windows_from_labels(np.zeros((3, 3), dtype=int))
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, bits):
+        labels = np.asarray(bits, dtype=np.int_)
+        windows = windows_from_labels(labels)
+        reconstructed = labels_from_windows(windows, labels.size)
+        assert np.array_equal(labels, reconstructed)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_windows_disjoint_and_sorted(self, bits):
+        windows = windows_from_labels(np.asarray(bits, dtype=np.int_))
+        for first, second in zip(windows, windows[1:]):
+            assert first.end < second.start  # maximal runs are separated
+
+
+class TestTimeSeries:
+    def test_univariate_promoted_to_2d(self):
+        series = TimeSeries(values=np.arange(5.0), labels=np.zeros(5, dtype=int))
+        assert series.values.shape == (5, 1)
+        assert series.n_channels == 1
+
+    def test_label_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(values=np.zeros((5, 2)), labels=np.zeros(4, dtype=int))
+
+    def test_three_dimensional_rejected(self):
+        with pytest.raises(ValueError):
+            TimeSeries(values=np.zeros((5, 2, 2)), labels=np.zeros(5, dtype=int))
+
+    def test_anomaly_rate(self):
+        labels = np.array([0, 1, 1, 0])
+        series = TimeSeries(values=np.zeros((4, 1)), labels=labels)
+        assert series.anomaly_rate == pytest.approx(0.5)
+
+    def test_slice_rebases_windows(self, labelled_series):
+        sliced = labelled_series.slice(290, 340)
+        assert sliced.n_steps == 50
+        assert len(sliced.windows) == 1
+        assert (sliced.windows[0].start, sliced.windows[0].end) == (10, 30)
+        assert np.array_equal(
+            sliced.labels, labels_from_windows(sliced.windows, 50)
+        )
+
+    def test_slice_clips_partial_window(self, labelled_series):
+        sliced = labelled_series.slice(310, 340)
+        assert (sliced.windows[0].start, sliced.windows[0].end) == (0, 10)
+
+    def test_slice_copies_data(self, labelled_series):
+        sliced = labelled_series.slice(0, 100)
+        sliced.values[0, 0] = 999.0
+        assert labelled_series.values[0, 0] != 999.0

@@ -1,0 +1,93 @@
+"""Tests for the USAD adversarial autoencoder."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.models import USAD
+
+
+@pytest.fixture
+def many_windows(rng):
+    """A realistically sized training set: 150 windows of a periodic signal."""
+    t = np.arange(400, dtype=np.float64)
+    base = np.stack(
+        [
+            np.sin(2 * np.pi * t / 25.0),
+            np.cos(2 * np.pi * t / 25.0),
+            0.5 * np.sin(2 * np.pi * t / 50.0),
+        ],
+        axis=1,
+    )
+    base += rng.normal(scale=0.05, size=base.shape)
+    return np.stack([base[i : i + 8] for i in range(150)])
+
+
+class TestUSAD:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            USAD(window=0, n_channels=2)
+        with pytest.raises(ConfigurationError):
+            USAD(window=4, n_channels=2, blend=1.5)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            USAD(window=4, n_channels=2).predict(np.zeros((4, 2)))
+
+    def test_reconstructions_bounded(self, small_windows):
+        # Sigmoid decoders + min-max scaling keep the adversarial game
+        # bounded: reconstructions must stay within the scaler's range.
+        model = USAD(window=8, n_channels=3, epochs=20, seed=0)
+        model.fit(small_windows)
+        w1, w3 = model.reconstructions(small_windows[0] + 50.0)
+        low, high = model.scaler.low, model.scaler.low + model.scaler.span
+        assert np.all(w1 >= low - 1e-9) and np.all(w1 <= high + 1e-9)
+        assert np.all(w3 >= low - 1e-9) and np.all(w3 <= high + 1e-9)
+
+    def test_reconstruction_quality(self, many_windows):
+        model = USAD(window=8, n_channels=3, epochs=80, seed=0)
+        model.fit(many_windows)
+        window = many_windows[10]
+        w1, _ = model.reconstructions(window)
+        correlation = np.corrcoef(window.ravel(), w1.ravel())[0, 1]
+        assert correlation > 0.6
+
+    def test_usad_score_higher_for_anomalous_window(self, many_windows):
+        model = USAD(window=8, n_channels=3, epochs=60, seed=0)
+        model.fit(many_windows)
+        normal = many_windows[5]
+        anomalous = normal.copy()
+        anomalous[4:] += 5.0
+        assert model.usad_score(anomalous) > model.usad_score(normal)
+
+    def test_blend_extremes(self, small_windows):
+        model = USAD(window=8, n_channels=3, epochs=10, seed=0, blend=0.0)
+        model.fit(small_windows)
+        w1, _ = model.reconstructions(small_windows[0])
+        np.testing.assert_allclose(model.predict(small_windows[0]), w1)
+
+    def test_lifetime_epoch_advances_adversarial_weight(self, small_windows):
+        model = USAD(window=8, n_channels=3, seed=0)
+        model.fit(small_windows, epochs=3)
+        assert model._lifetime_epoch == 3
+        model.finetune(small_windows, epochs=2)
+        assert model._lifetime_epoch == 5
+
+    def test_wrong_shape_rejected(self, small_windows):
+        model = USAD(window=8, n_channels=3, epochs=1)
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((4, 7, 3)))
+
+    def test_parameters_shared_between_copies(self, small_windows):
+        model = USAD(window=8, n_channels=3, epochs=1, seed=0)
+        for original, copy in zip(
+            model.encoder.parameters(), model._encoder_b.parameters()
+        ):
+            assert original is copy
+
+    def test_loss_finite_through_training(self, small_windows):
+        model = USAD(window=8, n_channels=3, seed=0)
+        loss = model.fit(small_windows, epochs=30)
+        assert np.isfinite(loss)
+        for param in model.encoder.parameters():
+            assert np.all(np.isfinite(param.value))

@@ -1,0 +1,100 @@
+"""Tests for the VAR model."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import ConfigurationError, NotFittedError
+from repro.models import VARModel
+
+
+def simulate_var1(a_matrix, nu, n_steps, rng, noise=0.05):
+    n = a_matrix.shape[0]
+    series = np.zeros((n_steps, n))
+    for t in range(1, n_steps):
+        series[t] = nu + a_matrix @ series[t - 1] + rng.normal(scale=noise, size=n)
+    return series
+
+
+def windows_from(series, w):
+    return np.stack([series[i : i + w] for i in range(series.shape[0] - w)])
+
+
+class TestVARModel:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            VARModel(order=0)
+        with pytest.raises(ConfigurationError):
+            VARModel(ridge=-1.0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            VARModel(order=2).predict(np.zeros((5, 2)))
+
+    def test_window_too_short_for_order(self):
+        model = VARModel(order=5)
+        with pytest.raises(ConfigurationError):
+            model.fit(np.zeros((3, 5, 2)))
+
+    def test_recovers_var1_coefficients(self):
+        rng = np.random.default_rng(0)
+        a_true = np.array([[0.5, 0.2], [-0.1, 0.4]])
+        nu_true = np.array([0.3, -0.2])
+        series = simulate_var1(a_true, nu_true, 2000, rng)
+        model = VARModel(order=1)
+        model.fit(windows_from(series, 12))
+        # Coefficient layout: rows are lag-1 channel weights.
+        np.testing.assert_allclose(model.coefficients, a_true.T, atol=0.05)
+        np.testing.assert_allclose(model.intercept, nu_true, atol=0.05)
+
+    def test_forecast_accuracy(self):
+        rng = np.random.default_rng(1)
+        a_true = np.array([[0.7, 0.1], [0.0, 0.6]])
+        series = simulate_var1(a_true, np.zeros(2), 1500, rng)
+        model = VARModel(order=1)
+        windows = windows_from(series, 10)
+        model.fit(windows[:1000])
+        errors = [
+            np.linalg.norm(model.predict(window) - window[-1])
+            for window in windows[1000:1100]
+        ]
+        assert np.mean(errors) < 0.2
+
+    def test_prediction_window_too_short_rejected(self):
+        rng = np.random.default_rng(2)
+        model = VARModel(order=3)
+        series = simulate_var1(np.eye(2) * 0.5, np.zeros(2), 200, rng)
+        model.fit(windows_from(series, 10))
+        with pytest.raises(ConfigurationError):
+            model.predict(series[:3])
+
+    def test_spectral_radius_stable_process(self):
+        rng = np.random.default_rng(3)
+        a_true = np.array([[0.5, 0.0], [0.0, 0.5]])
+        series = simulate_var1(a_true, np.zeros(2), 1000, rng)
+        model = VARModel(order=1)
+        model.fit(windows_from(series, 10))
+        assert model.companion_spectral_radius() < 1.0
+
+    def test_constant_channel_handled_by_ridge(self):
+        # A constant channel makes the design matrix singular without ridge.
+        series = np.stack(
+            [np.sin(np.arange(100.0) / 5), np.full(100, 2.0)], axis=1
+        )
+        model = VARModel(order=2, ridge=1e-4)
+        loss = model.fit(windows_from(series, 10))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(model.predict(series[:10])))
+
+    def test_higher_order(self):
+        rng = np.random.default_rng(4)
+        n = 1500
+        series = np.zeros((n, 1))
+        for t in range(2, n):
+            series[t] = (
+                0.5 * series[t - 1] + 0.3 * series[t - 2] + rng.normal(scale=0.05)
+            )
+        model = VARModel(order=2)
+        model.fit(windows_from(series, 12))
+        # lag-1 and lag-2 coefficients recovered.
+        assert model.coefficients[0, 0] == pytest.approx(0.5, abs=0.05)
+        assert model.coefficients[1, 0] == pytest.approx(0.3, abs=0.05)
