@@ -4,15 +4,25 @@ The paper uses a single representation — the identity window over the
 last ``w`` stream vectors — because the ML models learn their own internal
 features.  The abstraction is kept anyway so downstream users can plug in
 alternatives (differences, spectral features, ...).
+
+The hot path is :class:`RollingBuffer`: one ``push`` per stream step for
+the lifetime of a run.  It stores history in a preallocated *mirrored*
+ring — a ``(2w, N)`` array where row ``i`` and row ``i + w`` always hold
+the same vector — so the most recent ``w`` vectors are always available
+as one contiguous slice.  Emitting a window is a single block copy
+(``np.array`` of a contiguous view) instead of the former
+``np.stack(list(deque))``, which re-materialized ``w`` separate rows
+through a Python loop every step.
 """
 
 from __future__ import annotations
 
-import collections
-
 import numpy as np
 
 from repro.core.types import FeatureVector, StreamVector
+
+#: A contiguous ``(window, n_channels)`` block of recent stream vectors.
+FloatWindow = np.ndarray
 
 
 class DataRepresentation:
@@ -28,6 +38,17 @@ class DataRepresentation:
     def __call__(self, recent: list[StreamVector]) -> FeatureVector:
         raise NotImplementedError
 
+    def from_window(self, window: FloatWindow) -> FeatureVector:
+        """Compute the feature vector from a contiguous ``(w, N)`` window.
+
+        ``window`` is a *view* into the rolling buffer that the next
+        ``push`` will overwrite; implementations must not keep a
+        reference to it.  The default materializes per-row copies and
+        delegates to :meth:`__call__` so existing subclasses keep
+        working; override for a vectorized path.
+        """
+        return self([np.array(row) for row in window])
+
 
 class WindowRepresentation(DataRepresentation):
     """The identity window ``x_t = [s_{t-w+1}, ..., s_t]`` (Section IV-A)."""
@@ -41,33 +62,66 @@ class WindowRepresentation(DataRepresentation):
             )
         return np.stack(recent)
 
+    def from_window(self, window: FloatWindow) -> FeatureVector:
+        # One block copy; callers own the result (it never aliases the ring).
+        return np.array(window)
+
 
 class RollingBuffer:
     """Collects stream vectors and emits feature vectors once warm.
 
-    Wraps a :class:`DataRepresentation` with the deque bookkeeping every
+    Wraps a :class:`DataRepresentation` with the ring bookkeeping every
     streaming consumer needs: push one stream vector per step and receive
     the feature vector as soon as (and whenever) ``window`` vectors are
     available.
+
+    Contract: ``push`` expects a 1-D float64 stream vector and does *not*
+    coerce its input — :meth:`StreamingAnomalyDetector.step` has already
+    run ``np.asarray(s, dtype=np.float64).ravel()`` on every vector, and
+    repeating the conversion here doubled the per-step overhead.  (Row
+    assignment still accepts any 1-D array-like of the right length, so
+    direct callers passing lists keep working.)  The channel count is
+    fixed by the first vector pushed after construction or :meth:`reset`.
     """
 
     def __init__(self, representation: DataRepresentation) -> None:
         self.representation = representation
-        self._recent: collections.deque[StreamVector] = collections.deque(
-            maxlen=representation.window
-        )
+        self._window = representation.window
+        self._ring: np.ndarray | None = None  # mirrored (2w, N) storage
+        self._pos = 0  # next write slot, in [0, w)
+        self._count = 0  # total vectors pushed since reset
 
     @property
     def is_warm(self) -> bool:
-        return len(self._recent) == self.representation.window
+        return self._count >= self._window
 
     def push(self, s: StreamVector) -> FeatureVector | None:
         """Add ``s_t``; return ``x_t`` once enough history has accumulated."""
-        s = np.asarray(s, dtype=np.float64).ravel()
-        self._recent.append(s)
-        if not self.is_warm:
+        w = self._window
+        if self._ring is None:
+            size = np.asarray(s).size
+            self._ring = np.empty((2 * w, size), dtype=np.float64)
+        # Mirrored write keeps rows [pos+1, pos+1+w) == the last w vectors.
+        self._ring[self._pos] = s
+        self._ring[self._pos + w] = s
+        self._pos = (self._pos + 1) % w
+        self._count += 1
+        if self._count < w:
             return None
-        return self.representation(list(self._recent))
+        return self.representation.from_window(self.window_view())
+
+    def window_view(self) -> FloatWindow:
+        """Zero-copy ``(w, N)`` view of the last ``w`` vectors, oldest first.
+
+        The view aliases the ring: the next :meth:`push` overwrites its
+        oldest row.  Read it immediately or copy; never store it in a
+        training set.
+        """
+        if self._ring is None or self._count < self._window:
+            raise ValueError("buffer is not warm yet")
+        return self._ring[self._pos : self._pos + self._window]
 
     def reset(self) -> None:
-        self._recent.clear()
+        self._ring = None  # channel count may differ for the next stream
+        self._pos = 0
+        self._count = 0

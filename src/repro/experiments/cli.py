@@ -59,6 +59,10 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scorer-k", type=int, default=48, dest="scorer_k",
                         help="anomaly-score window k")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--n-jobs", type=int, default=1, dest="n_jobs",
+                        help="worker processes for the experiment grid "
+                             "(1 = sequential, -1 = all CPUs); results are "
+                             "identical at any setting")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,7 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("table1", help="print the 26-algorithm grid")
 
-    subparsers.add_parser("table2", help="print per-step operation counts")
+    table2 = subparsers.add_parser("table2", help="print per-step operation counts")
+    table2.add_argument("--n-jobs", type=int, default=1, dest="n_jobs",
+                        help="measure the (m, w, N) settings in parallel")
 
     table3 = subparsers.add_parser("table3", help="run one corpus block of Table III")
     _add_scale_arguments(table3)
@@ -104,14 +110,14 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
     elif args.command == "table2":
-        print(render_table2(run_table2()))
+        print(render_table2(run_table2(n_jobs=args.n_jobs)))
     elif args.command == "table3":
         config = _table3_config(args)
-        rows = run_table3(args.corpus, config=config)
+        rows = run_table3(args.corpus, config=config, n_jobs=args.n_jobs)
         print(render_table3(args.corpus, rows))
     elif args.command == "scores":
         config = _table3_config(args)
-        rows = run_score_ablation(args.corpus, config=config)
+        rows = run_score_ablation(args.corpus, config=config, n_jobs=args.n_jobs)
         print(render_score_ablation(args.corpus, rows))
     elif args.command == "figure1":
         impact = run_figure1(n_steps=args.steps, seed=args.seed)
@@ -120,7 +126,7 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.report import write_report
 
         config = _table3_config(args)
-        out = write_report(args.out, config=config)
+        out = write_report(args.out, config=config, n_jobs=args.n_jobs)
         print(f"report written to {out}")
     return 0
 

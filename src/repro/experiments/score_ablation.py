@@ -11,12 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.registry import AlgorithmSpec, build_algorithm_grid, build_detector
+from repro.core.registry import AlgorithmSpec, build_algorithm_grid
 from repro.datasets.corpora import make_corpus
 from repro.experiments.evaluation import MetricRow, average_rows, evaluate_result
 from repro.experiments.reporting import render_table
 from repro.experiments.table3 import Table3Config
-from repro.streaming.runner import run_stream
+from repro.streaming.parallel import CellFailure, CorpusCell, ParallelCorpusRunner
 
 SCORER_ORDER = ("raw", "avg", "al")
 
@@ -34,14 +34,21 @@ def run_score_ablation(
     corpus_name: str,
     specs: list[AlgorithmSpec] | None = None,
     config: Table3Config | None = None,
+    n_jobs: int | None = None,
 ) -> list[AblationRow]:
     """Average each scoring function over the algorithm grid.
+
+    The (scorer, algorithm, series) cells run on one
+    :class:`ParallelCorpusRunner` grid; as in ``run_table3``, ``n_jobs``
+    affects wall-clock time only, and failed cells are reported and
+    dropped from their scorer's average.
 
     Args:
         corpus_name: ``"daphnet"``, ``"exathlon"`` or ``"smd"``.
         specs: algorithm subset (defaults to the full grid; pass a subset
             to keep the benchmark fast).
         config: experiment scale parameters.
+        n_jobs: worker processes for the grid.
     """
     config = config if config is not None else Table3Config()
     specs = specs if specs is not None else build_algorithm_grid()
@@ -52,19 +59,23 @@ def run_score_ablation(
         clean_prefix=config.clean_prefix,
         seed=config.seed,
     )
+    cells = [
+        CorpusCell(spec=spec, series=series, config=config.detector, scorer=scorer)
+        for scorer in SCORER_ORDER
+        for spec in specs
+        for series in corpus
+    ]
+    grid = ParallelCorpusRunner(n_jobs=n_jobs).run(cells)
+    per_scorer = len(specs) * len(corpus)
     rows = []
-    for scorer in SCORER_ORDER:
+    for i, scorer in enumerate(SCORER_ORDER):
+        block = grid.outcomes[i * per_scorer : (i + 1) * per_scorer]
         metric_rows = []
-        for spec in specs:
-            for series in corpus:
-                detector = build_detector(
-                    spec,
-                    n_channels=series.n_channels,
-                    config=config.detector,
-                    scorer=scorer,
-                )
-                result = run_stream(detector, series)
-                metric_rows.append(evaluate_result(result))
+        for outcome in block:
+            if isinstance(outcome, CellFailure):
+                print(f"  WARNING: cell {outcome.label} failed: {outcome.message}")
+                continue
+            metric_rows.append(evaluate_result(outcome))
         rows.append(
             AblationRow(
                 scorer=scorer,

@@ -71,32 +71,40 @@ def _prime_musigma(detector: MuSigmaChange, train_set: FloatArray) -> None:
         detector.observe(Update(UpdateKind.ADDED, added=vector), t=0)
 
 
+def _measure_setting(setting: tuple[int, int, int]) -> Table2Row:
+    """Build one table row for an ``(m, w, N)`` setting (picklable unit
+    of work for the parallel path)."""
+    m, w, n_channels = setting
+    musigma_measured, kswin_measured = measure_ops(m, w, n_channels)
+    return Table2Row(
+        m=m,
+        w=w,
+        n_channels=n_channels,
+        musigma_formula=mu_sigma_ops(m, w, n_channels),
+        kswin_formula=kswin_ops(m, w, n_channels),
+        musigma_measured=musigma_measured,
+        kswin_measured=kswin_measured,
+    )
+
+
 def run_table2(
     settings: list[tuple[int, int, int]] | None = None,
+    n_jobs: int | None = None,
 ) -> list[Table2Row]:
     """Evaluate the Table II formulas (and measured counts) per setting.
 
     Args:
         settings: list of ``(m, w, N)`` tuples; defaults to a sweep around
             the paper's scale.
+        n_jobs: measure settings in parallel processes (``None``/``1``
+            sequential); each setting is independent, so results are
+            identical either way.
     """
+    from repro.streaming.parallel import parallel_map
+
     if settings is None:
         settings = [(50, 100, 9), (100, 100, 9), (200, 100, 9), (100, 100, 38)]
-    rows = []
-    for m, w, n_channels in settings:
-        musigma_measured, kswin_measured = measure_ops(m, w, n_channels)
-        rows.append(
-            Table2Row(
-                m=m,
-                w=w,
-                n_channels=n_channels,
-                musigma_formula=mu_sigma_ops(m, w, n_channels),
-                kswin_formula=kswin_ops(m, w, n_channels),
-                musigma_measured=musigma_measured,
-                kswin_measured=kswin_measured,
-            )
-        )
-    return rows
+    return parallel_map(_measure_setting, settings, n_jobs=n_jobs)
 
 
 def render_table2(rows: list[Table2Row]) -> str:

@@ -12,12 +12,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import DetectorConfig
-from repro.core.registry import AlgorithmSpec, build_algorithm_grid, build_detector
+from repro.core.registry import AlgorithmSpec, build_algorithm_grid
 from repro.core.types import TimeSeries
 from repro.datasets.corpora import make_corpus
 from repro.experiments.evaluation import MetricRow, average_rows, evaluate_result
 from repro.experiments.reporting import render_table
-from repro.streaming.runner import run_stream
+from repro.streaming.parallel import (
+    CellFailure,
+    GridResult,
+    ParallelCorpusRunner,
+    build_cells,
+)
 
 
 @dataclass
@@ -94,50 +99,69 @@ class Table3Config:
         )
 
 
+def _row_from_grid(
+    spec: AlgorithmSpec, grid: GridResult, config: Table3Config
+) -> Table3Row:
+    """Average one algorithm's successful cells into its table row."""
+    rows = []
+    n_finetunes = 0
+    for outcome in grid.outcomes:
+        if isinstance(outcome, CellFailure):
+            print(f"  WARNING: cell {outcome.label} failed: {outcome.message}")
+            continue
+        rows.append(
+            evaluate_result(outcome, threshold_quantile=config.threshold_quantile)
+        )
+        n_finetunes += outcome.n_finetunes
+    if not rows:
+        raise RuntimeError(
+            f"every cell of {spec.label} failed; first traceback:\n"
+            f"{grid.failures[0].traceback}"
+        )
+    return Table3Row(
+        spec=spec,
+        metrics=average_rows(rows),
+        n_runs=len(rows),
+        n_finetunes=n_finetunes / len(rows),
+    )
+
+
 def run_algorithm_on_corpus(
     spec: AlgorithmSpec,
     corpus: list[TimeSeries],
     config: Table3Config,
+    n_jobs: int | None = None,
 ) -> Table3Row:
     """Run one algorithm over every series and scorer; average metrics."""
-    rows = []
-    n_finetunes = 0
-    n_runs = 0
-    for scorer in config.scorers:
-        for series in corpus:
-            detector = build_detector(
-                spec,
-                n_channels=series.n_channels,
-                config=config.detector,
-                scorer=scorer,
-            )
-            result = run_stream(detector, series)
-            rows.append(
-                evaluate_result(
-                    result, threshold_quantile=config.threshold_quantile
-                )
-            )
-            n_finetunes += result.n_finetunes
-            n_runs += 1
-    return Table3Row(
-        spec=spec,
-        metrics=average_rows(rows),
-        n_runs=n_runs,
-        n_finetunes=n_finetunes / max(n_runs, 1),
-    )
+    cells = build_cells([spec], corpus, config.detector, scorers=config.scorers)
+    grid = ParallelCorpusRunner(n_jobs=n_jobs).run(cells)
+    return _row_from_grid(spec, grid, config)
 
 
 def run_table3(
     corpus_name: str,
     specs: list[AlgorithmSpec] | None = None,
     config: Table3Config | None = None,
+    n_jobs: int | None = None,
+    progress: bool = False,
 ) -> list[Table3Row]:
     """Regenerate one corpus block of Table III.
+
+    The full cross product of (algorithm, scorer, series) cells is fanned
+    out over one :class:`ParallelCorpusRunner` grid — not one pool per
+    algorithm — so workers stay busy across the whole table.  Cells are
+    seeded identically to the historical sequential loop; ``n_jobs`` only
+    changes wall-clock time, never a number in the table.  A cell that
+    raises is reported and excluded from its row's averages; the grid
+    keeps running (an algorithm only raises if *all* of its cells fail).
 
     Args:
         corpus_name: ``"daphnet"``, ``"exathlon"`` or ``"smd"``.
         specs: algorithm subset; defaults to the full 26-algorithm grid.
         config: experiment scale parameters.
+        n_jobs: worker processes for the grid (``None``/``1``
+            sequential, ``-1`` all CPUs).
+        progress: print one line per completed cell.
 
     Returns:
         One row per algorithm, in Table I order.
@@ -151,7 +175,14 @@ def run_table3(
         clean_prefix=config.clean_prefix,
         seed=config.seed,
     )
-    return [run_algorithm_on_corpus(spec, corpus, config) for spec in specs]
+    cells = build_cells(specs, corpus, config.detector, scorers=config.scorers)
+    grid = ParallelCorpusRunner(n_jobs=n_jobs).run(cells, progress=progress)
+    per_spec = len(config.scorers) * len(corpus)
+    rows = []
+    for i, spec in enumerate(specs):
+        block = GridResult(grid.outcomes[i * per_spec : (i + 1) * per_spec])
+        rows.append(_row_from_grid(spec, block, config))
+    return rows
 
 
 def render_table3(corpus_name: str, rows: list[Table3Row]) -> str:

@@ -5,6 +5,16 @@ each internal node draws a random normal vector ``n`` and a random
 intercept ``p`` inside the node's bounding box, branching on
 ``(x - p) . n <= 0``.  Anomalies isolate in fewer splits, so short average
 path lengths map to scores near 1 via ``s(x) = 2^{-E(h(x)) / c(psi)}``.
+
+Trees are *grown* recursively (the structure and RNG consumption are
+unchanged from the original implementation) but *traversed* over a flat
+array encoding: normals, intercepts, child indices and leaf adjustments
+live in contiguous NumPy arrays, so path lengths for many points — or for
+one point across every tree of a forest — are computed by vectorized
+index-chasing instead of per-node Python recursion.  The recursive
+traversal is kept as :meth:`ExtendedIsolationTree.path_length_recursive`;
+it is the reference the array encoding is property-tested against, and
+the baseline the perf benchmarks compare to.
 """
 
 from __future__ import annotations
@@ -47,6 +57,93 @@ class _Node:
         return self.left is None
 
 
+class _FlatTree:
+    """Array encoding of one grown tree (preorder node numbering).
+
+    ``left``/``right`` hold child indices with ``-1`` marking leaves;
+    ``leaf_adjust`` holds ``c(size)`` at leaves (0 at internal nodes) so a
+    traversal ends with a single gather instead of a Python call.
+    """
+
+    __slots__ = ("normals", "intercepts", "left", "right", "leaf_adjust")
+
+    def __init__(self, root: _Node, dim: int) -> None:
+        # Preorder flatten with an explicit stack (no recursion limits).
+        nodes: list[_Node] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if not node.is_leaf:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+        index = {id(node): i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        self.normals = np.zeros((n, dim), dtype=np.float64)
+        self.intercepts = np.zeros((n, dim), dtype=np.float64)
+        self.left = np.full(n, -1, dtype=np.int64)
+        self.right = np.full(n, -1, dtype=np.int64)
+        self.leaf_adjust = np.zeros(n, dtype=np.float64)
+        for i, node in enumerate(nodes):
+            if node.is_leaf:
+                self.leaf_adjust[i] = average_path_length(node.size)
+            else:
+                self.normals[i] = node.normal
+                self.intercepts[i] = node.intercept
+                self.left[i] = index[id(node.left)]
+                self.right[i] = index[id(node.right)]
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.left.size)
+
+
+class _Arena:
+    """All trees of a forest concatenated into shared node arrays.
+
+    Child indices are rebased so one pair of ``left``/``right`` arrays
+    addresses every tree; ``roots`` holds each tree's root offset.  A
+    single point then descends *all* trees simultaneously, and a batch of
+    points descends all (point, tree) pairs simultaneously.
+    """
+
+    __slots__ = ("normals", "intercepts", "left", "right", "leaf_adjust", "roots")
+
+    def __init__(self, flats: list[_FlatTree]) -> None:
+        offsets = np.cumsum([0] + [flat.n_nodes for flat in flats[:-1]])
+        self.roots = np.asarray(offsets, dtype=np.int64)
+        self.normals = np.concatenate([flat.normals for flat in flats])
+        self.intercepts = np.concatenate([flat.intercepts for flat in flats])
+        self.leaf_adjust = np.concatenate([flat.leaf_adjust for flat in flats])
+        rebased_left = []
+        rebased_right = []
+        for flat, offset in zip(flats, offsets):
+            shift = np.where(flat.left >= 0, offset, 0)
+            rebased_left.append(flat.left + shift)
+            rebased_right.append(flat.right + np.where(flat.right >= 0, offset, 0))
+        self.left = np.concatenate(rebased_left)
+        self.right = np.concatenate(rebased_right)
+
+    def descend(self, points: FloatArray, node: np.ndarray) -> FloatArray:
+        """Walk every (point, node-start) pair to its leaf; return depths.
+
+        ``points`` has shape ``(k, dim)`` aligned with ``node`` — entry
+        ``i`` descends from ``node[i]`` deciding branches with
+        ``points[i]``.  Mutates ``node`` in place to the final leaves.
+        """
+        depth = np.zeros(node.size, dtype=np.float64)
+        active = np.flatnonzero(self.left[node] >= 0)
+        while active.size:
+            idx = node[active]
+            proj = np.einsum(
+                "ij,ij->i", points[active] - self.intercepts[idx], self.normals[idx]
+            )
+            node[active] = np.where(proj <= 0.0, self.left[idx], self.right[idx])
+            depth[active] += 1.0
+            active = active[self.left[node[active]] >= 0]
+        return depth + self.leaf_adjust[node]
+
+
 class ExtendedIsolationTree:
     """A single isolation tree with diagonal (hyperplane) splits.
 
@@ -84,6 +181,7 @@ class ExtendedIsolationTree:
         )
         self._rng = rng
         self.root = self._grow(data, depth=0)
+        self.flat = _FlatTree(self.root, self.dim)
 
     def _grow(self, data: FloatArray, depth: int) -> _Node:
         n = data.shape[0]
@@ -118,11 +216,27 @@ class ExtendedIsolationTree:
             right=self._grow(data[~goes_left], depth + 1),
         )
 
-    def path_length(self, x: FloatArray) -> float:
-        """Depth at which ``x`` isolates, with the ``c(size)`` leaf adjustment."""
+    def _check_dim(self, x: FloatArray) -> FloatArray:
         x = np.asarray(x, dtype=np.float64).ravel()
         if x.size != self.dim:
             raise ValueError(f"expected point of dim {self.dim}, got {x.size}")
+        return x
+
+    def path_length(self, x: FloatArray) -> float:
+        """Depth at which ``x`` isolates, with the ``c(size)`` leaf adjustment."""
+        x = self._check_dim(x)
+        flat = self.flat
+        node = 0
+        depth = 0
+        while flat.left[node] >= 0:
+            proj = (x - flat.intercepts[node]) @ flat.normals[node]
+            node = flat.left[node] if proj <= 0.0 else flat.right[node]
+            depth += 1
+        return depth + float(flat.leaf_adjust[node])
+
+    def path_length_recursive(self, x: FloatArray) -> float:
+        """Reference node-object traversal (kept for tests and benchmarks)."""
+        x = self._check_dim(x)
         node = self.root
         depth = 0
         while not node.is_leaf:
@@ -134,19 +248,40 @@ class ExtendedIsolationTree:
             depth += 1
         return depth + average_path_length(node.size)
 
+    def path_lengths(self, points: FloatArray) -> FloatArray:
+        """Vectorized :meth:`path_length` for ``(n, dim)`` points."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ValueError(
+                f"expected points of dim {self.dim}, got {points.shape[1]}"
+            )
+        flat = self.flat
+        node = np.zeros(points.shape[0], dtype=np.int64)
+        depth = np.zeros(points.shape[0], dtype=np.float64)
+        active = np.flatnonzero(flat.left[node] >= 0)
+        while active.size:
+            idx = node[active]
+            proj = np.einsum(
+                "ij,ij->i", points[active] - flat.intercepts[idx], flat.normals[idx]
+            )
+            node[active] = np.where(proj <= 0.0, flat.left[idx], flat.right[idx])
+            depth[active] += 1.0
+            active = active[flat.left[node[active]] >= 0]
+        return depth + flat.leaf_adjust[node]
+
     def n_nodes(self) -> int:
         """Total node count (diagnostics)."""
-
-        def count(node: _Node) -> int:
-            if node.is_leaf:
-                return 1
-            return 1 + count(node.left) + count(node.right)  # type: ignore[arg-type]
-
-        return count(self.root)
+        return self.flat.n_nodes
 
 
 class ExtendedIsolationForest:
     """An ensemble of extended isolation trees.
+
+    Scoring runs over a node *arena* — the array encodings of every tree
+    concatenated — so one point's per-tree depths come from a single
+    vectorized descent across all trees, and batches descend all
+    (point, tree) pairs at once.  Set ``use_arena = False`` to fall back
+    to per-tree recursive traversal (the pre-vectorization baseline).
 
     Args:
         n_trees: ensemble size.
@@ -170,13 +305,26 @@ class ExtendedIsolationForest:
         self.n_trees = n_trees
         self.subsample = subsample
         self.extension_level = extension_level
+        self.use_arena = True
         self._rng = np.random.default_rng(seed)
-        self.trees: list[ExtendedIsolationTree] = []
+        self._trees: list[ExtendedIsolationTree] = []
+        self._arena: _Arena | None = None
         self._psi = 0
 
     @property
+    def trees(self) -> list[ExtendedIsolationTree]:
+        return self._trees
+
+    @trees.setter
+    def trees(self, trees: list[ExtendedIsolationTree]) -> None:
+        # Assigning a new tree list (fit, PCB prune-and-regrow) drops the
+        # cached arena; it is rebuilt lazily on the next scoring call.
+        self._trees = list(trees)
+        self._arena = None
+
+    @property
     def is_fitted(self) -> bool:
-        return bool(self.trees)
+        return bool(self._trees)
 
     def fit(self, data: FloatArray) -> "ExtendedIsolationForest":
         """Build all trees from scratch on ``(n, dim)`` points."""
@@ -196,17 +344,57 @@ class ExtendedIsolationForest:
             level = min(level, data.shape[1] - 1)
         return ExtendedIsolationTree(data[index], self._rng, extension_level=level)
 
+    def _ensure_arena(self) -> _Arena:
+        if self._arena is None:
+            self._arena = _Arena([tree.flat for tree in self._trees])
+        return self._arena
+
     def depths(self, x: FloatArray) -> FloatArray:
         """Per-tree path lengths for one point."""
-        if not self.trees:
+        if not self._trees:
             raise NotFittedError("forest used before fit")
-        return np.array([tree.path_length(x) for tree in self.trees])
+        x = self._trees[0]._check_dim(x)
+        if not self.use_arena:
+            return np.array([tree.path_length_recursive(x) for tree in self._trees])
+        arena = self._ensure_arena()
+        points = np.broadcast_to(x, (arena.roots.size, x.size))
+        return arena.descend(points, arena.roots.copy())
+
+    def depths_batch(self, points: FloatArray) -> FloatArray:
+        """Path lengths for ``(n, dim)`` points over every tree: ``(n, T)``."""
+        if not self._trees:
+            raise NotFittedError("forest used before fit")
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self._trees[0].dim:
+            raise ValueError(
+                f"expected points of dim {self._trees[0].dim}, "
+                f"got {points.shape[1]}"
+            )
+        if not self.use_arena:
+            return np.stack([self.depths(p) for p in points])
+        arena = self._ensure_arena()
+        n_points = points.shape[0]
+        n_trees = arena.roots.size
+        node = np.tile(arena.roots, n_points)
+        spread = np.repeat(points, n_trees, axis=0)
+        return arena.descend(spread, node).reshape(n_points, n_trees)
 
     def score_from_depth(self, depth: float) -> float:
         """Map a (mean or single-tree) depth to the iForest score in (0, 1)."""
         denominator = average_path_length(max(self._psi, 2))
         return float(2.0 ** (-depth / max(denominator, 1e-12)))
 
+    def scores_from_depths(self, depths: FloatArray) -> FloatArray:
+        """Vectorized :meth:`score_from_depth` over an array of depths."""
+        denominator = average_path_length(max(self._psi, 2))
+        return 2.0 ** (
+            -np.asarray(depths, dtype=np.float64) / max(denominator, 1e-12)
+        )
+
     def score(self, x: FloatArray) -> float:
         """The ensemble anomaly score ``2^{-E(h(x)) / c(psi)}``."""
         return self.score_from_depth(float(self.depths(x).mean()))
+
+    def score_batch(self, points: FloatArray) -> FloatArray:
+        """Ensemble scores for ``(n, dim)`` points in one vectorized pass."""
+        return self.scores_from_depths(self.depths_batch(points).mean(axis=1))

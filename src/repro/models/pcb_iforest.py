@@ -75,7 +75,7 @@ class PCBIForest(StreamModel):
         self.forest.fit(points)
         self.performance_counters = np.zeros(self.forest.n_trees, dtype=np.int64)
         self._fitted = True
-        return float(np.mean([self.forest.score(p) for p in points]))
+        return float(self.forest.score_batch(points).mean())
 
     def finetune(self, windows: FloatArray, epochs: int = 1) -> float:
         """PCB update: drop underperforming trees, grow replacements.
@@ -94,7 +94,7 @@ class PCBIForest(StreamModel):
         new_trees = [self.forest.build_tree(points) for _ in range(n_new)]
         self.forest.trees = survivors + new_trees
         self.performance_counters = np.zeros(self.forest.n_trees, dtype=np.int64)
-        return float(np.mean([self.forest.score(p) for p in points]))
+        return float(self.forest.score_batch(points).mean())
 
     # ------------------------------------------------------------------
     def score(self, x: FeatureVector) -> float:
@@ -111,9 +111,7 @@ class PCBIForest(StreamModel):
         depths = self.forest.depths(point)
         ensemble_score = self.forest.score_from_depth(float(depths.mean()))
         ensemble_anomalous = ensemble_score > self.threshold
-        tree_scores = np.array(
-            [self.forest.score_from_depth(float(d)) for d in depths]
-        )
+        tree_scores = self.forest.scores_from_depths(depths)
         agrees = (tree_scores > self.threshold) == ensemble_anomalous
         self.performance_counters += np.where(agrees, 1, -1)
         return float(ensemble_score)
@@ -125,5 +123,4 @@ class PCBIForest(StreamModel):
     def loss(self, windows: FloatArray) -> float:
         """Mean ensemble score over the training set (lower = more normal)."""
         points = self._points(windows)
-        depths = [float(self.forest.depths(p).mean()) for p in points]
-        return float(np.mean([self.forest.score_from_depth(d) for d in depths]))
+        return float(self.forest.score_batch(points).mean())

@@ -3,12 +3,26 @@
 from repro.streaming.checkpoint import load_detector, save_detector
 from repro.streaming.corpus import CorpusResult, run_corpus
 from repro.streaming.ensemble import EnsembleDetector
+from repro.streaming.parallel import (
+    CellFailure,
+    CorpusCell,
+    GridResult,
+    ParallelCorpusRunner,
+    build_cells,
+    derive_cell_seed,
+)
 from repro.streaming.runner import StreamResult, run_stream
 
 __all__ = [
+    "CellFailure",
+    "CorpusCell",
     "CorpusResult",
     "EnsembleDetector",
+    "GridResult",
+    "ParallelCorpusRunner",
     "StreamResult",
+    "build_cells",
+    "derive_cell_seed",
     "load_detector",
     "run_corpus",
     "run_stream",

@@ -38,6 +38,8 @@ def run_corpus(
     factory: DetectorFactory,
     corpus: list[TimeSeries],
     progress: bool = False,
+    progress_every: int | None = None,
+    n_jobs: int | None = None,
 ) -> CorpusResult:
     """Stream every series through a fresh detector from ``factory``.
 
@@ -53,14 +55,46 @@ def run_corpus(
             differ across series).
         corpus: the labelled series to stream.
         progress: print one line per completed series.
+        progress_every: forwarded to :func:`run_stream` — print a
+            per-step progress line every N steps within each series.
+        n_jobs: worker processes; ``None``/``0``/``1`` stream the corpus
+            sequentially, ``-1`` uses every CPU.  Parallel workers are
+            *forked* so the factory closure is inherited rather than
+            pickled (Linux; other platforms fall back to sequential).
+            Scores are bitwise-identical to a sequential run.
 
     Returns:
         A :class:`CorpusResult` wrapping the per-series stream results.
+
+    Raises:
+        RuntimeError: if a parallel worker's series run raised; the
+            captured worker traceback is included.  (Use
+            :class:`~repro.streaming.parallel.ParallelCorpusRunner` for
+            grid runs that must survive individual cell failures.)
     """
+    from repro.streaming.parallel import (
+        CellFailure,
+        resolve_n_jobs,
+        run_corpus_parallel,
+    )
+
+    n = resolve_n_jobs(n_jobs)
+    if n > 1 and len(corpus) > 1:
+        outcomes = run_corpus_parallel(
+            factory, corpus, n, progress=progress, progress_every=progress_every
+        )
+        for outcome in outcomes:
+            if isinstance(outcome, CellFailure):
+                raise RuntimeError(
+                    f"series {outcome.series_name} failed in its worker:\n"
+                    f"{outcome.traceback}"
+                )
+        return CorpusResult(results=outcomes)
+
     results = []
     for index, series in enumerate(corpus):
         detector = factory(series)
-        result = run_stream(detector, series)
+        result = run_stream(detector, series, progress_every=progress_every)
         results.append(result)
         if progress:
             print(

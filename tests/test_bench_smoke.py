@@ -1,0 +1,59 @@
+"""Smoke test for the speedup benchmark: regenerates BENCH_parallel.json.
+
+Runs ``benchmarks/bench_parallel_speedup.py --fast`` as a subprocess (the
+benchmarks directory is not a package) and checks the emitted JSON has
+the expected shape.  Speedup thresholds are asserted only loosely here —
+the fast mode exists to prove the pipeline works, not to measure; the
+full run (``python benchmarks/bench_parallel_speedup.py``) produces the
+committed numbers.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_parallel_speedup.py"
+
+
+def test_bench_parallel_smoke(tmp_path):
+    out = tmp_path / "BENCH_parallel.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(BENCH_SCRIPT),
+            "--fast",
+            "--n-jobs",
+            "2",
+            "--out",
+            str(out),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "fast"
+    for key in ("generated_by", "cpu_count", "grid", "iforest_batch", "determinism"):
+        assert key in payload
+    grid = payload["grid"]
+    for key in (
+        "n_cells",
+        "legacy_sequential_s",
+        "sequential_s",
+        "parallel_s",
+        "hotpath_speedup",
+        "pool_speedup",
+        "speedup",
+    ):
+        assert key in grid
+    # Correctness claims hold even at smoke scale; timing claims do not.
+    assert payload["determinism"]["bitwise_identical"] is True
+    assert payload["iforest_batch"]["speedup"] > 1.0

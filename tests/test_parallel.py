@@ -1,0 +1,191 @@
+"""Tests for the parallel experiment engine (repro.streaming.parallel)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.core.types import TimeSeries
+from repro.datasets import make_smd
+from repro.streaming import (
+    CellFailure,
+    CorpusCell,
+    ParallelCorpusRunner,
+    StreamResult,
+    build_cells,
+    derive_cell_seed,
+    run_corpus,
+)
+from repro.streaming.parallel import resolve_n_jobs
+
+
+SMALL_CONFIG = DetectorConfig(window=8, train_capacity=24, fit_epochs=1)
+
+
+def small_grid(n_series=2, n_steps=400):
+    corpus = make_smd(n_series=n_series, n_steps=n_steps, clean_prefix=100, seed=3)
+    specs = [
+        AlgorithmSpec("online_arima", "sw", "musigma"),
+        AlgorithmSpec("pcb_iforest", "sw", "kswin"),
+    ]
+    return build_cells(specs, corpus, SMALL_CONFIG, scorers=("avg",))
+
+
+def poisoned_series(n_steps=300):
+    """A series whose tail is non-finite: the detector raises mid-stream."""
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=(n_steps, 2))
+    values[n_steps // 2 :] = np.inf
+    return TimeSeries(
+        values=values,
+        labels=np.zeros(n_steps, dtype=int),
+        name="poisoned",
+    )
+
+
+class TestResolveNJobs:
+    def test_sequential_aliases(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(0) == 1
+        assert resolve_n_jobs(1) == 1
+
+    def test_explicit(self):
+        assert resolve_n_jobs(4) == 4
+
+    def test_all_cpus(self):
+        assert resolve_n_jobs(-1) >= 1
+
+
+class TestDeriveCellSeed:
+    def test_deterministic(self):
+        assert derive_cell_seed(7, "a", "b") == derive_cell_seed(7, "a", "b")
+
+    def test_sensitive_to_every_part(self):
+        base = derive_cell_seed(7, "spec", "scorer", "series")
+        assert derive_cell_seed(8, "spec", "scorer", "series") != base
+        assert derive_cell_seed(7, "spec2", "scorer", "series") != base
+        assert derive_cell_seed(7, "spec", "scorer2", "series") != base
+
+    def test_in_numpy_seed_range(self):
+        seed = derive_cell_seed(0, "x")
+        assert 0 <= seed < 2**32
+
+
+class TestParallelEqualsSequential:
+    def test_bitwise_identical_scores(self):
+        cells = small_grid()
+        sequential = ParallelCorpusRunner(n_jobs=1).run(cells)
+        parallel = ParallelCorpusRunner(n_jobs=2).run(cells)
+        assert not sequential.failures and not parallel.failures
+        assert len(sequential.results) == len(cells)
+        for seq, par in zip(sequential.results, parallel.results):
+            assert seq.series_name == par.series_name
+            assert seq.algorithm == par.algorithm
+            np.testing.assert_array_equal(seq.scores, par.scores)
+            np.testing.assert_array_equal(seq.nonconformities, par.nonconformities)
+            assert seq.drift_steps == par.drift_steps
+
+    def test_chunked_dispatch_matches(self):
+        cells = small_grid()
+        one_by_one = ParallelCorpusRunner(n_jobs=2, chunksize=1).run(cells)
+        chunked = ParallelCorpusRunner(n_jobs=2, chunksize=3).run(cells)
+        for a, b in zip(one_by_one.results, chunked.results):
+            np.testing.assert_array_equal(a.scores, b.scores)
+
+    def test_outcomes_stay_ordered(self):
+        cells = small_grid(n_series=3)
+        grid = ParallelCorpusRunner(n_jobs=2).run(cells)
+        for cell, outcome in zip(cells, grid.outcomes):
+            assert isinstance(outcome, StreamResult)
+            assert outcome.series_name == cell.series.name
+            assert outcome.algorithm == cell.spec.model
+
+    def test_per_cell_seeds_also_deterministic(self):
+        corpus = make_smd(n_series=2, n_steps=400, clean_prefix=100, seed=3)
+        specs = [AlgorithmSpec("pcb_iforest", "sw", "kswin")]
+        cells = build_cells(
+            specs, corpus, SMALL_CONFIG, scorers=("avg",), per_cell_seeds=True
+        )
+        assert len({cell.seed for cell in cells}) == len(cells)
+        sequential = ParallelCorpusRunner(n_jobs=1).run(cells)
+        parallel = ParallelCorpusRunner(n_jobs=2).run(cells)
+        for seq, par in zip(sequential.results, parallel.results):
+            np.testing.assert_array_equal(seq.scores, par.scores)
+
+
+class TestWorkerCrashSurvival:
+    def _cells_with_poison(self):
+        good = make_smd(n_series=2, n_steps=300, clean_prefix=80, seed=5)
+        spec = AlgorithmSpec("online_arima", "sw", "musigma")
+        series = [good[0], poisoned_series(), good[1]]
+        return [
+            CorpusCell(spec=spec, series=s, config=SMALL_CONFIG, scorer="avg")
+            for s in series
+        ]
+
+    def test_grid_survives_failing_cell(self):
+        grid = ParallelCorpusRunner(n_jobs=2).run(self._cells_with_poison())
+        assert grid.n_cells == 3
+        assert len(grid.failures) == 1
+        assert len(grid.results) == 2
+        # The failure slot is in the middle, aligned with its cell.
+        assert isinstance(grid.outcomes[1], CellFailure)
+        failure = grid.failures[0]
+        assert failure.series_name == "poisoned"
+        assert failure.error_type == "StreamError"
+        assert "non-finite" in failure.message
+        assert "run_stream" in failure.traceback
+
+    def test_sequential_engine_also_captures(self):
+        grid = ParallelCorpusRunner(n_jobs=1).run(self._cells_with_poison())
+        assert len(grid.failures) == 1
+        assert len(grid.results) == 2
+
+    def test_raise_on_failure_escalates(self):
+        grid = ParallelCorpusRunner(n_jobs=1).run(self._cells_with_poison())
+        with pytest.raises(RuntimeError, match="poisoned"):
+            grid.raise_on_failure()
+
+
+class TestRunCorpusParallel:
+    def _factory(self, series):
+        return build_detector(
+            AlgorithmSpec("online_arima", "sw", "musigma"),
+            series.n_channels,
+            SMALL_CONFIG,
+        )
+
+    def test_matches_sequential(self):
+        corpus = make_smd(n_series=3, n_steps=400, clean_prefix=100, seed=1)
+        sequential = run_corpus(self._factory, corpus)
+        parallel = run_corpus(self._factory, corpus, n_jobs=2)
+        assert parallel.n_series == 3
+        for seq, par in zip(sequential, parallel):
+            np.testing.assert_array_equal(seq.scores, par.scores)
+
+    def test_closure_factories_supported(self):
+        # The whole point of the fork path: factories capturing local state.
+        corpus = make_smd(n_series=2, n_steps=400, clean_prefix=100, seed=2)
+        config = SMALL_CONFIG
+        spec = AlgorithmSpec("pcb_iforest", "sw", "kswin")
+        result = run_corpus(
+            lambda s: build_detector(spec, s.n_channels, config),
+            corpus,
+            n_jobs=2,
+        )
+        assert result.n_series == 2
+
+    def test_worker_failure_raises(self):
+        corpus = [poisoned_series(), poisoned_series()]
+        with pytest.raises(RuntimeError, match="poisoned"):
+            run_corpus(self._factory, corpus, n_jobs=2)
+
+    def test_progress_every_forwarded(self, capsys):
+        corpus = make_smd(n_series=1, n_steps=250, clean_prefix=60, seed=0)
+        run_corpus(self._factory, corpus, progress_every=100)
+        captured = capsys.readouterr()
+        assert "step 100/250" in captured.out
+
+    def test_n_jobs_validation(self):
+        with pytest.raises(ValueError):
+            ParallelCorpusRunner(chunksize=0)

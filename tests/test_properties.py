@@ -122,3 +122,139 @@ class TestDetectorInvariants:
         )
         result = run_stream(detector, series)
         assert np.all(np.isfinite(result.scores))
+
+
+class TestRingBufferMatchesStackSemantics:
+    """The mirrored-ring RollingBuffer must reproduce the old deque +
+    ``np.stack`` window semantics exactly, for every (window, stream
+    length, channel count)."""
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_windows_match_reference(self, window, n_steps, n_channels, seed):
+        import collections
+
+        from repro.core.representation import RollingBuffer, WindowRepresentation
+
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(n_steps, n_channels))
+        buffer = RollingBuffer(WindowRepresentation(window))
+        reference = collections.deque(maxlen=window)
+        for vector in vectors:
+            emitted = buffer.push(vector)
+            reference.append(vector)
+            if len(reference) < window:
+                assert emitted is None
+                assert not buffer.is_warm
+            else:
+                assert buffer.is_warm
+                np.testing.assert_array_equal(emitted, np.stack(list(reference)))
+
+    @given(st.integers(min_value=2, max_value=8), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_emitted_window_never_aliases_the_ring(self, window, seed):
+        from repro.core.representation import RollingBuffer, WindowRepresentation
+
+        rng = np.random.default_rng(seed)
+        buffer = RollingBuffer(WindowRepresentation(window))
+        emitted = None
+        for vector in rng.normal(size=(window, 3)):
+            emitted = buffer.push(vector)
+        snapshot = emitted.copy()
+        # Later pushes must not mutate a window already handed out
+        # (training strategies store emitted windows verbatim).
+        for vector in rng.normal(size=(window, 3)):
+            buffer.push(vector)
+        np.testing.assert_array_equal(emitted, snapshot)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_reset_restarts_warmup(self, window):
+        from repro.core.representation import RollingBuffer, WindowRepresentation
+
+        buffer = RollingBuffer(WindowRepresentation(window))
+        for step in range(window):
+            buffer.push(np.full(2, float(step)))
+        assert buffer.is_warm
+        buffer.reset()
+        assert not buffer.is_warm
+        for step in range(window - 1):
+            assert buffer.push(np.full(2, float(step))) is None
+
+
+class TestFlatTreeMatchesRecursive:
+    """Array-encoded traversal must agree with the reference recursive
+    traversal node-for-node: identical branch decisions, identical
+    depths, for single points, batches and whole forests."""
+
+    @given(
+        st.integers(min_value=2, max_value=200),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tree_depths_match(self, n_samples, dim, seed):
+        from repro.models.isolation import ExtendedIsolationTree
+
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(n_samples, dim))
+        tree = ExtendedIsolationTree(data, np.random.default_rng(seed + 1))
+        queries = rng.normal(size=(16, dim))
+        recursive = np.array([tree.path_length_recursive(q) for q in queries])
+        iterative = np.array([tree.path_length(q) for q in queries])
+        batch = tree.path_lengths(queries)
+        np.testing.assert_array_equal(iterative, recursive)
+        np.testing.assert_array_equal(batch, recursive)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_forest_arena_matches_recursive(self, n_trees, seed):
+        from repro.models.isolation import ExtendedIsolationForest
+
+        rng = np.random.default_rng(seed)
+        data = rng.normal(size=(80, 3))
+        forest = ExtendedIsolationForest(n_trees=n_trees, subsample=32, seed=seed)
+        forest.fit(data)
+        queries = rng.normal(size=(8, 3))
+        arena_batch = forest.depths_batch(queries)
+        for i, query in enumerate(queries):
+            recursive = np.array(
+                [tree.path_length_recursive(query) for tree in forest.trees]
+            )
+            np.testing.assert_array_equal(forest.depths(query), recursive)
+            np.testing.assert_array_equal(arena_batch[i], recursive)
+
+    def test_use_arena_toggle_is_equivalent(self, rng):
+        from repro.models.isolation import ExtendedIsolationForest
+
+        data = rng.normal(size=(200, 4))
+        forest = ExtendedIsolationForest(n_trees=10, subsample=64, seed=0).fit(data)
+        queries = rng.normal(size=(20, 4))
+        vectorized = forest.depths_batch(queries)
+        forest.use_arena = False
+        legacy = forest.depths_batch(queries)
+        np.testing.assert_array_equal(vectorized, legacy)
+
+    def test_arena_invalidated_when_trees_replaced(self, rng):
+        from repro.models.isolation import ExtendedIsolationForest
+
+        data = rng.normal(size=(100, 2))
+        forest = ExtendedIsolationForest(n_trees=4, subsample=32, seed=0).fit(data)
+        before = forest.depths(data[0])
+        forest.trees = forest.trees[:2] + [
+            forest.build_tree(data) for _ in range(2)
+        ]
+        after = forest.depths(data[0])
+        assert after.shape == before.shape
+        recursive = np.array(
+            [tree.path_length_recursive(data[0]) for tree in forest.trees]
+        )
+        np.testing.assert_array_equal(after, recursive)
