@@ -1,0 +1,17 @@
+"""Compatibility shims for the supported NumPy range (>=1.24, <3).
+
+``np.trapezoid`` is the NumPy 2 name of ``np.trapz``; on 1.x only the old
+name exists (and newer 2.x releases drop it entirely, so the lookup must
+not touch ``np.trapz`` eagerly).  Every module integrates through this
+shim so the package runs unchanged on both major versions — exercised by
+the CI matrix in ``.github/workflows/ci.yml``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: ``np.trapezoid`` on NumPy >= 2, ``np.trapz`` on NumPy 1.x.
+trapezoid = getattr(np, "trapezoid", None) or np.trapz
+
+__all__ = ["trapezoid"]

@@ -75,7 +75,9 @@ def run_score_ablation(
             if isinstance(outcome, CellFailure):
                 print(f"  WARNING: cell {outcome.label} failed: {outcome.message}")
                 continue
-            metric_rows.append(evaluate_result(outcome))
+            metric_rows.append(
+                evaluate_result(outcome, backend=config.metrics_backend)
+            )
         rows.append(
             AblationRow(
                 scorer=scorer,

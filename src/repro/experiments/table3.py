@@ -64,6 +64,9 @@ class Table3Config:
     #: quantile of the score distribution used as the unsupervised
     #: operating point for the thresholded metrics (Prec / Rec / NAB).
     threshold_quantile: float = 0.98
+    #: curve implementation for the threshold-swept metrics: ``"sweep"``
+    #: (one sort, all thresholds) or ``"reference"`` (per-threshold loop).
+    metrics_backend: str = "sweep"
     detector: DetectorConfig = field(
         default_factory=lambda: DetectorConfig(
             window=24,
@@ -110,7 +113,11 @@ def _row_from_grid(
             print(f"  WARNING: cell {outcome.label} failed: {outcome.message}")
             continue
         rows.append(
-            evaluate_result(outcome, threshold_quantile=config.threshold_quantile)
+            evaluate_result(
+                outcome,
+                threshold_quantile=config.threshold_quantile,
+                backend=config.metrics_backend,
+            )
         )
         n_finetunes += outcome.n_finetunes
     if not rows:

@@ -9,9 +9,19 @@ from repro.learning.base import (
 )
 from repro.learning.drift import MuSigmaChange, NeverFineTune, RegularFineTuning
 from repro.learning.adwin import ADWIN
-from repro.learning.kswin import KSWIN, ks_critical_value, ks_statistic
+from repro.learning.kswin import (
+    KSWIN,
+    ks_critical_value,
+    ks_statistic,
+    ks_statistic_sorted,
+)
 from repro.learning.page_hinkley import PageHinkley
-from repro.learning.opcount import OpCounts, kswin_ops, mu_sigma_ops
+from repro.learning.opcount import (
+    OpCounts,
+    kswin_incremental_ops,
+    kswin_ops,
+    mu_sigma_ops,
+)
 from repro.learning.reservoir import AnomalyAwareReservoir, UniformReservoir
 from repro.learning.sliding_window import SlidingWindow
 
@@ -33,6 +43,8 @@ __all__ = [
     "UpdateKind",
     "ks_critical_value",
     "ks_statistic",
+    "ks_statistic_sorted",
+    "kswin_incremental_ops",
     "kswin_ops",
     "mu_sigma_ops",
 ]

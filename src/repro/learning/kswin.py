@@ -10,6 +10,21 @@ rejected when the KS statistic exceeds
 with the repeated-testing correction ``alpha* = alpha / r`` for training
 sets of ``r`` samples per channel.  For multichannel data the test runs on
 every channel independently and fires if any channel rejects.
+
+Two execution paths produce bitwise-identical decisions:
+
+- **incremental** (default): the detector maintains each channel's pooled
+  sample as a *sorted* array, updated from the Task-1 :class:`Update`
+  stream with ``np.searchsorted`` insertions and deletions, so a check
+  costs only the merged binary searches — no per-check re-sort.  Because
+  the reference snapshot is also stored pre-sorted, both inputs to
+  :func:`ks_statistic_sorted` are the same arrays the batch path would
+  produce by sorting, and the statistic is bitwise equal.
+- **batch**: re-pool and re-sort the full training set at every check
+  (the historical behaviour).  Also the automatic fallback whenever the
+  observed update stream cannot vouch for the training set — e.g. when
+  :meth:`KSWIN.should_finetune` is called directly without feeding
+  :meth:`KSWIN.observe`, as the Table II op-count benchmark does.
 """
 
 from __future__ import annotations
@@ -19,7 +34,23 @@ import math
 import numpy as np
 
 from repro.core.types import FloatArray
-from repro.learning.base import DriftDetector
+from repro.learning.base import DriftDetector, Update, UpdateKind
+
+
+def ks_statistic_sorted(sample_a: FloatArray, sample_b: FloatArray) -> float:
+    """KS statistic for two samples that are **already sorted** ascending.
+
+    The hot half of :func:`ks_statistic`: both empirical CDFs are read off
+    with binary searches over the merged values, skipping the two sorts.
+    """
+    a = np.asarray(sample_a, dtype=np.float64)
+    b = np.asarray(sample_b, dtype=np.float64)
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both samples must be non-empty")
+    merged = np.concatenate([a, b])
+    cdf_a = np.searchsorted(a, merged, side="right") / a.size
+    cdf_b = np.searchsorted(b, merged, side="right") / b.size
+    return float(np.max(np.abs(cdf_a - cdf_b)))
 
 
 def ks_statistic(sample_a: FloatArray, sample_b: FloatArray) -> float:
@@ -30,12 +61,7 @@ def ks_statistic(sample_a: FloatArray, sample_b: FloatArray) -> float:
     """
     a = np.sort(np.asarray(sample_a, dtype=np.float64).ravel())
     b = np.sort(np.asarray(sample_b, dtype=np.float64).ravel())
-    if a.size == 0 or b.size == 0:
-        raise ValueError("both samples must be non-empty")
-    merged = np.concatenate([a, b])
-    cdf_a = np.searchsorted(a, merged, side="right") / a.size
-    cdf_b = np.searchsorted(b, merged, side="right") / b.size
-    return float(np.max(np.abs(cdf_a - cdf_b)))
+    return ks_statistic_sorted(a, b)
 
 
 def ks_critical_value(alpha: float, r_a: int, r_b: int, form: str = "standard") -> float:
@@ -85,6 +111,11 @@ class KSWIN(DriftDetector):
         correct_alpha: apply Raab et al.'s repeated-testing correction
             ``alpha* = alpha / r``.  Disable only to demonstrate why the
             correction matters (the false-positive-rate ablation).
+        incremental: maintain per-channel sorted samples from the
+            :meth:`observe` update stream so each check skips the sorts.
+            Decisions are bitwise-identical to the batch path; the detector
+            falls back to batch whenever the observed stream does not match
+            the training set it is asked about.
     """
 
     name = "kswin"
@@ -95,6 +126,7 @@ class KSWIN(DriftDetector):
         critical_form: str = "standard",
         check_every: int = 1,
         correct_alpha: bool = True,
+        incremental: bool = True,
     ) -> None:
         super().__init__()
         if not 0.0 < alpha < 1.0:
@@ -105,7 +137,14 @@ class KSWIN(DriftDetector):
         self.critical_form = critical_form
         self.check_every = check_every
         self.correct_alpha = correct_alpha
+        self.incremental = incremental
         self._reference: FloatArray | None = None
+        #: reference channels pre-sorted, built lazily for the fast path.
+        self._reference_sorted: list[FloatArray] | None = None
+        #: per-channel sorted pools mirroring the Task-1 training set;
+        #: ``None`` until a clean ADDED stream establishes them (or after
+        #: any desync, which permanently demotes this detector to batch).
+        self._current_sorted: list[FloatArray] | None = None
 
     @staticmethod
     def _per_channel(train_set: FloatArray) -> FloatArray:
@@ -118,14 +157,133 @@ class KSWIN(DriftDetector):
             return array.T.copy()
         raise ValueError(f"unsupported training-set shape {array.shape}")
 
+    @staticmethod
+    def _vector_channels(vector: FloatArray) -> list[FloatArray] | None:
+        """Split one feature vector into its per-channel value arrays."""
+        if vector.ndim == 2:  # (w, N) representation: channel = column
+            return [vector[:, c] for c in range(vector.shape[1])]
+        if vector.ndim == 1:  # (d,) raw vector: one value per channel
+            return [vector[c : c + 1] for c in range(vector.shape[0])]
+        return None
+
+    @staticmethod
+    def _insert_sorted(arr: FloatArray, values: FloatArray) -> FloatArray:
+        values = np.sort(np.asarray(values, dtype=np.float64))
+        return np.insert(arr, np.searchsorted(arr, values), values)
+
+    @staticmethod
+    def _delete_sorted(arr: FloatArray, values: FloatArray) -> FloatArray | None:
+        """Remove ``values`` from sorted ``arr``; ``None`` if any is absent."""
+        values = np.sort(np.asarray(values, dtype=np.float64))
+        pos = np.searchsorted(arr, values, side="left")
+        # Equal removed values occupy consecutive slots in ``arr``: offset
+        # each occurrence past the first within its tie group.
+        pos = pos + (
+            np.arange(values.size) - np.searchsorted(values, values, side="left")
+        )
+        if values.size and (
+            pos[-1] >= arr.size or not np.array_equal(arr[pos], values)
+        ):
+            return None  # value not present bitwise — state is out of sync
+        return np.delete(arr, pos)
+
+    def observe(self, update: Update, t: int) -> None:
+        if not self.incremental or update.kind is UpdateKind.UNCHANGED:
+            return
+        if update.added is None:
+            return
+        added = np.asarray(update.added, dtype=np.float64)
+        channels = self._vector_channels(added)
+        if channels is None:
+            self._current_sorted = None
+            return
+        if self._current_sorted is None:
+            if update.removed is not None:
+                return  # joined mid-stream: the full set was never observed
+            self._current_sorted = [np.sort(values) for values in channels]
+            return
+        if len(channels) != len(self._current_sorted):
+            self._current_sorted = None
+            return
+        removed_channels: list[FloatArray] | None = None
+        if update.removed is not None:
+            removed = np.asarray(update.removed, dtype=np.float64)
+            removed_channels = self._vector_channels(removed)
+            if removed_channels is None or len(removed_channels) != len(channels):
+                self._current_sorted = None
+                return
+        for i, values in enumerate(channels):
+            arr = self._current_sorted[i]
+            if removed_channels is not None:
+                deleted = self._delete_sorted(arr, removed_channels[i])
+                if deleted is None:
+                    self._current_sorted = None
+                    return
+                arr = deleted
+            self._current_sorted[i] = self._insert_sorted(arr, values)
+            # Maintenance cost: one binary search per inserted/removed value.
+            size = max(arr.size, 2)
+            searches = values.size * (2 if removed_channels is not None else 1)
+            self.ops.comparisons += searches * max(int(math.log2(size)), 1)
+
+    def _incremental_in_sync(self, train_set: FloatArray) -> bool:
+        """Whether the observed sorted pools describe exactly ``train_set``."""
+        if not self.incremental or self._current_sorted is None:
+            return False
+        shape = np.asarray(train_set).shape
+        if len(shape) == 3:
+            n_channels, per_channel = shape[2], shape[0] * shape[1]
+        elif len(shape) == 2:
+            n_channels, per_channel = shape[1], shape[0]
+        else:
+            return False
+        return len(self._current_sorted) == n_channels and all(
+            pool.size == per_channel for pool in self._current_sorted
+        )
+
     def should_finetune(self, t: int, train_set: FloatArray) -> bool:
         if train_set.size == 0:
             return False
         if self._reference is None:
             self._reference = self._per_channel(train_set)
+            self._reference_sorted = None
             return False
         if t % self.check_every != 0:
             return False
+        if self._incremental_in_sync(train_set):
+            return self._check_incremental()
+        return self._check_batch(train_set)
+
+    def _check_incremental(self) -> bool:
+        """KS tests over the pre-sorted pools: no sorting on the hot path."""
+        assert self._current_sorted is not None
+        if self._reference_sorted is None:
+            assert self._reference is not None
+            self._reference_sorted = [
+                np.sort(channel) for channel in self._reference
+            ]
+        if len(self._current_sorted) != len(self._reference_sorted):
+            raise ValueError(
+                "channel count changed between snapshots: "
+                f"{len(self._reference_sorted)} -> {len(self._current_sorted)}"
+            )
+        for ref, cur in zip(self._reference_sorted, self._current_sorted):
+            r_i, r_t = ref.size, cur.size
+            corrected_alpha = (
+                self.alpha / max(r_i, r_t) if self.correct_alpha else self.alpha
+            )
+            critical = ks_critical_value(
+                corrected_alpha, r_i, r_t, form=self.critical_form
+            )
+            distance = ks_statistic_sorted(ref, cur)
+            self._count_ops_incremental(r_i, r_t)
+            if distance > critical:
+                return True
+        return False
+
+    def _check_batch(self, train_set: FloatArray) -> bool:
+        """Re-pool and re-sort the training set (the historical path)."""
+        assert self._reference is not None
         current = self._per_channel(train_set)
         if current.shape[0] != self._reference.shape[0]:
             raise ValueError(
@@ -161,10 +319,22 @@ class KSWIN(DriftDetector):
         # CDF normalisation divisions (counted as multiplications).
         self.ops.multiplications += 2 * total
 
+    def _count_ops_incremental(self, r_i: int, r_t: int) -> None:
+        """Op accounting for one channel's KS test on pre-sorted samples."""
+        total = r_i + r_t
+        log_total = max(int(math.log2(total)) if total > 1 else 1, 1)
+        # No sorts: only the two searchsorted passes over the merged array.
+        self.ops.comparisons += 2 * total * log_total + 1
+        self.ops.additions += 2 * total
+        self.ops.multiplications += 2 * total
+
     def notify_finetuned(self, t: int, train_set: FloatArray) -> None:
         if train_set.size:
             self._reference = self._per_channel(train_set)
+            self._reference_sorted = None
 
     def reset(self) -> None:
         super().reset()
         self._reference = None
+        self._reference_sorted = None
+        self._current_sorted = None

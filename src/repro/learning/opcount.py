@@ -67,6 +67,27 @@ def kswin_ops(m: int, w: int, n_channels: int) -> OpCounts:
     )
 
 
+def kswin_incremental_ops(m: int, w: int, n_channels: int) -> OpCounts:
+    """Per-step cost of the incremental (sorted-window) KSWIN path.
+
+    Maintaining each channel's pooled sample sorted removes the sorting
+    unit from the check: only the merged binary searches remain,
+    ``~4 m w log2(m w)`` comparisons per channel.  The sorted-window
+    upkeep (two ``O(w log(m w))`` searchsorted placements when a vector
+    enters/leaves the set) is paid per *update* in ``observe``, not per
+    check, and is negligible against the ``4 m`` search term.  Additions
+    and multiplications (CDF differences and normalisation) are unchanged
+    from :func:`kswin_ops`.
+    """
+    _validate(m, w, n_channels)
+    log_term = math.log2(m * w) if m * w > 1 else 1.0
+    return OpCounts(
+        additions=2 * n_channels * m * w,
+        multiplications=2 * n_channels * m * w,
+        comparisons=int(4 * m * n_channels * w * log_term) + n_channels,
+    )
+
+
 def _validate(m: int, w: int, n_channels: int) -> None:
     if m < 1 or w < 1 or n_channels < 1:
         raise ValueError(

@@ -1,4 +1,10 @@
-"""Evaluation metrics: range-based PR, PR-AUC, NAB and VUS."""
+"""Evaluation metrics: range-based PR, PR-AUC, NAB and VUS.
+
+All curve-based metrics run on the shared all-threshold sweep core in
+:mod:`repro.metrics.sweep` — one sort of the score array answers every
+threshold's confusion counts; the historical per-threshold loops are
+retained as ``*_reference`` functions and pinned by the property tests.
+"""
 
 from repro.metrics.latency import LatencyResult, detection_latency
 from repro.metrics.nab import (
@@ -8,9 +14,12 @@ from repro.metrics.nab import (
     STANDARD,
     NABProfile,
     NABResult,
+    NABSweep,
     detection_reward,
     nab_score,
     nab_score_profile,
+    nab_sweep,
+    nab_sweep_reference,
     scaled_sigmoid,
 )
 from repro.metrics.pointwise import (
@@ -25,36 +34,71 @@ from repro.metrics.ranged import (
     range_confusion,
     range_pr_auc,
     range_pr_curve,
+    range_pr_curve_reference,
     range_precision_recall,
     step_pr_auc,
+    step_pr_auc_reference,
 )
-from repro.metrics.vus import VUSResult, buffered_label_weights, vus
+from repro.metrics.sweep import (
+    PRCurve,
+    RangeSweep,
+    ScoreSweep,
+    count_ge,
+    mass_ge,
+    pr_curve,
+    range_sweep,
+    step_auc,
+    window_peaks,
+)
+from repro.metrics.vus import (
+    VUSResult,
+    buffered_label_weights,
+    buffered_label_weights_reference,
+    vus,
+    weighted_curves_reference,
+)
 
 __all__ = [
     "Confusion",
     "LatencyResult",
     "NABProfile",
     "NABResult",
+    "NABSweep",
+    "PRCurve",
     "PROFILES",
     "REWARD_LOW_FN",
     "REWARD_LOW_FP",
-    "STANDARD",
-    "nab_score_profile",
     "RangeConfusion",
+    "RangeSweep",
+    "STANDARD",
+    "ScoreSweep",
     "VUSResult",
     "buffered_label_weights",
+    "buffered_label_weights_reference",
     "candidate_thresholds",
+    "count_ge",
     "detection_latency",
     "detection_reward",
+    "mass_ge",
     "nab_score",
+    "nab_score_profile",
+    "nab_sweep",
+    "nab_sweep_reference",
     "point_adjusted_confusion",
     "point_adjusted_predictions",
     "pointwise_confusion",
+    "pr_curve",
     "range_confusion",
     "range_pr_auc",
     "range_pr_curve",
+    "range_pr_curve_reference",
     "range_precision_recall",
+    "range_sweep",
     "scaled_sigmoid",
+    "step_auc",
     "step_pr_auc",
+    "step_pr_auc_reference",
     "vus",
+    "weighted_curves_reference",
+    "window_peaks",
 ]

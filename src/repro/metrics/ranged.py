@@ -10,6 +10,13 @@ The paper defines TP/FP/FN over *sequences* of time steps:
 
 Precision and recall follow from these counts, and the PR-AUC integrates
 precision over recall while sweeping the score threshold.
+
+The curve builders run on the shared all-threshold core in
+:mod:`repro.metrics.sweep` — one sort of the scores instead of one
+window-extraction-plus-overlap pass per threshold.  The historical
+per-threshold loop is retained as :func:`range_pr_curve_reference` (and
+the scalar :func:`range_confusion` stays the single-threshold reference);
+the property tests pin the sweep to them count-for-count.
 """
 
 from __future__ import annotations
@@ -21,6 +28,7 @@ from numpy.typing import NDArray
 
 from repro.core.types import AnomalyWindow, FloatArray, windows_from_labels
 from repro.metrics.pointwise import candidate_thresholds
+from repro.metrics.sweep import range_sweep, step_auc
 
 
 @dataclass(frozen=True)
@@ -82,8 +90,35 @@ def range_pr_curve(
     scores: FloatArray,
     labels: NDArray[np.int_],
     n_thresholds: int = 50,
+    backend: str = "sweep",
 ) -> tuple[FloatArray, FloatArray, FloatArray]:
-    """Range-based PR curve: ``(thresholds, precisions, recalls)``."""
+    """Range-based PR curve: ``(thresholds, precisions, recalls)``.
+
+    ``backend="sweep"`` (default) derives all thresholds' sequence counts
+    from one sorted pass (:func:`repro.metrics.sweep.range_sweep`);
+    ``backend="reference"`` runs the historical per-threshold loop.
+    """
+    if backend == "reference":
+        return range_pr_curve_reference(scores, labels, n_thresholds)
+    if backend != "sweep":
+        raise ValueError(f"backend must be 'sweep' or 'reference', got {backend!r}")
+    scores = np.asarray(scores, dtype=np.float64)
+    labels = np.asarray(labels)
+    thresholds = candidate_thresholds(scores, n_thresholds)
+    sweep = range_sweep(scores, labels, thresholds)
+    # Curve convention: an empty prediction set has precision 1 (it
+    # makes no mistakes), anchoring the high-threshold end at (0, 1).
+    empty = thresholds > (float(scores.max()) if scores.size else -np.inf)
+    precisions = np.where(empty, 1.0, sweep.precisions)
+    return thresholds, precisions, sweep.recalls
+
+
+def range_pr_curve_reference(
+    scores: FloatArray,
+    labels: NDArray[np.int_],
+    n_thresholds: int = 50,
+) -> tuple[FloatArray, FloatArray, FloatArray]:
+    """Pre-sweep implementation: one window extraction per threshold."""
     scores = np.asarray(scores, dtype=np.float64)
     labels = np.asarray(labels)
     truth = windows_from_labels(labels)
@@ -111,7 +146,15 @@ def step_pr_auc(recalls: FloatArray, precisions: FloatArray) -> float:
     giant window with perfect precision and recall — that degenerate
     point only earns whatever recall the better thresholds had not
     already claimed.
+
+    Delegates to the vectorized :func:`repro.metrics.sweep.step_auc`;
+    the historical loop is kept as :func:`step_pr_auc_reference`.
     """
+    return step_auc(recalls, precisions)
+
+
+def step_pr_auc_reference(recalls: FloatArray, precisions: FloatArray) -> float:
+    """Pre-sweep per-point loop (the pinning reference for ``step_pr_auc``)."""
     recalls = np.asarray(recalls, dtype=np.float64)
     precisions = np.asarray(precisions, dtype=np.float64)
     if recalls.shape != precisions.shape:
@@ -129,6 +172,7 @@ def range_pr_auc(
     scores: FloatArray,
     labels: NDArray[np.int_],
     n_thresholds: int = 50,
+    backend: str = "sweep",
 ) -> float:
     """Area under the range-based precision-recall curve.
 
@@ -136,6 +180,8 @@ def range_pr_auc(
     :func:`step_pr_auc`, so the trivial all-positive operating point
     cannot dominate the area.
     """
-    thresholds, precisions, recalls = range_pr_curve(scores, labels, n_thresholds)
+    thresholds, precisions, recalls = range_pr_curve(
+        scores, labels, n_thresholds, backend=backend
+    )
     order = np.argsort(thresholds)[::-1]  # descending threshold
     return step_pr_auc(recalls[order], precisions[order])

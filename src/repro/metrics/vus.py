@@ -13,6 +13,14 @@ an *existence* term — the fraction of true windows containing at least one
 detection — which injects the sequence-overlap information the paper
 highlights ("combines point-wise scores with the information of
 overlapping predicted and true anomaly sequences").
+
+The default backend computes every buffer's curves from **one sort of
+the score array** (:mod:`repro.metrics.sweep`): the buffered label
+weights become a weight vector, per-threshold TP/FP masses come from
+suffix-cumulative sums over the shared sorted order, and the existence
+term is a lookup against the per-window peak scores.  The historical
+per-threshold loop is retained as :func:`weighted_curves_reference` and
+the curves are pinned to it by the property tests.
 """
 
 from __future__ import annotations
@@ -22,9 +30,11 @@ from dataclasses import dataclass
 import numpy as np
 from numpy.typing import NDArray
 
+from repro._compat import trapezoid
 from repro.core.types import FloatArray, windows_from_labels
 from repro.metrics.pointwise import candidate_thresholds
 from repro.metrics.ranged import step_pr_auc
+from repro.metrics.sweep import ScoreSweep, pr_curve, window_peaks
 
 
 def buffered_label_weights(labels: NDArray[np.int_], buffer: int) -> FloatArray:
@@ -33,7 +43,39 @@ def buffered_label_weights(labels: NDArray[np.int_], buffer: int) -> FloatArray:
     Steps inside a true window keep weight 1; the ``buffer // 2`` steps
     before a window's start (and after its end) receive linearly
     increasing (decreasing) weights.  Overlapping ramps take the maximum.
+
+    Vectorized: the ramp at a step depends only on its distance to the
+    nearest true window, found with two sorted lookups against the window
+    boundaries — bitwise-equal to the per-window loop retained as
+    :func:`buffered_label_weights_reference`.
     """
+    labels = np.asarray(labels)
+    weights = labels.astype(np.float64).copy()
+    half = buffer // 2
+    if half == 0:
+        return weights
+    windows = windows_from_labels(labels)
+    if not windows:
+        return weights
+    n = weights.size
+    starts = np.asarray([w.start for w in windows])
+    ends = np.asarray([w.end for w in windows])
+    idx = np.arange(n)
+    nxt = np.searchsorted(starts, idx, side="right")  # next window at or after i+1
+    prv = nxt - 1  # last window starting at or before i
+    big = float(n + half + 2)  # farther than any ramp can reach
+    dist_next = np.where(nxt < len(windows), starts[np.minimum(nxt, len(windows) - 1)] - idx, big)
+    dist_prev = np.where(prv >= 0, idx - (ends[np.maximum(prv, 0)] - 1), big)
+    inside = (prv >= 0) & (idx < ends[np.maximum(prv, 0)])
+    distance = np.where(inside, 0.0, np.minimum(dist_next, dist_prev))
+    ramp = 1.0 - distance / (half + 1)
+    return np.maximum(weights, ramp)
+
+
+def buffered_label_weights_reference(
+    labels: NDArray[np.int_], buffer: int
+) -> FloatArray:
+    """Pre-vectorization per-window ramp loop (the pinning reference)."""
     labels = np.asarray(labels)
     weights = labels.astype(np.float64).copy()
     half = buffer // 2
@@ -63,14 +105,45 @@ class VUSResult:
     roc_aucs: tuple[float, ...]
 
 
-def _weighted_curves(
+def _weighted_curves_sweep(
+    scores: FloatArray,
+    weights: FloatArray,
+    thresholds: FloatArray,
+    existence: FloatArray,
+    existence_weight: float,
+    sweep: ScoreSweep,
+) -> tuple[float, float]:
+    """PR-AUC and ROC-AUC for one buffered weighting, all thresholds at
+    once from the shared sorted scores.
+
+    ``existence`` is the precomputed fraction of true windows detected at
+    each (descending) threshold — shared across buffers because it does
+    not depend on the weighting.
+    """
+    curve = pr_curve(scores, weights=weights, thresholds=thresholds, sweep=sweep)
+    point_recall = curve.recalls
+    recalls = existence_weight * existence + (1.0 - existence_weight) * point_recall
+    negative_mass = float((1.0 - weights).sum())
+    fprs = curve.fp / negative_mass if negative_mass else np.zeros_like(curve.fp)
+    pr_auc = step_pr_auc(recalls, curve.precisions)
+    order = np.argsort(fprs)
+    roc_auc = float(trapezoid(recalls[order], fprs[order]))
+    return pr_auc, roc_auc
+
+
+def weighted_curves_reference(
     scores: FloatArray,
     labels: NDArray[np.int_],
     weights: FloatArray,
     thresholds: FloatArray,
     existence_weight: float,
 ) -> tuple[float, float]:
-    """PR-AUC and ROC-AUC for one buffered weighting."""
+    """PR-AUC and ROC-AUC for one buffered weighting (per-threshold loop).
+
+    The pre-sweep implementation: re-derives the confusion masses from
+    the raw arrays at every threshold.  Retained as the pinning reference
+    for :func:`_weighted_curves_sweep`.
+    """
     truth_windows = windows_from_labels(labels)
     positive_mass = float(weights.sum())
     negative_mass = float((1.0 - weights).sum())
@@ -98,7 +171,7 @@ def _weighted_curves(
         fprs.append(fp / negative_mass if negative_mass else 0.0)
     pr_auc = step_pr_auc(np.asarray(recalls), np.asarray(precisions))
     order = np.argsort(fprs)
-    roc_auc = float(np.trapezoid(np.asarray(tprs)[order], np.asarray(fprs)[order]))
+    roc_auc = float(trapezoid(np.asarray(tprs)[order], np.asarray(fprs)[order]))
     return pr_auc, roc_auc
 
 
@@ -109,6 +182,7 @@ def vus(
     n_buffers: int = 5,
     n_thresholds: int = 50,
     existence_weight: float = 0.5,
+    backend: str = "sweep",
 ) -> VUSResult:
     """Volume under the PR and ROC surfaces.
 
@@ -120,6 +194,9 @@ def vus(
         n_thresholds: thresholds per curve.
         existence_weight: blend between window-existence recall and
             point-wise weighted recall (0 = purely point-wise).
+        backend: ``"sweep"`` (default) shares one score sort across every
+            buffer and threshold; ``"reference"`` runs the historical
+            per-threshold loop.
 
     Returns:
         :class:`VUSResult` with both volumes and the per-buffer AUCs.
@@ -136,18 +213,38 @@ def vus(
         raise ValueError(
             f"existence_weight must be in [0, 1], got {existence_weight}"
         )
+    if backend not in ("sweep", "reference"):
+        raise ValueError(f"backend must be 'sweep' or 'reference', got {backend!r}")
     buffers = tuple(
         int(b) for b in np.unique(np.linspace(0, max_buffer, max(n_buffers, 1)))
     )
     thresholds = candidate_thresholds(scores, n_thresholds)
     pr_aucs, roc_aucs = [], []
-    for buffer in buffers:
-        weights = buffered_label_weights(labels, buffer)
-        pr_auc, roc_auc = _weighted_curves(
-            scores, labels, weights, thresholds, existence_weight
-        )
-        pr_aucs.append(pr_auc)
-        roc_aucs.append(roc_auc)
+    if backend == "sweep":
+        thresholds_desc = np.sort(thresholds)[::-1]
+        sweep = ScoreSweep(scores)
+        truth_windows = windows_from_labels(labels)
+        if truth_windows:
+            peaks = np.sort(window_peaks(scores, truth_windows))
+            detected = peaks.size - np.searchsorted(peaks, thresholds_desc, side="left")
+            existence = detected / len(truth_windows)
+        else:
+            existence = np.zeros(thresholds_desc.size)
+        for buffer in buffers:
+            weights = buffered_label_weights(labels, buffer)
+            pr_auc, roc_auc = _weighted_curves_sweep(
+                scores, weights, thresholds_desc, existence, existence_weight, sweep
+            )
+            pr_aucs.append(pr_auc)
+            roc_aucs.append(roc_auc)
+    else:
+        for buffer in buffers:
+            weights = buffered_label_weights_reference(labels, buffer)
+            pr_auc, roc_auc = weighted_curves_reference(
+                scores, labels, weights, thresholds, existence_weight
+            )
+            pr_aucs.append(pr_auc)
+            roc_aucs.append(roc_auc)
     return VUSResult(
         vus_pr=float(np.mean(pr_aucs)),
         vus_roc=float(np.mean(roc_aucs)),

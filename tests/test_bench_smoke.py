@@ -16,6 +16,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_parallel_speedup.py"
+METRICS_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_metrics.py"
 
 
 def test_bench_parallel_smoke(tmp_path):
@@ -57,3 +58,31 @@ def test_bench_parallel_smoke(tmp_path):
     # Correctness claims hold even at smoke scale; timing claims do not.
     assert payload["determinism"]["bitwise_identical"] is True
     assert payload["iforest_batch"]["speedup"] > 1.0
+
+
+def test_bench_metrics_smoke(tmp_path):
+    out = tmp_path / "BENCH_metrics.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, str(METRICS_BENCH_SCRIPT), "--fast", "--out", str(out)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "fast"
+    for key in ("generated_by", "cpu_count", "n_steps", "vus", "range_pr",
+                "nab", "kswin", "speedup"):
+        assert key in payload
+    for section in ("vus", "range_pr", "nab"):
+        for key in ("reference_s", "sweep_s", "speedup", "allclose_rtol"):
+            assert key in payload[section]
+        assert payload[section]["allclose_rtol"] == 1e-9
+    # Correctness claims hold even at smoke scale (the benchmark raises on
+    # any reference divergence before writing results); timing claims do not.
+    assert payload["kswin"]["decisions_identical"] is True
+    assert payload["speedup"] > 1.0
