@@ -4,7 +4,24 @@ Not a paper table, but the systems-level complement to Table II: the
 drift detector is only one part of the per-step budget.  Benchmarks one
 full detector step (representation + prediction + nonconformity + scoring
 + training-set update + drift check) per model.
+
+Also benchmarks the chunked streaming engine (``run_stream`` with
+``batch_size``) against both the legacy per-step loop and the engine's
+own ``batch_size=1`` sequential reference, asserting bitwise identity
+between the chunked and chunk=1 runs before any number is written.
+Results land in ``BENCH_stream.json`` at the repo root.
+
+Run as a script (``python benchmarks/bench_runtime_models.py [--fast]``)
+or through pytest (``pytest benchmarks/bench_runtime_models.py -s``).
 """
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -12,10 +29,24 @@ import pytest
 from repro.core.config import DetectorConfig
 from repro.core.registry import AlgorithmSpec, build_detector
 from repro.datasets import make_daphnet
+from repro.streaming.runner import run_stream
 
 CONFIG = DetectorConfig(
     window=16, train_capacity=48, fit_epochs=5, kswin_check_every=8
 )
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_stream.json"
+
+#: (model, task1, task2, asserted) — asserted combos carry the >= 3x
+#: speedup acceptance bar for the chunked engine.
+STREAM_COMBOS = (
+    ("ae", "sw", "musigma", True),
+    ("usad", "sw", "musigma", True),
+    ("nbeats", "sw", "musigma", True),
+    ("online_arima", "sw", "musigma", False),
+    ("pcb_iforest", "sw", "kswin", False),
+)
+STREAM_CHUNK = 256
 
 
 def _warmed_detector(model, task1, task2, series):
@@ -54,3 +85,111 @@ def bench_model_step(benchmark, series, model, task1, task2):
         return detector.step(series.values[t])
 
     benchmark(one_step)
+
+
+# ----------------------------------------------------------------------
+# chunked streaming engine: BENCH_stream.json
+# ----------------------------------------------------------------------
+def _stream_fingerprint(result) -> tuple:
+    return (
+        result.scores.tobytes(),
+        result.nonconformities.tobytes(),
+        tuple((e.t, e.reason) for e in result.events),
+        tuple(result.drift_steps),
+    )
+
+
+def _timed_run(spec: AlgorithmSpec, series, batch_size: int | None):
+    detector = build_detector(spec, series.n_channels, CONFIG)
+    started = time.perf_counter()
+    result = run_stream(detector, series, batch_size=batch_size)
+    return time.perf_counter() - started, result
+
+
+def bench_stream_combo(spec: AlgorithmSpec, series) -> dict:
+    """legacy loop vs chunk=1 engine vs chunked engine for one algorithm.
+
+    The identity assertion (chunked == chunk=1, bitwise, including events
+    and drift steps) runs before any throughput number is reported.
+    """
+    legacy_seconds, _ = _timed_run(spec, series, None)
+    chunk1_seconds, chunk1 = _timed_run(spec, series, 1)
+    chunked_seconds, chunked = _timed_run(spec, series, STREAM_CHUNK)
+    identical = _stream_fingerprint(chunk1) == _stream_fingerprint(chunked)
+    assert identical, f"{spec.label}: chunked run diverged from chunk=1"
+    n = series.n_steps
+    return {
+        "algorithm": spec.label,
+        "n_steps": n,
+        "steps_per_second": {
+            "legacy_loop": n / legacy_seconds,
+            "engine_chunk1": n / chunk1_seconds,
+            f"engine_chunk{STREAM_CHUNK}": n / chunked_seconds,
+        },
+        "speedup_vs_chunk1": chunk1_seconds / chunked_seconds,
+        "speedup_vs_legacy": legacy_seconds / chunked_seconds,
+        "bitwise_identical": identical,
+    }
+
+
+def run_benchmarks(fast: bool = False) -> dict:
+    n_steps = 2000 if fast else 10000
+    series = make_daphnet(
+        n_series=1, n_steps=n_steps, clean_prefix=400, seed=0
+    )[0]
+    combos = []
+    for model, task1, task2, asserted in STREAM_COMBOS:
+        entry = bench_stream_combo(AlgorithmSpec(model, task1, task2), series)
+        entry["asserted"] = asserted
+        combos.append(entry)
+    return {
+        "generated_by": "benchmarks/bench_runtime_models.py",
+        "mode": "fast" if fast else "full",
+        "cpu_count": os.cpu_count(),
+        "chunk_size": STREAM_CHUNK,
+        "combos": combos,
+        "determinism": {
+            "bitwise_identical": all(c["bitwise_identical"] for c in combos),
+            "reference": "engine_chunk1",
+        },
+    }
+
+
+def write_results(payload: dict, out: Path = DEFAULT_OUT) -> Path:
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def bench_stream_engine(benchmark):
+    """pytest-benchmark entry point: full run, thresholds asserted."""
+    payload = benchmark.pedantic(run_benchmarks, rounds=1, iterations=1)
+    out = write_results(payload)
+    print()
+    print(json.dumps(payload, indent=2))
+    print(f"\nresults written to {out}")
+    assert payload["determinism"]["bitwise_identical"]
+    for combo in payload["combos"]:
+        if combo["asserted"]:
+            assert combo["speedup_vs_chunk1"] >= 3.0, combo["algorithm"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Chunked streaming engine benchmark"
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test scale (used by the test-suite invocation)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    payload = run_benchmarks(fast=args.fast)
+    out = write_results(payload, args.out)
+    print(json.dumps(payload, indent=2))
+    print(f"results written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

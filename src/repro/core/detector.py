@@ -23,11 +23,16 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError, StreamError
 from repro.core.representation import RollingBuffer, WindowRepresentation
-from repro.core.types import FineTuneEvent, StepResult, StreamVector
+from repro.core.types import FineTuneEvent, StepResult, StreamVector, count_finetunes
 from repro.learning.base import DriftDetector, TrainingSetStrategy
 from repro.models.base import StreamModel
 from repro.scoring.anomaly_score import AnomalyScorer
 from repro.scoring.nonconformity import NonconformityMeasure
+
+#: Placeholder handed to drift detectors that declare
+#: ``needs_train_set = False`` — materializing the real training set is an
+#: ``np.stack`` over the whole Task-1 buffer and dominated the per-step cost.
+_NO_TRAIN_SET = np.empty((0,))
 
 
 class StreamingAnomalyDetector:
@@ -149,15 +154,208 @@ class StreamingAnomalyDetector:
             finetuned=finetuned,
         )
 
-    def warm_up(self, values: np.ndarray) -> None:
+    def warm_up(self, values: np.ndarray, batch_size: int = 256) -> None:
         """Feed an initial block of stream vectors (the paper's first steps).
 
-        Equivalent to calling :meth:`step` on every row; provided so code
-        reads the way the experiments are described.
+        Processes the rows through the chunked engine
+        (:meth:`step_chunk`), which validates each chunk with one
+        vectorized check instead of per-step guards.
         """
         values = np.atleast_2d(np.asarray(values, dtype=np.float64))
-        for row in values:
-            self.step(row)
+        for start in range(0, len(values), batch_size):
+            self.step_chunk(values[start : start + batch_size])
+
+    # ------------------------------------------------------------------
+    def step_chunk(
+        self, block: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Process a ``(B, N)`` block of stream vectors in one call.
+
+        Semantically equivalent to ``B`` :meth:`step` calls, but the pure
+        per-step work (model forwards, nonconformity precursors, scorer
+        folds, input validation) runs vectorized over the block.  The
+        model parameters ``theta`` only change at fine-tune events, so the
+        engine *speculates* that the whole block shares one ``theta``,
+        precomputes every step's nonconformity precursors at once, and
+        replays the cheap stateful parts (Task-1 update, Task-2 decision)
+        step by step.  When a fine-tune fires mid-block, the speculative
+        state beyond that step is rolled back (measure + scorer snapshots)
+        and the remainder recomputed under the new ``theta``.
+
+        The result is bitwise invariant to how a stream is cut into
+        blocks — ``step_chunk`` over any chunking of a series yields the
+        same scores, nonconformities and events as block size 1 (the
+        sequential reference of the chunked engine; see
+        ``docs/architecture.md``, "Streaming performance").
+
+        Returns four aligned length-``B`` arrays: nonconformities,
+        anomaly scores, drift flags and fine-tune flags.
+        """
+        block = np.atleast_2d(np.asarray(block, dtype=np.float64))
+        n_steps = len(block)
+        a_out = np.zeros(n_steps, dtype=np.float64)
+        f_out = np.zeros(n_steps, dtype=np.float64)
+        drift_out = np.zeros(n_steps, dtype=bool)
+        fine_out = np.zeros(n_steps, dtype=bool)
+        if n_steps == 0:
+            return a_out, f_out, drift_out, fine_out
+
+        if self.n_channels is None:
+            self.n_channels = block.shape[1]
+        elif block.shape[1] != self.n_channels:
+            raise StreamError(
+                f"stream vector at t={self.t + 1} has {block.shape[1]} channels, "
+                f"expected {self.n_channels}"
+            )
+        finite = np.isfinite(block).all(axis=1)
+        if not finite.all():
+            # Process the valid prefix, then fail at the offending step.
+            bad = int(np.argmin(finite))
+            self.step_chunk(block[:bad])
+            raise StreamError(
+                f"stream vector at t={self.t + 1} contains non-finite values"
+            )
+
+        windows, n_cold = self.buffer.push_block(block)
+        self.t += n_cold  # cold steps only advance the clock
+
+        i = n_cold
+        while i < n_steps:
+            if not self.model.is_fitted:
+                self._prefit_step(windows[i - n_cold], fine_out, i)
+                i += 1
+                continue
+            seg_windows = windows[i - n_cold :]
+            precursors = self.nonconformity.precompute(seg_windows, self.model)
+            if precursors is None:
+                # No batched path for this measure/model: run the exact
+                # per-step sequence (keeps arbitrary statefulness intact).
+                i = self._sequential_segment(
+                    seg_windows, i, a_out, f_out, drift_out, fine_out
+                )
+            else:
+                i += self._speculative_segment(
+                    seg_windows,
+                    precursors,
+                    i,
+                    a_out,
+                    f_out,
+                    drift_out,
+                    fine_out,
+                )
+        return a_out, f_out, drift_out, fine_out
+
+    def _prefit_step(
+        self, window: np.ndarray, fine_out: np.ndarray, i: int
+    ) -> None:
+        """One warm step before the initial fit (scores stay zero)."""
+        self.t += 1
+        x = np.array(window)
+        update = self.train_strategy.update(x, score=0.0)
+        self.drift_detector.observe(update, self.t)
+        if self.min_train_size > self.train_strategy.capacity:
+            self._initial_buffer.append(x)
+            ready = len(self._initial_buffer) >= self.min_train_size
+        else:
+            ready = len(self.train_strategy) >= self.min_train_size
+        if ready:
+            self._initial_fit()
+            fine_out[i] = True
+
+    def _segment_train_set(self) -> np.ndarray:
+        if self.drift_detector.needs_train_set:
+            return self.train_strategy.training_set()
+        return _NO_TRAIN_SET
+
+    def _sequential_segment(
+        self,
+        seg_windows: np.ndarray,
+        i: int,
+        a_out: np.ndarray,
+        f_out: np.ndarray,
+        drift_out: np.ndarray,
+        fine_out: np.ndarray,
+    ) -> int:
+        """Fallback: every step through the live model, in stream order.
+
+        A fine-tune needs no rollback here — nothing was speculated —
+        so the whole segment completes in one pass.
+        """
+        for k in range(len(seg_windows)):
+            self.t += 1
+            x = np.array(seg_windows[k])
+            a = float(self.nonconformity(x, self.model))
+            f = float(self.scorer.update(a))
+            if self.first_scored_step is None:
+                self.first_scored_step = self.t
+            update = self.train_strategy.update(x, score=f)
+            self.drift_detector.observe(update, self.t)
+            a_out[i + k] = a
+            f_out[i + k] = f
+            train_set = self._segment_train_set()
+            if self.drift_detector.should_finetune(self.t, train_set):
+                drift_out[i + k] = True
+                fine_out[i + k] = True
+                if not self.drift_detector.needs_train_set:
+                    train_set = self.train_strategy.training_set()
+                self._finetune(train_set)
+        return i + len(seg_windows)
+
+    def _speculative_segment(
+        self,
+        seg_windows: np.ndarray,
+        precursors: np.ndarray,
+        i: int,
+        a_out: np.ndarray,
+        f_out: np.ndarray,
+        drift_out: np.ndarray,
+        fine_out: np.ndarray,
+    ) -> int:
+        """Score a whole segment under frozen ``theta``, replay, roll back.
+
+        Returns the number of steps committed; fewer than the segment
+        length means a fine-tune invalidated the speculation and the
+        caller must recompute the remainder under the new parameters.
+        """
+        n_seg = len(seg_windows)
+        measure_state = self.nonconformity.snapshot(self.model)
+        a_seg = np.empty(n_seg, dtype=np.float64)
+        for k in range(n_seg):
+            a_seg[k] = self.nonconformity.consume(
+                precursors, k, seg_windows[k], self.model
+            )
+        scorer_state = self.scorer.snapshot()
+        f_seg = self.scorer.update_batch(a_seg)
+
+        for k in range(n_seg):
+            self.t += 1
+            if self.first_scored_step is None:
+                self.first_scored_step = self.t
+            x = np.array(seg_windows[k])
+            update = self.train_strategy.update(x, score=float(f_seg[k]))
+            self.drift_detector.observe(update, self.t)
+            a_out[i + k] = a_seg[k]
+            f_out[i + k] = f_seg[k]
+            train_set = self._segment_train_set()
+            if self.drift_detector.should_finetune(self.t, train_set):
+                drift_out[i + k] = True
+                fine_out[i + k] = True
+                if not self.drift_detector.needs_train_set:
+                    train_set = self.train_strategy.training_set()
+                if k + 1 < n_seg:
+                    # Rewind measure and scorer to the segment start and
+                    # re-fold only the committed prefix, so their state
+                    # reflects exactly the steps up to the fine-tune.
+                    self.nonconformity.restore(measure_state, self.model)
+                    for prefix_k in range(k + 1):
+                        self.nonconformity.consume(
+                            precursors, prefix_k, seg_windows[prefix_k], self.model
+                        )
+                    self.scorer.restore(scorer_state)
+                    self.scorer.update_batch(a_seg[: k + 1])
+                self._finetune(train_set)
+                return k + 1
+        return n_seg
 
     # ------------------------------------------------------------------
     def _initial_fit(self) -> None:
@@ -198,7 +396,7 @@ class StreamingAnomalyDetector:
     @property
     def n_finetunes(self) -> int:
         """Fine-tuning sessions so far, excluding the initial fit."""
-        return sum(1 for event in self.events if event.reason != "initial_fit")
+        return count_finetunes(self.events)
 
     def reset(self) -> None:
         """Reset all streaming state (model parameters are kept)."""

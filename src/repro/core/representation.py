@@ -18,6 +18,7 @@ through a Python loop every step.
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.types import FeatureVector, StreamVector
 
@@ -109,6 +110,51 @@ class RollingBuffer:
         if self._count < w:
             return None
         return self.representation.from_window(self.window_view())
+
+    def push_block(self, block: np.ndarray) -> tuple[np.ndarray, int]:
+        """Add ``B`` stream vectors at once; equivalent to ``B`` pushes.
+
+        Returns ``(windows, n_cold)`` where ``n_cold`` counts the leading
+        vectors that left the buffer still cold (no feature vector yet)
+        and ``windows`` is the stacked ``(B - n_cold, w, N)`` block of
+        feature vectors for the remaining steps — ``windows[j]`` is
+        bitwise what :meth:`push` would have returned for vector
+        ``n_cold + j``.  Unlike :meth:`window_view`, the result never
+        aliases the ring.  Only makes sense for representations whose
+        feature vectors stack (the identity window does); exotic
+        representations go through ``from_window`` row by row.
+        """
+        block = np.asarray(block, dtype=np.float64)
+        w = self._window
+        if self._ring is None:
+            self._ring = np.empty((2 * w, block.shape[1]), dtype=np.float64)
+        n_pushed = len(block)
+        n_cold = min(max(w - 1 - self._count, 0), n_pushed)
+        # History needed so every warm step's window is a slice of `ext`.
+        prior = min(self._count, w - 1)
+        tail = self._ring[self._pos + w - prior : self._pos + w]
+        ext = np.concatenate([tail, block])
+        if len(ext) >= w:
+            # Strided (n_warm, w, N) windows over ext, oldest step first.
+            strided = sliding_window_view(ext, w, axis=0).transpose(0, 2, 1)
+            if type(self.representation).from_window is WindowRepresentation.from_window:
+                windows = np.ascontiguousarray(strided)
+            else:
+                windows = np.stack(
+                    [self.representation.from_window(row) for row in strided]
+                )
+        else:
+            windows = np.empty((0, w, self._ring.shape[1]), dtype=np.float64)
+        # Ring update: only the last min(B, w) vectors survive.
+        keep = min(n_pushed, w)
+        if keep:
+            idx = (self._pos + (n_pushed - keep) + np.arange(keep)) % w
+            survivors = block[n_pushed - keep :]
+            self._ring[idx] = survivors
+            self._ring[idx + w] = survivors
+        self._pos = (self._pos + n_pushed) % w
+        self._count += n_pushed
+        return windows, n_cold
 
     def window_view(self) -> FloatWindow:
         """Zero-copy ``(w, N)`` view of the last ``w`` vectors, oldest first.

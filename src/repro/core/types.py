@@ -60,6 +60,11 @@ class FineTuneEvent:
     loss_after: float = float("nan")
 
 
+def count_finetunes(events: list[FineTuneEvent]) -> int:
+    """Fine-tuning sessions in ``events``, excluding the initial fit."""
+    return sum(1 for event in events if event.reason != "initial_fit")
+
+
 @dataclass
 class AnomalyWindow:
     """A labelled anomaly interval ``[start, end)`` in stream coordinates."""

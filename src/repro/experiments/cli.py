@@ -31,6 +31,7 @@ def _table3_config(args: argparse.Namespace) -> Table3Config:
         clean_prefix=args.prefix,
         seed=args.seed,
         metrics_backend=args.metrics_backend,
+        stream_chunk=args.stream_chunk,
         detector=DetectorConfig(
             window=args.window,
             train_capacity=args.capacity,
@@ -69,6 +70,11 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for the experiment grid "
                              "(1 = sequential, -1 = all CPUs); results are "
                              "identical at any setting")
+    parser.add_argument("--stream-chunk", type=int, default=None,
+                        dest="stream_chunk",
+                        help="stream block size for the chunked engine "
+                             "(default: per-step loop; chunked results are "
+                             "bitwise invariant to the block size)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -65,7 +65,9 @@ def run_score_ablation(
         for spec in specs
         for series in corpus
     ]
-    grid = ParallelCorpusRunner(n_jobs=n_jobs).run(cells)
+    grid = ParallelCorpusRunner(
+        n_jobs=n_jobs, batch_size=config.stream_chunk
+    ).run(cells)
     per_scorer = len(specs) * len(corpus)
     rows = []
     for i, scorer in enumerate(SCORER_ORDER):

@@ -67,6 +67,8 @@ class Table3Config:
     #: curve implementation for the threshold-swept metrics: ``"sweep"``
     #: (one sort, all thresholds) or ``"reference"`` (per-threshold loop).
     metrics_backend: str = "sweep"
+    #: stream block size for the chunked engine (``None`` = per-step loop).
+    stream_chunk: int | None = None
     detector: DetectorConfig = field(
         default_factory=lambda: DetectorConfig(
             window=24,
@@ -141,7 +143,9 @@ def run_algorithm_on_corpus(
 ) -> Table3Row:
     """Run one algorithm over every series and scorer; average metrics."""
     cells = build_cells([spec], corpus, config.detector, scorers=config.scorers)
-    grid = ParallelCorpusRunner(n_jobs=n_jobs).run(cells)
+    grid = ParallelCorpusRunner(
+        n_jobs=n_jobs, batch_size=config.stream_chunk
+    ).run(cells)
     return _row_from_grid(spec, grid, config)
 
 
@@ -183,7 +187,9 @@ def run_table3(
         seed=config.seed,
     )
     cells = build_cells(specs, corpus, config.detector, scorers=config.scorers)
-    grid = ParallelCorpusRunner(n_jobs=n_jobs).run(cells, progress=progress)
+    grid = ParallelCorpusRunner(
+        n_jobs=n_jobs, batch_size=config.stream_chunk
+    ).run(cells, progress=progress)
     per_spec = len(config.scorers) * len(corpus)
     rows = []
     for i, spec in enumerate(specs):

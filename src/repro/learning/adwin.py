@@ -48,6 +48,7 @@ class ADWIN(DriftDetector):
     """
 
     name = "adwin"
+    needs_train_set = False
 
     def __init__(
         self,

@@ -134,6 +134,13 @@ class DriftDetector:
 
     name = "base"
 
+    #: Whether :meth:`should_finetune` reads its ``train_set`` argument.
+    #: Detectors that set this to ``False`` promise to ignore the argument
+    #: entirely, which lets the chunked streaming engine skip materializing
+    #: the training set (an ``np.stack`` over the whole Task-1 buffer) on
+    #: every step.  ``True`` is the safe default.
+    needs_train_set = True
+
     def __init__(self) -> None:
         self.ops = OpCounter()
 

@@ -27,6 +27,7 @@ class RegularFineTuning(DriftDetector):
     """
 
     name = "regular"
+    needs_train_set = False
 
     def __init__(self, interval: int) -> None:
         super().__init__()
@@ -51,6 +52,7 @@ class NeverFineTune(DriftDetector):
     """
 
     name = "never"
+    needs_train_set = False
 
     def should_finetune(self, t: int, train_set: FloatArray) -> bool:
         return False
@@ -81,6 +83,7 @@ class MuSigmaChange(DriftDetector):
     """
 
     name = "musigma"
+    needs_train_set = False
 
     def __init__(self, aggregate: str = "mean", std_factor: float = 2.0) -> None:
         super().__init__()

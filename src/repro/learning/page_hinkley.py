@@ -38,6 +38,7 @@ class PageHinkley(DriftDetector):
     """
 
     name = "page_hinkley"
+    needs_train_set = False
 
     def __init__(
         self,

@@ -14,7 +14,7 @@ import numpy as np
 from repro.core.exceptions import ConfigurationError
 from repro.core.types import FeatureVector, FloatArray
 from repro import nn
-from repro.models.base import Standardizer, StreamModel, _as_windows
+from repro.models.base import Standardizer, StreamModel, _as_windows, tiled_forward
 
 
 class TwoLayerAutoencoder(StreamModel):
@@ -105,6 +105,16 @@ class TwoLayerAutoencoder(StreamModel):
         flat = self.scaler.transform(x).reshape(1, -1)
         output = self.network(flat).reshape(self.window, self.n_channels)
         return self.scaler.inverse(output)
+
+    def predict_batch(self, X: FloatArray) -> FloatArray:
+        """Reconstruct a ``(B, w, N)`` block of windows in one tiled pass."""
+        self._require_fitted()
+        X = self._check(X)
+        flat = self.scaler.transform(X).reshape(len(X), -1)
+        output = tiled_forward(self.network, flat)
+        return self.scaler.inverse(
+            output.reshape(len(X), self.window, self.n_channels)
+        )
 
     def _check(self, windows: FloatArray) -> FloatArray:
         windows = _as_windows(windows)

@@ -109,6 +109,43 @@ class MinMaxScaler:
         return np.asarray(values, dtype=np.float64) * self.span + self.low
 
 
+#: Fixed row count of every batched linear-algebra call (see
+#: :func:`tiled_forward`).  Chosen to match the models' training batch
+#: size; large enough to amortize BLAS call overhead, small enough that
+#: padding a single-row block stays cheap.
+BATCH_TILE = 32
+
+
+def tiled_forward(fn: "callable", rows: FloatArray) -> FloatArray:
+    """Apply a row-wise batch function in fixed-size zero-padded tiles.
+
+    BLAS GEMM results for one row depend on the *total* row count of the
+    call (different kernels / blockings for different M), so naively
+    stacking a variable number of windows would make batched predictions
+    depend on the chunk size.  Running every call with exactly
+    ``BATCH_TILE`` rows — padding the final tile with zero rows and
+    discarding their outputs — makes each row's bits a function of the
+    row alone, so batched inference is invariant to how the stream is
+    chunked.
+
+    ``fn`` must be row-independent apart from the BLAS effect above
+    (a stack of ``Linear``/activation layers, or a plain ``@``), and must
+    accept a ``(BATCH_TILE, d)`` array; 1-D or 2-D outputs are supported.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    n = rows.shape[0]
+    pieces = []
+    for start in range(0, n, BATCH_TILE):
+        tile = rows[start : start + BATCH_TILE]
+        real = tile.shape[0]
+        if real < BATCH_TILE:
+            tile = np.concatenate(
+                [tile, np.zeros((BATCH_TILE - real, rows.shape[1]))]
+            )
+        pieces.append(fn(tile)[:real])
+    return np.concatenate(pieces)
+
+
 class StreamModel:
     """Abstract model plugged into the streaming framework."""
 
@@ -140,15 +177,38 @@ class StreamModel:
         """Predict for one feature vector ``x`` of shape ``(w, N)``."""
         raise NotImplementedError
 
+    def predict_batch(self, X: FloatArray) -> FloatArray:
+        """Predict for a block of windows ``(B, w, N)``; stacked results.
+
+        The default applies :meth:`predict` row by row; vectorized models
+        override it.  Implementations must be *chunk-invariant*: a
+        window's prediction bits may not depend on how many other windows
+        share the call (see :func:`tiled_forward`), because the block
+        engine relies on ``predict_batch`` giving the same answers at
+        every chunk size.
+        """
+        X = _as_windows(X)
+        return np.stack([self.predict(x) for x in X])
+
+    def score_batch(self, X: FloatArray) -> FloatArray:
+        """Score a block of windows ``(B, w, N)``; shape ``(B,)`` floats.
+
+        Only meaningful for score-kind models (which define ``score``);
+        the default applies it row by row, preserving any scoring side
+        effects in stream order.
+        """
+        X = _as_windows(X)
+        return np.asarray([self.score(x) for x in X], dtype=np.float64)
+
     def loss(self, windows: FloatArray) -> float:
         """Mean squared prediction error over a set of windows (diagnostics)."""
         windows = _as_windows(windows)
-        errors = []
-        for window in windows:
-            prediction = self.predict(window)
-            target = window if self.prediction_kind == "reconstruction" else window[-1]
-            errors.append(float(np.mean((prediction - target) ** 2)))
-        return float(np.mean(errors)) if errors else float("nan")
+        predictions = self.predict_batch(windows)
+        if self.prediction_kind == "reconstruction":
+            errors = np.mean((predictions - windows) ** 2, axis=(1, 2))
+        else:
+            errors = np.mean((predictions - windows[:, -1]) ** 2, axis=1)
+        return float(np.mean(errors))
 
     def _require_fitted(self) -> None:
         if not self._fitted:

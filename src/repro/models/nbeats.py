@@ -28,7 +28,7 @@ import numpy as np
 from repro.core.exceptions import ConfigurationError
 from repro.core.types import FeatureVector, FloatArray
 from repro import nn
-from repro.models.base import Standardizer, StreamModel, _as_windows
+from repro.models.base import Standardizer, StreamModel, _as_windows, tiled_forward
 
 
 def trend_basis(theta_per_channel: int, length: int, n_channels: int) -> FloatArray:
@@ -293,6 +293,15 @@ class NBeats(StreamModel):
         inputs = scaled[:-1].reshape(1, -1)
         forecast = self._forward(inputs)[0]
         return self.scaler.inverse(forecast)
+
+    def predict_batch(self, X: FloatArray) -> FloatArray:
+        """Forecast for a ``(B, w, N)`` block in one tiled residual pass."""
+        self._require_fitted()
+        X = self._check(X)
+        scaled = self.scaler.transform(X)
+        inputs = scaled[:, :-1, :].reshape(len(X), -1)
+        forecasts = tiled_forward(self._forward, inputs)
+        return self.scaler.inverse(forecasts)
 
     def _check(self, windows: FloatArray) -> FloatArray:
         windows = _as_windows(windows)

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.types import FeatureVector, FloatArray
-from repro.models.base import StreamModel, _as_windows
+from repro.models.base import StreamModel, _as_windows, tiled_forward
 
 
 def difference(series: FloatArray, order: int) -> FloatArray:
@@ -154,3 +154,37 @@ class OnlineARIMA(StreamModel):
         lags_newest_first = diffed[::-1] / self._scale  # (lags, N)
         predicted_diff = self.gamma @ lags_newest_first * self._scale  # (N,)
         return predicted_diff + self._reconstruction_terms(past)
+
+    def predict_batch(self, X: FloatArray) -> FloatArray:
+        """Forecast for a ``(B, w, N)`` block with one tiled projection.
+
+        Differencing and the reconstruction terms are elementwise over the
+        block; the ``gamma`` projection runs per (window, channel) row in
+        fixed tiles so the bits are chunk-invariant.
+        """
+        self._require_fitted()
+        X = _as_windows(X)
+        if X.shape[1] != self.window:
+            raise ConfigurationError(
+                f"expected window of length {self.window}, got {X.shape[1]}"
+            )
+        past = X[:, :-1, :]  # (B, w - 1, N)
+        diffed = past
+        for _ in range(self.d):
+            diffed = diffed[:, 1:, :] - diffed[:, :-1, :]
+        lags_newest_first = diffed[:, ::-1, :] / self._scale  # (B, lags, N)
+        rows = np.ascontiguousarray(
+            lags_newest_first.transpose(0, 2, 1)
+        ).reshape(-1, self.lags)  # one (lags,) regressor row per channel
+        predicted_diff = (
+            tiled_forward(lambda tile: tile @ self.gamma, rows).reshape(
+                len(X), -1
+            )
+            * self._scale
+        )
+        total = np.zeros((len(X), X.shape[2]), dtype=np.float64)
+        series = past
+        for _ in range(self.d):
+            total += series[:, -1, :]
+            series = series[:, 1:, :] - series[:, :-1, :]
+        return predicted_diff + total

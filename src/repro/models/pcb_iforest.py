@@ -108,13 +108,42 @@ class PCBIForest(StreamModel):
         point = np.asarray(x, dtype=np.float64)
         if point.ndim == 2:
             point = point[-1]
-        depths = self.forest.depths(point)
+        return self.consume_depths(self.forest.depths(point))
+
+    def depth_rows(self, windows: FloatArray) -> FloatArray:
+        """Per-tree depths for every window's newest vector, ``(B, n_trees)``.
+
+        Pure (no counter updates): the block engine precomputes these
+        under the frozen forest and folds each row through
+        :meth:`consume_depths` in stream order.
+        """
+        self._require_fitted()
+        return self.forest.depths_batch(self._points(windows))
+
+    def consume_depths(self, depths: FloatArray) -> float:
+        """Fold one vector of per-tree depths: ensemble score + counters."""
         ensemble_score = self.forest.score_from_depth(float(depths.mean()))
         ensemble_anomalous = ensemble_score > self.threshold
         tree_scores = self.forest.scores_from_depths(depths)
         agrees = (tree_scores > self.threshold) == ensemble_anomalous
         self.performance_counters += np.where(agrees, 1, -1)
         return float(ensemble_score)
+
+    def score_batch(self, X: FloatArray) -> FloatArray:
+        """Vectorized :meth:`score` over ``(B, w, N)`` windows.
+
+        Every window's per-tree votes are credited to the counters, as if
+        :meth:`score` had run row by row (integer votes commute).
+        """
+        self._require_fitted()
+        depths = self.depth_rows(X)
+        ensemble = self.forest.scores_from_depths(depths.mean(axis=1))
+        tree_scores = self.forest.scores_from_depths(depths)
+        agrees = (tree_scores > self.threshold) == (
+            ensemble > self.threshold
+        )[:, None]
+        self.performance_counters += np.where(agrees, 1, -1).sum(axis=0)
+        return ensemble
 
     def predict(self, x: FeatureVector) -> FloatArray:
         """Score models have no vector prediction; exposed for interface parity."""

@@ -27,7 +27,7 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.types import FeatureVector, FloatArray
 from repro import nn
 from repro.nn.share import shared_copy, unique_parameters
-from repro.models.base import MinMaxScaler, StreamModel, _as_windows
+from repro.models.base import MinMaxScaler, StreamModel, _as_windows, tiled_forward
 
 
 def _encoder(input_dim: int, latent_dim: int, rng: np.random.Generator) -> nn.Sequential:
@@ -206,9 +206,28 @@ class USAD(StreamModel):
             self.scaler.inverse(w3.reshape(shape)),
         )
 
+    def reconstructions_batch(
+        self, X: FloatArray
+    ) -> tuple[FloatArray, FloatArray]:
+        """Batched :meth:`reconstructions` over ``(B, w, N)`` windows."""
+        self._require_fitted()
+        X = self._check(X)
+        flat = self.scaler.transform(X).reshape(len(X), -1)
+        w1 = tiled_forward(lambda tile: self.decoder1(self.encoder(tile)), flat)
+        w3 = tiled_forward(lambda tile: self.decoder2(self.encoder(tile)), w1)
+        shape = (len(X), self.window, self.n_channels)
+        return (
+            self.scaler.inverse(w1.reshape(shape)),
+            self.scaler.inverse(w3.reshape(shape)),
+        )
+
     def predict(self, x: FeatureVector) -> FloatArray:
         """Blended reconstruction used by the cosine nonconformity measure."""
         w1, w3 = self.reconstructions(x)
+        return (1.0 - self.blend) * w1 + self.blend * w3
+
+    def predict_batch(self, X: FloatArray) -> FloatArray:
+        w1, w3 = self.reconstructions_batch(X)
         return (1.0 - self.blend) * w1 + self.blend * w3
 
     def usad_score(self, x: FeatureVector, alpha: float = 0.5) -> float:

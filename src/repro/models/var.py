@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.types import FeatureVector, FloatArray
-from repro.models.base import StreamModel, _as_windows
+from repro.models.base import StreamModel, _as_windows, tiled_forward
 
 
 class VARModel(StreamModel):
@@ -83,6 +83,21 @@ class VARModel(StreamModel):
         lags = x[-1 - self.order : -1][::-1]  # newest first, excludes final row
         assert self.intercept is not None and self.coefficients is not None
         return self.intercept + lags.ravel() @ self.coefficients
+
+    def predict_batch(self, X: FloatArray) -> FloatArray:
+        """Forecast for a ``(B, w, N)`` block via one tiled design GEMM."""
+        self._require_fitted()
+        X = _as_windows(X)
+        if X.shape[1] < self.order + 1:
+            raise ConfigurationError(
+                f"window of length {X.shape[1]} too short for VAR({self.order})"
+            )
+        assert self.intercept is not None and self.coefficients is not None
+        lags = X[:, -1 - self.order : -1, :][:, ::-1, :]  # newest first
+        design = lags.reshape(len(X), -1)
+        return self.intercept + tiled_forward(
+            lambda tile: tile @ self.coefficients, design
+        )
 
     def companion_spectral_radius(self) -> float:
         """Spectral radius of the companion matrix (stability diagnostic).

@@ -2,19 +2,86 @@
 
 An anomaly scorer maps the window of the ``k`` most recent nonconformity
 scores to the final anomaly score ``f_t``.
+
+Every scorer also supports the chunked streaming engine through three
+extra methods: :meth:`AnomalyScorer.update_batch` folds a block of
+nonconformity scores at once (bit-identical to calling
+:meth:`~AnomalyScorer.update` in a loop), and
+:meth:`~AnomalyScorer.snapshot`/:meth:`~AnomalyScorer.restore` rewind
+the scorer when a mid-chunk fine-tune invalidates speculative work.
 """
 
 from __future__ import annotations
 
-import collections
 import math
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.types import FloatArray
 
 
 def gaussian_tail(z: float) -> float:
     """The Gaussian tail function ``Q(z) = P(X > z)`` for standard normal X."""
     return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+class _ScoreRing:
+    """Fixed-capacity ring of the most recent scores, oldest first.
+
+    The buffer is mirrored (each value is written twice, ``capacity``
+    apart) so :meth:`view` is always one contiguous slice — reductions
+    over it are bit-identical to reductions over a freshly built array.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._buffer = np.zeros(2 * capacity, dtype=np.float64)
+        self._pos = 0
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def append(self, value: float) -> None:
+        self._buffer[self._pos] = value
+        self._buffer[self._pos + self.capacity] = value
+        self._pos = (self._pos + 1) % self.capacity
+        self._n = min(self._n + 1, self.capacity)
+
+    def append_block(self, values: FloatArray) -> None:
+        """Equivalent to appending every value in order."""
+        values = np.asarray(values, dtype=np.float64)
+        total = len(values)
+        if total == 0:
+            return
+        keep = min(total, self.capacity)
+        tail = values[total - keep :]
+        idx = (self._pos + (total - keep) + np.arange(keep)) % self.capacity
+        self._buffer[idx] = tail
+        self._buffer[idx + self.capacity] = tail
+        self._pos = (self._pos + total) % self.capacity
+        self._n = min(self._n + total, self.capacity)
+
+    def view(self) -> FloatArray:
+        """Contiguous oldest-first window of the ``len(self)`` newest values."""
+        return self._buffer[
+            self._pos + self.capacity - self._n : self._pos + self.capacity
+        ]
+
+    def snapshot(self) -> tuple[FloatArray, int, int]:
+        return self._buffer.copy(), self._pos, self._n
+
+    def restore(self, state: tuple[FloatArray, int, int]) -> None:
+        buffer, pos, n = state
+        self._buffer[...] = buffer
+        self._pos = pos
+        self._n = n
+
+    def reset(self) -> None:
+        self._buffer[...] = 0.0
+        self._pos = 0
+        self._n = 0
 
 
 class AnomalyScorer:
@@ -25,6 +92,19 @@ class AnomalyScorer:
     def update(self, nonconformity: float) -> float:
         """Consume ``a_t`` and return ``f_t``."""
         raise NotImplementedError
+
+    def update_batch(self, values: FloatArray) -> FloatArray:
+        """Consume a block of scores; bit-identical to looping :meth:`update`."""
+        return np.asarray(
+            [self.update(float(value)) for value in values], dtype=np.float64
+        )
+
+    def snapshot(self) -> object:
+        """Capture the internal state (stateless scorers return ``None``)."""
+        return None
+
+    def restore(self, state: object) -> None:
+        """Rewind to a :meth:`snapshot` (no-op for stateless scorers)."""
 
     def reset(self) -> None:
         """Forget all history."""
@@ -38,6 +118,9 @@ class RawScore(AnomalyScorer):
     def update(self, nonconformity: float) -> float:
         return float(nonconformity)
 
+    def update_batch(self, values: FloatArray) -> FloatArray:
+        return np.array(values, dtype=np.float64)
+
 
 class AverageScore(AnomalyScorer):
     """Moving average of the last ``k`` nonconformity scores."""
@@ -48,14 +131,39 @@ class AverageScore(AnomalyScorer):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
-        self._window: collections.deque[float] = collections.deque(maxlen=k)
+        self._ring = _ScoreRing(k)
 
     def update(self, nonconformity: float) -> float:
-        self._window.append(float(nonconformity))
-        return float(np.mean(self._window))
+        self._ring.append(float(nonconformity))
+        return float(np.mean(self._ring.view()))
+
+    def update_batch(self, values: FloatArray) -> FloatArray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty(len(values), dtype=np.float64)
+        j = 0
+        # Warm region: the window is not yet full, reductions change length.
+        while j < len(values) and len(self._ring) < self.k - 1:
+            out[j] = self.update(values[j])
+            j += 1
+        rest = values[j:]
+        if len(rest):
+            view = self._ring.view()
+            tail = view[len(view) - (self.k - 1) :]
+            windows = sliding_window_view(
+                np.concatenate([tail, rest]), self.k
+            )
+            out[j:] = windows.mean(axis=1)
+            self._ring.append_block(rest)
+        return out
+
+    def snapshot(self) -> object:
+        return self._ring.snapshot()
+
+    def restore(self, state: object) -> None:
+        self._ring.restore(state)
 
     def reset(self) -> None:
-        self._window.clear()
+        self._ring.reset()
 
 
 class ConformalScorer(AnomalyScorer):
@@ -84,16 +192,41 @@ class ConformalScorer(AnomalyScorer):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         self.k = k
-        self._window: collections.deque[float] = collections.deque(maxlen=k)
+        self._ring = _ScoreRing(k)
 
     def update(self, nonconformity: float) -> float:
         value = float(nonconformity)
-        rank = sum(1 for previous in self._window if previous <= value)
-        self._window.append(value)
-        return (rank + 1) / (len(self._window) + 1)
+        rank = int(np.count_nonzero(self._ring.view() <= value))
+        self._ring.append(value)
+        return (rank + 1) / (len(self._ring) + 1)
+
+    def update_batch(self, values: FloatArray) -> FloatArray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty(len(values), dtype=np.float64)
+        j = 0
+        # Warm region: the calibration window is not yet full.
+        while j < len(values) and len(self._ring) < self.k:
+            out[j] = self.update(values[j])
+            j += 1
+        rest = values[j:]
+        if len(rest):
+            # Window i is the k values preceding rest[i]'s append.
+            windows = sliding_window_view(
+                np.concatenate([self._ring.view(), rest[:-1]]), self.k
+            )
+            ranks = (windows <= rest[:, None]).sum(axis=1)
+            out[j:] = (ranks + 1) / (self.k + 1)
+            self._ring.append_block(rest)
+        return out
+
+    def snapshot(self) -> object:
+        return self._ring.snapshot()
+
+    def restore(self, state: object) -> None:
+        self._ring.restore(state)
 
     def reset(self) -> None:
-        self._window.clear()
+        self._ring.reset()
 
 
 class AnomalyLikelihood(AnomalyScorer):
@@ -126,16 +259,47 @@ class AnomalyLikelihood(AnomalyScorer):
         self.k = k
         self.k_short = k_short
         self.min_sigma = min_sigma
-        self._window: collections.deque[float] = collections.deque(maxlen=k)
+        self._ring = _ScoreRing(k)
 
     def update(self, nonconformity: float) -> float:
-        self._window.append(float(nonconformity))
-        values = np.fromiter(self._window, dtype=np.float64)
+        self._ring.append(float(nonconformity))
+        values = self._ring.view()
         long_mean = float(values.mean())
         short_mean = float(values[-self.k_short :].mean())
         sigma = max(float(values.std()), self.min_sigma)
         z = (short_mean - long_mean) / sigma
         return 1.0 - gaussian_tail(z)
 
+    def update_batch(self, values: FloatArray) -> FloatArray:
+        values = np.asarray(values, dtype=np.float64)
+        out = np.empty(len(values), dtype=np.float64)
+        j = 0
+        # Warm region: the long window is not yet full.
+        while j < len(values) and len(self._ring) < self.k - 1:
+            out[j] = self.update(values[j])
+            j += 1
+        rest = values[j:]
+        if len(rest):
+            view = self._ring.view()
+            tail = view[len(view) - (self.k - 1) :]
+            windows = sliding_window_view(
+                np.concatenate([tail, rest]), self.k
+            )
+            long_means = windows.mean(axis=1)
+            short_means = windows[:, self.k - self.k_short :].mean(axis=1)
+            sigmas = np.maximum(windows.std(axis=1), self.min_sigma)
+            z = (short_means - long_means) / sigmas
+            # erfc is evaluated per value so the bits match the scalar path.
+            for offset in range(len(rest)):
+                out[j + offset] = 1.0 - gaussian_tail(float(z[offset]))
+            self._ring.append_block(rest)
+        return out
+
+    def snapshot(self) -> object:
+        return self._ring.snapshot()
+
+    def restore(self, state: object) -> None:
+        self._ring.restore(state)
+
     def reset(self) -> None:
-        self._window.clear()
+        self._ring.reset()

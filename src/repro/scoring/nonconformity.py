@@ -3,6 +3,18 @@
 A nonconformity measure maps a feature vector and the model's prediction
 to a "strangeness" value in ``[0, 1]``: 0 means perfectly normal, values
 near 1 indicate an anomaly.
+
+Besides the per-step ``__call__`` every measure exposes a *block* API
+used by the chunked streaming engine
+(:meth:`~repro.core.detector.StreamingAnomalyDetector.step_chunk`):
+:meth:`NonconformityMeasure.precompute` evaluates the pure, frozen-model
+part for a whole block of windows at once, and
+:meth:`NonconformityMeasure.consume` folds one precomputed row into the
+stateful part (e.g. the euclidean measure's running scale) in stream
+order.  :meth:`snapshot`/:meth:`restore` let the engine rewind that
+stateful part when a mid-block fine-tune invalidates speculative work.
+Measures without a batched path return ``None`` from ``precompute`` and
+the engine falls back to calling them step by step.
 """
 
 from __future__ import annotations
@@ -36,6 +48,32 @@ def cosine_distance(a: FloatArray, b: FloatArray) -> float:
     return float(np.clip(1.0 - cosine, 0.0, 1.0))
 
 
+def cosine_distance_rows(a: FloatArray, b: FloatArray) -> FloatArray:
+    """Row-wise :func:`cosine_distance` over ``(B, d)`` arrays.
+
+    Every row is reduced independently (``einsum`` row dots + elementwise
+    ops), so a row's bits do not depend on how many rows share the call —
+    the property the chunked engine needs.  Edge cases mirror the scalar
+    function: a near-zero-norm row maps to 0 if both sides are near zero,
+    else 1.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    norm_a = np.sqrt(np.einsum("ij,ij->i", a, a))
+    norm_b = np.sqrt(np.einsum("ij,ij->i", b, b))
+    dots = np.einsum("ij,ij->i", a, b)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        cosine = dots / (norm_a * norm_b)
+        out = np.clip(1.0 - cosine, 0.0, 1.0)
+    tiny_a = norm_a < 1e-12
+    tiny_b = norm_b < 1e-12
+    return np.where(
+        tiny_a | tiny_b, np.where(tiny_a & tiny_b, 0.0, 1.0), out
+    )
+
+
 class NonconformityMeasure:
     """Interface: produce ``a_t`` from the feature vector and the model."""
 
@@ -43,6 +81,44 @@ class NonconformityMeasure:
 
     def __call__(self, x: FeatureVector, model: StreamModel) -> float:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # block API for the chunked streaming engine
+    # ------------------------------------------------------------------
+    def precompute(
+        self, windows: FloatArray, model: StreamModel
+    ) -> FloatArray | None:
+        """Frozen-model precursors for a ``(B, w, N)`` block of windows.
+
+        Returns ``None`` when no batched path exists; the engine then
+        computes each step through ``__call__`` in stream order, which
+        preserves arbitrary model/measure statefulness exactly.
+        """
+        return None
+
+    def consume(
+        self,
+        precursors: FloatArray | None,
+        k: int,
+        window: FeatureVector,
+        model: StreamModel,
+    ) -> float:
+        """Fold precomputed row ``k`` into ``a_t`` (stateful part only)."""
+        if precursors is None:
+            return float(self(window, model))
+        raise NotImplementedError
+
+    def snapshot(self, model: StreamModel) -> object:
+        """Capture the stateful part advanced by :meth:`consume`.
+
+        The default assumes a stateless measure; stateful measures must
+        override both this and :meth:`restore` to support speculative
+        chunk execution.
+        """
+        return None
+
+    def restore(self, state: object, model: StreamModel) -> None:
+        """Rewind to a :meth:`snapshot` (no-op for stateless measures)."""
 
 
 class CosineNonconformity(NonconformityMeasure):
@@ -69,6 +145,35 @@ class CosineNonconformity(NonconformityMeasure):
             f"cosine nonconformity cannot handle prediction kind "
             f"{model.prediction_kind!r}"
         )
+
+    def precompute(
+        self, windows: FloatArray, model: StreamModel
+    ) -> FloatArray:
+        windows = np.asarray(windows, dtype=np.float64)
+        predictions = model.predict_batch(windows)
+        if model.prediction_kind == "reconstruction":
+            observed = windows.reshape(len(windows), -1)
+            predicted = predictions.reshape(len(windows), -1)
+        elif model.prediction_kind == "forecast":
+            observed = windows[:, -1, :]
+            predicted = predictions.reshape(len(windows), -1)
+        else:
+            raise ConfigurationError(
+                f"cosine nonconformity cannot handle prediction kind "
+                f"{model.prediction_kind!r}"
+            )
+        return cosine_distance_rows(observed, predicted)
+
+    def consume(
+        self,
+        precursors: FloatArray | None,
+        k: int,
+        window: FeatureVector,
+        model: StreamModel,
+    ) -> float:
+        if precursors is None:
+            return float(self(window, model))
+        return float(precursors[k])
 
 
 class EuclideanNonconformity(NonconformityMeasure):
@@ -105,11 +210,50 @@ class EuclideanNonconformity(NonconformityMeasure):
                 f"{model.prediction_kind!r}"
             )
         rmse = float(np.sqrt(np.mean((prediction - target) ** 2)))
+        return self._fold(rmse)
+
+    def _fold(self, rmse: float) -> float:
+        """Advance the running scale by one error and return ``a_t``."""
         if self._scale is None:
             self._scale = max(rmse, 1e-12)
         else:
             self._scale += self.alpha * (rmse - self._scale)
         return 1.0 - float(np.exp(-rmse / max(self._scale, 1e-12)))
+
+    def precompute(
+        self, windows: FloatArray, model: StreamModel
+    ) -> FloatArray:
+        windows = np.asarray(windows, dtype=np.float64)
+        predictions = model.predict_batch(windows)
+        if model.prediction_kind == "reconstruction":
+            return np.sqrt(
+                np.mean((predictions - windows) ** 2, axis=(1, 2))
+            )
+        if model.prediction_kind == "forecast":
+            return np.sqrt(
+                np.mean((predictions - windows[:, -1, :]) ** 2, axis=1)
+            )
+        raise ConfigurationError(
+            f"euclidean nonconformity cannot handle prediction kind "
+            f"{model.prediction_kind!r}"
+        )
+
+    def consume(
+        self,
+        precursors: FloatArray | None,
+        k: int,
+        window: FeatureVector,
+        model: StreamModel,
+    ) -> float:
+        if precursors is None:
+            return float(self(window, model))
+        return self._fold(float(precursors[k]))
+
+    def snapshot(self, model: StreamModel) -> object:
+        return self._scale
+
+    def restore(self, state: object, model: StreamModel) -> None:
+        self._scale = state
 
 
 class IForestNonconformity(NonconformityMeasure):
@@ -128,3 +272,33 @@ class IForestNonconformity(NonconformityMeasure):
                 f"{model.prediction_kind!r}"
             )
         return float(model.score(x))
+
+    def precompute(
+        self, windows: FloatArray, model: StreamModel
+    ) -> FloatArray | None:
+        # PCB-iForest separates the pure tree traversal (depth_rows) from
+        # the stateful counter fold (consume_depths); other score models
+        # stay on the exact per-step path.
+        depth_rows = getattr(model, "depth_rows", None)
+        if depth_rows is None:
+            return None
+        return depth_rows(np.asarray(windows, dtype=np.float64))
+
+    def consume(
+        self,
+        precursors: FloatArray | None,
+        k: int,
+        window: FeatureVector,
+        model: StreamModel,
+    ) -> float:
+        if precursors is None:
+            return float(self(window, model))
+        return float(model.consume_depths(precursors[k]))
+
+    def snapshot(self, model: StreamModel) -> object:
+        counters = getattr(model, "performance_counters", None)
+        return None if counters is None else counters.copy()
+
+    def restore(self, state: object, model: StreamModel) -> None:
+        if state is not None:
+            model.performance_counters = state.copy()

@@ -40,6 +40,7 @@ def run_corpus(
     progress: bool = False,
     progress_every: int | None = None,
     n_jobs: int | None = None,
+    batch_size: int | None = None,
 ) -> CorpusResult:
     """Stream every series through a fresh detector from ``factory``.
 
@@ -62,6 +63,9 @@ def run_corpus(
             *forked* so the factory closure is inherited rather than
             pickled (Linux; other platforms fall back to sequential).
             Scores are bitwise-identical to a sequential run.
+        batch_size: forwarded to :func:`run_stream` — stream each series
+            through the chunked engine in blocks of this many steps
+            (``None`` keeps the per-step reference loop).
 
     Returns:
         A :class:`CorpusResult` wrapping the per-series stream results.
@@ -81,7 +85,12 @@ def run_corpus(
     n = resolve_n_jobs(n_jobs)
     if n > 1 and len(corpus) > 1:
         outcomes = run_corpus_parallel(
-            factory, corpus, n, progress=progress, progress_every=progress_every
+            factory,
+            corpus,
+            n,
+            progress=progress,
+            progress_every=progress_every,
+            batch_size=batch_size,
         )
         for outcome in outcomes:
             if isinstance(outcome, CellFailure):
@@ -94,7 +103,9 @@ def run_corpus(
     results = []
     for index, series in enumerate(corpus):
         detector = factory(series)
-        result = run_stream(detector, series, progress_every=progress_every)
+        result = run_stream(
+            detector, series, progress_every=progress_every, batch_size=batch_size
+        )
         results.append(result)
         if progress:
             print(

@@ -150,11 +150,18 @@ class GridResult:
         return self
 
 
-def _run_cell(payload: tuple[CorpusCell, int | None]) -> StreamResult | CellFailure:
+def _run_cell(
+    payload: tuple[CorpusCell, int | None, int | None],
+) -> StreamResult | CellFailure:
     """Worker body: rebuild the detector, stream the series, capture errors."""
-    cell, progress_every = payload
+    cell, progress_every, batch_size = payload
     try:
-        return run_stream(cell.build(), cell.series, progress_every=progress_every)
+        return run_stream(
+            cell.build(),
+            cell.series,
+            progress_every=progress_every,
+            batch_size=batch_size,
+        )
     except Exception as exc:  # noqa: BLE001 — one cell must not kill the grid
         return CellFailure(
             label=cell.label,
@@ -174,16 +181,25 @@ class ParallelCorpusRunner:
         chunksize: cells handed to a worker per dispatch.  1 (default)
             gives the best load balance for heterogeneous cells; raise it
             when cells are tiny and numerous to amortize IPC.
+        batch_size: forwarded to :func:`run_stream` — stream each cell
+            through the chunked engine in blocks of this many steps
+            (``None`` keeps the per-step reference loop).
 
     The executor is created per :meth:`run` call so a runner instance is
     cheap, stateless and reusable.
     """
 
-    def __init__(self, n_jobs: int | None = None, chunksize: int = 1) -> None:
+    def __init__(
+        self,
+        n_jobs: int | None = None,
+        chunksize: int = 1,
+        batch_size: int | None = None,
+    ) -> None:
         if chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.chunksize = chunksize
+        self.batch_size = batch_size
 
     def run(
         self,
@@ -200,7 +216,7 @@ class ParallelCorpusRunner:
                 progress inside a cell; with a pool the workers' lines
                 interleave on shared stdout).
         """
-        payloads = [(cell, progress_every) for cell in cells]
+        payloads = [(cell, progress_every, self.batch_size) for cell in cells]
         outcomes: list[StreamResult | CellFailure] = []
         if self.n_jobs == 1 or len(cells) <= 1:
             iterator: Iterable[StreamResult | CellFailure] = map(
@@ -285,12 +301,17 @@ _FORK_FACTORY: Callable[[TimeSeries], StreamingAnomalyDetector] | None = None
 
 
 def _run_forked_series(
-    payload: tuple[TimeSeries, int | None],
+    payload: tuple[TimeSeries, int | None, int | None],
 ) -> StreamResult | CellFailure:
-    series, progress_every = payload
+    series, progress_every, batch_size = payload
     assert _FORK_FACTORY is not None, "worker started without a factory"
     try:
-        return run_stream(_FORK_FACTORY(series), series, progress_every=progress_every)
+        return run_stream(
+            _FORK_FACTORY(series),
+            series,
+            progress_every=progress_every,
+            batch_size=batch_size,
+        )
     except Exception as exc:  # noqa: BLE001
         return CellFailure(
             label=series.name,
@@ -312,6 +333,7 @@ def run_corpus_parallel(
     n_jobs: int,
     progress: bool = False,
     progress_every: int | None = None,
+    batch_size: int | None = None,
 ) -> list[StreamResult | CellFailure]:
     """Stream every series through ``factory`` detectors, ``n_jobs`` at a time.
 
@@ -320,7 +342,7 @@ def run_corpus_parallel(
     execution when the platform has no ``fork`` start method.
     """
     global _FORK_FACTORY
-    payloads = [(series, progress_every) for series in corpus]
+    payloads = [(series, progress_every, batch_size) for series in corpus]
     if n_jobs <= 1 or len(corpus) <= 1 or not fork_start_method_available():
         return [_run_forked_series_with(factory, p) for p in payloads]
     context = multiprocessing.get_context("fork")

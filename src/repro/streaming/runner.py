@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 
@@ -9,7 +10,9 @@ import numpy as np
 from numpy.typing import NDArray
 
 from repro.core.detector import StreamingAnomalyDetector
-from repro.core.types import FineTuneEvent, FloatArray, TimeSeries
+from repro.core.types import FineTuneEvent, FloatArray, TimeSeries, count_finetunes
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -39,7 +42,7 @@ class StreamResult:
     @property
     def n_finetunes(self) -> int:
         """Fine-tuning sessions excluding the initial fit."""
-        return sum(1 for event in self.events if event.reason != "initial_fit")
+        return count_finetunes(self.events)
 
     def scored_region(self) -> tuple[FloatArray, NDArray[np.int_]]:
         """``(scores, labels)`` restricted to the post-warm-up region."""
@@ -53,13 +56,20 @@ def run_stream(
     detector: StreamingAnomalyDetector,
     series: TimeSeries,
     progress_every: int | None = None,
+    batch_size: int | None = None,
 ) -> StreamResult:
     """Feed every stream vector of ``series`` through ``detector``.
 
     Args:
         detector: a freshly built detector (call :meth:`reset` to reuse one).
         series: the labelled stream.
-        progress_every: optionally print a progress line every N steps.
+        progress_every: optionally log a progress line every N steps
+            (module logger, ``INFO`` level).
+        batch_size: when set (>= 1), process the stream through the
+            chunked engine (:meth:`StreamingAnomalyDetector.step_chunk`)
+            in blocks of this many steps; ``None`` keeps the sequential
+            per-step reference loop.  The chunked results are bitwise
+            invariant to the chosen block size.
 
     Returns:
         A :class:`StreamResult` with scores aligned to the series.
@@ -69,14 +79,31 @@ def run_stream(
     nonconformities = np.zeros(n_steps, dtype=np.float64)
     drift_steps: list[int] = []
     started = time.perf_counter()
-    for t in range(n_steps):
-        result = detector.step(series.values[t])
-        scores[t] = result.score
-        nonconformities[t] = result.nonconformity
-        if result.drift_detected:
-            drift_steps.append(t)
-        if progress_every and t and t % progress_every == 0:
-            print(f"  [{series.name}] step {t}/{n_steps}")
+    if batch_size is None:
+        for t in range(n_steps):
+            result = detector.step(series.values[t])
+            scores[t] = result.score
+            nonconformities[t] = result.nonconformity
+            if result.drift_detected:
+                drift_steps.append(t)
+            if progress_every and t and t % progress_every == 0:
+                logger.info("  [%s] step %d/%d", series.name, t, n_steps)
+    else:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        values = series.values
+        for start in range(0, n_steps, batch_size):
+            block = values[start : start + batch_size]
+            a_block, f_block, drift_block, _ = detector.step_chunk(block)
+            stop = start + len(block)
+            scores[start:stop] = f_block
+            nonconformities[start:stop] = a_block
+            drift_steps.extend((start + np.flatnonzero(drift_block)).tolist())
+            if progress_every:
+                # Emit the same marks the per-step loop would have hit.
+                first = -(-max(start, 1) // progress_every) * progress_every
+                for t in range(first, stop, progress_every):
+                    logger.info("  [%s] step %d/%d", series.name, t, n_steps)
     runtime = time.perf_counter() - started
     first_scored = (
         detector.first_scored_step

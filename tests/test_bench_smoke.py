@@ -17,6 +17,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_parallel_speedup.py"
 METRICS_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_metrics.py"
+STREAM_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_runtime_models.py"
 
 
 def test_bench_parallel_smoke(tmp_path):
@@ -86,3 +87,36 @@ def test_bench_metrics_smoke(tmp_path):
     # any reference divergence before writing results); timing claims do not.
     assert payload["kswin"]["decisions_identical"] is True
     assert payload["speedup"] > 1.0
+
+
+def test_bench_stream_smoke(tmp_path):
+    out = tmp_path / "BENCH_stream.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, str(STREAM_BENCH_SCRIPT), "--fast", "--out", str(out)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "fast"
+    for key in ("generated_by", "cpu_count", "chunk_size", "combos", "determinism"):
+        assert key in payload
+    assert len(payload["combos"]) == 5
+    for combo in payload["combos"]:
+        for key in (
+            "algorithm",
+            "n_steps",
+            "steps_per_second",
+            "speedup_vs_chunk1",
+            "speedup_vs_legacy",
+        ):
+            assert key in combo
+        # Correctness claim (identity with the chunk=1 reference) holds
+        # even at smoke scale; the benchmark asserts it before writing.
+        assert combo["bitwise_identical"] is True
+    assert payload["determinism"]["bitwise_identical"] is True

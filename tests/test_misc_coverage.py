@@ -1,6 +1,8 @@
 """Small tests covering remaining corners: runner progress, figure-1
 stream generator, USAD blend extremes, op-counter arithmetic."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -13,7 +15,7 @@ from repro.streaming import run_stream
 
 
 class TestRunnerProgress:
-    def test_progress_lines_printed(self, capsys, rng):
+    def _series_and_detector(self, rng):
         values = rng.normal(size=(120, 2))
         series = TimeSeries(values=values, labels=np.zeros(120, dtype=np.int_))
         detector = build_detector(
@@ -21,10 +23,23 @@ class TestRunnerProgress:
             2,
             DetectorConfig(window=8, train_capacity=16, fit_epochs=1),
         )
-        run_stream(detector, series, progress_every=50)
-        out = capsys.readouterr().out
-        assert "step 50/120" in out
-        assert "step 100/120" in out
+        return series, detector
+
+    def test_progress_lines_logged(self, caplog, rng):
+        series, detector = self._series_and_detector(rng)
+        with caplog.at_level(logging.INFO, logger="repro.streaming.runner"):
+            run_stream(detector, series, progress_every=50)
+        assert "step 50/120" in caplog.text
+        assert "step 100/120" in caplog.text
+
+    def test_progress_lines_logged_chunked(self, caplog, rng):
+        series, detector = self._series_and_detector(rng)
+        with caplog.at_level(logging.INFO, logger="repro.streaming.runner"):
+            run_stream(detector, series, progress_every=50, batch_size=32)
+        assert "step 50/120" in caplog.text
+        assert "step 100/120" in caplog.text
+        # same marks as the per-step loop: t = 0 never reports
+        assert "step 0/120" not in caplog.text
 
 
 class TestFigure1Stream:

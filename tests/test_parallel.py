@@ -1,5 +1,7 @@
 """Tests for the parallel experiment engine (repro.streaming.parallel)."""
 
+import logging
+
 import numpy as np
 import pytest
 
@@ -180,11 +182,11 @@ class TestRunCorpusParallel:
         with pytest.raises(RuntimeError, match="poisoned"):
             run_corpus(self._factory, corpus, n_jobs=2)
 
-    def test_progress_every_forwarded(self, capsys):
+    def test_progress_every_forwarded(self, caplog):
         corpus = make_smd(n_series=1, n_steps=250, clean_prefix=60, seed=0)
-        run_corpus(self._factory, corpus, progress_every=100)
-        captured = capsys.readouterr()
-        assert "step 100/250" in captured.out
+        with caplog.at_level(logging.INFO, logger="repro.streaming.runner"):
+            run_corpus(self._factory, corpus, progress_every=100)
+        assert "step 100/250" in caplog.text
 
     def test_n_jobs_validation(self):
         with pytest.raises(ValueError):

@@ -226,4 +226,6 @@ class TestAnomalyLikelihood:
         for _ in range(10):
             scorer.update(0.9)
         scorer.reset()
-        assert len(scorer._window) == 0
+        assert len(scorer._ring) == 0
+        # behaves like a fresh scorer after reset
+        assert scorer.update(0.9) == AnomalyLikelihood(k=10, k_short=2).update(0.9)
