@@ -29,6 +29,7 @@ import pytest
 from repro.core.config import DetectorConfig
 from repro.core.registry import AlgorithmSpec, build_detector
 from repro.datasets import make_daphnet
+from repro.obs import Telemetry
 from repro.streaming.runner import run_stream
 
 CONFIG = DetectorConfig(
@@ -132,6 +133,41 @@ def bench_stream_combo(spec: AlgorithmSpec, series) -> dict:
     }
 
 
+def bench_telemetry_overhead(series) -> dict:
+    """Disabled vs. traced telemetry on one chunked stream.
+
+    Disabled telemetry (the default ``NullTelemetry``) must leave scores
+    bitwise identical and the runtime within run-to-run noise — the
+    repeated disabled timings give the noise floor (``disabled_spread``)
+    that the overhead claim is judged against.  Tracing is allowed to
+    cost; its overhead is reported, not asserted.
+    """
+    spec = AlgorithmSpec("ae", "sw", "musigma")
+    disabled_seconds = []
+    baseline = None
+    for _ in range(3):
+        seconds, result = _timed_run(spec, series, STREAM_CHUNK)
+        disabled_seconds.append(seconds)
+        baseline = result
+    detector = build_detector(spec, series.n_channels, CONFIG)
+    started = time.perf_counter()
+    traced = run_stream(
+        detector, series, batch_size=STREAM_CHUNK, telemetry=Telemetry()
+    )
+    traced_seconds = time.perf_counter() - started
+    scores_identical = _stream_fingerprint(baseline) == _stream_fingerprint(traced)
+    assert scores_identical, "traced run diverged from untraced run"
+    best = min(disabled_seconds)
+    return {
+        "algorithm": spec.label,
+        "disabled_seconds": disabled_seconds,
+        "disabled_spread": max(disabled_seconds) / best - 1.0,
+        "traced_seconds": traced_seconds,
+        "traced_overhead": traced_seconds / best - 1.0,
+        "scores_identical": scores_identical,
+    }
+
+
 def run_benchmarks(fast: bool = False) -> dict:
     n_steps = 2000 if fast else 10000
     series = make_daphnet(
@@ -152,6 +188,7 @@ def run_benchmarks(fast: bool = False) -> dict:
             "bitwise_identical": all(c["bitwise_identical"] for c in combos),
             "reference": "engine_chunk1",
         },
+        "telemetry": bench_telemetry_overhead(series),
     }
 
 

@@ -19,6 +19,8 @@ region, which the paper excludes from evaluation anyway).
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError, StreamError
@@ -26,6 +28,7 @@ from repro.core.representation import RollingBuffer, WindowRepresentation
 from repro.core.types import FineTuneEvent, StepResult, StreamVector, count_finetunes
 from repro.learning.base import DriftDetector, TrainingSetStrategy
 from repro.models.base import StreamModel
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.scoring.anomaly_score import AnomalyScorer
 from repro.scoring.nonconformity import NonconformityMeasure
 
@@ -53,6 +56,10 @@ class StreamingAnomalyDetector:
             a dedicated accumulation buffer that is discarded afterwards.
         fit_epochs: epochs for the initial fit.
         finetune_epochs: epochs per fine-tuning session (paper: 1).
+        telemetry: observability sink (``repro.obs``).  Defaults to the
+            shared :data:`~repro.obs.NULL_TELEMETRY` no-op, whose
+            ``enabled`` flag lets the hot paths skip even the timer
+            reads; traced and untraced runs are bitwise identical.
     """
 
     def __init__(
@@ -66,6 +73,7 @@ class StreamingAnomalyDetector:
         min_train_size: int | None = None,
         fit_epochs: int = 20,
         finetune_epochs: int = 1,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if min_train_size is not None and min_train_size < 2:
             raise ConfigurationError(
@@ -83,6 +91,7 @@ class StreamingAnomalyDetector:
         )
         self.fit_epochs = fit_epochs
         self.finetune_epochs = finetune_epochs
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
         self.t = -1
         self.n_channels: int | None = None
@@ -91,6 +100,20 @@ class StreamingAnomalyDetector:
         # Dedicated accumulator for an initial fit larger than the
         # maintained training set (discarded after the fit).
         self._initial_buffer: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        # Telemetry is a run-scoped sink, not detector state: pickling it
+        # into checkpoints would resurrect stale counters (and a live
+        # event deque) on restore.  Checkpoints always deserialize with
+        # the no-op default; callers re-attach a sink per run.
+        state = self.__dict__.copy()
+        state.pop("telemetry", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.telemetry = NULL_TELEMETRY
 
     # ------------------------------------------------------------------
     def step(self, s: StreamVector) -> StepResult:
@@ -111,14 +134,28 @@ class StreamingAnomalyDetector:
         if not np.all(np.isfinite(s)):
             raise StreamError(f"stream vector at t={self.t} contains non-finite values")
 
+        tel = self.telemetry
+        trace = tel.enabled
+        if trace:
+            tel.count("steps")
+            t0 = perf_counter()
         x = self.buffer.push(s)
+        if trace:
+            tel.add_time("represent", perf_counter() - t0)
         if x is None:
             return StepResult(t=self.t, nonconformity=0.0, score=0.0)
 
         # Nonconformity + anomaly score (zero until the model exists).
         if self.model.is_fitted:
+            if trace:
+                t0 = perf_counter()
             a = float(self.nonconformity(x, self.model))
+            if trace:
+                t1 = perf_counter()
+                tel.add_time("nonconformity", t1 - t0)
             f = float(self.scorer.update(a))
+            if trace:
+                tel.add_time("score", perf_counter() - t1)
             if self.first_scored_step is None:
                 self.first_scored_step = self.t
         else:
@@ -126,8 +163,12 @@ class StreamingAnomalyDetector:
             f = 0.0
 
         # Task 1: maintain the training set (ARES consumes f_t).
+        if trace:
+            t0 = perf_counter()
         update = self.train_strategy.update(x, score=f)
         self.drift_detector.observe(update, self.t)
+        if trace:
+            tel.add_time("task1-update", perf_counter() - t0)
 
         drift = False
         finetuned = False
@@ -141,10 +182,16 @@ class StreamingAnomalyDetector:
                 self._initial_fit()
                 finetuned = True
         else:
+            if trace:
+                t0 = perf_counter()
             train_set = self.train_strategy.training_set()
-            if self.drift_detector.should_finetune(self.t, train_set):
+            fire = self.drift_detector.should_finetune(self.t, train_set)
+            if trace:
+                tel.add_time("task2-check", perf_counter() - t0)
+            if fire:
                 drift = True
                 finetuned = True
+                tel.count("drift_fires")
                 self._finetune(train_set)
         return StepResult(
             t=self.t,
@@ -216,7 +263,14 @@ class StreamingAnomalyDetector:
                 f"stream vector at t={self.t + 1} contains non-finite values"
             )
 
+        tel = self.telemetry
+        trace = tel.enabled
+        if trace:
+            tel.count("steps", n_steps)
+            t0 = perf_counter()
         windows, n_cold = self.buffer.push_block(block)
+        if trace:
+            tel.add_time("represent", perf_counter() - t0, calls=n_steps)
         self.t += n_cold  # cold steps only advance the clock
 
         i = n_cold
@@ -226,10 +280,19 @@ class StreamingAnomalyDetector:
                 i += 1
                 continue
             seg_windows = windows[i - n_cold :]
+            if trace:
+                t0 = perf_counter()
             precursors = self.nonconformity.precompute(seg_windows, self.model)
+            if trace:
+                tel.add_time("predict", perf_counter() - t0)
             if precursors is None:
                 # No batched path for this measure/model: run the exact
                 # per-step sequence (keeps arbitrary statefulness intact).
+                if trace:
+                    tel.count("fallback_steps", len(seg_windows))
+                    tel.event(
+                        "fallback_to_step", t=self.t + 1, n_steps=len(seg_windows)
+                    )
                 i = self._sequential_segment(
                     seg_windows, i, a_out, f_out, drift_out, fine_out
                 )
@@ -281,21 +344,38 @@ class StreamingAnomalyDetector:
         A fine-tune needs no rollback here — nothing was speculated —
         so the whole segment completes in one pass.
         """
+        tel = self.telemetry
+        trace = tel.enabled
         for k in range(len(seg_windows)):
             self.t += 1
             x = np.array(seg_windows[k])
+            if trace:
+                t0 = perf_counter()
             a = float(self.nonconformity(x, self.model))
+            if trace:
+                t1 = perf_counter()
+                tel.add_time("nonconformity", t1 - t0)
             f = float(self.scorer.update(a))
+            if trace:
+                t0 = perf_counter()
+                tel.add_time("score", t0 - t1)
             if self.first_scored_step is None:
                 self.first_scored_step = self.t
             update = self.train_strategy.update(x, score=f)
             self.drift_detector.observe(update, self.t)
+            if trace:
+                t1 = perf_counter()
+                tel.add_time("task1-update", t1 - t0)
             a_out[i + k] = a
             f_out[i + k] = f
             train_set = self._segment_train_set()
-            if self.drift_detector.should_finetune(self.t, train_set):
+            fire = self.drift_detector.should_finetune(self.t, train_set)
+            if trace:
+                tel.add_time("task2-check", perf_counter() - t1)
+            if fire:
                 drift_out[i + k] = True
                 fine_out[i + k] = True
+                tel.count("drift_fires")
                 if not self.drift_detector.needs_train_set:
                     train_set = self.train_strategy.training_set()
                 self._finetune(train_set)
@@ -317,32 +397,57 @@ class StreamingAnomalyDetector:
         length means a fine-tune invalidated the speculation and the
         caller must recompute the remainder under the new parameters.
         """
+        tel = self.telemetry
+        trace = tel.enabled
         n_seg = len(seg_windows)
+        if trace:
+            t0 = perf_counter()
         measure_state = self.nonconformity.snapshot(self.model)
         a_seg = np.empty(n_seg, dtype=np.float64)
         for k in range(n_seg):
             a_seg[k] = self.nonconformity.consume(
                 precursors, k, seg_windows[k], self.model
             )
+        if trace:
+            t1 = perf_counter()
+            tel.add_time("nonconformity", t1 - t0, calls=n_seg)
         scorer_state = self.scorer.snapshot()
         f_seg = self.scorer.update_batch(a_seg)
+        if trace:
+            tel.add_time("score", perf_counter() - t1, calls=n_seg)
 
         for k in range(n_seg):
             self.t += 1
             if self.first_scored_step is None:
                 self.first_scored_step = self.t
             x = np.array(seg_windows[k])
+            if trace:
+                t0 = perf_counter()
             update = self.train_strategy.update(x, score=float(f_seg[k]))
             self.drift_detector.observe(update, self.t)
+            if trace:
+                t1 = perf_counter()
+                tel.add_time("task1-update", t1 - t0)
             a_out[i + k] = a_seg[k]
             f_out[i + k] = f_seg[k]
             train_set = self._segment_train_set()
-            if self.drift_detector.should_finetune(self.t, train_set):
+            fire = self.drift_detector.should_finetune(self.t, train_set)
+            if trace:
+                tel.add_time("task2-check", perf_counter() - t1)
+            if fire:
                 drift_out[i + k] = True
                 fine_out[i + k] = True
+                tel.count("drift_fires")
                 if not self.drift_detector.needs_train_set:
                     train_set = self.train_strategy.training_set()
                 if k + 1 < n_seg:
+                    tel.count("chunk_rollbacks")
+                    tel.event(
+                        "chunk_rollback",
+                        t=self.t,
+                        committed=k + 1,
+                        discarded=n_seg - (k + 1),
+                    )
                     # Rewind measure and scorer to the segment start and
                     # re-fold only the committed prefix, so their state
                     # reflects exactly the steps up to the fine-tune.
@@ -364,10 +469,18 @@ class StreamingAnomalyDetector:
             self._initial_buffer.clear()
         else:
             train_set = self.train_strategy.training_set()
-        loss = self.model.fit(train_set, epochs=self.fit_epochs)
+        with self.telemetry.span("fine-tune"):
+            loss = self.model.fit(train_set, epochs=self.fit_epochs)
         # Drift detection references the *maintained* set going forward.
         self.drift_detector.notify_finetuned(
             self.t, self.train_strategy.training_set()
+        )
+        self.telemetry.count("initial_fits")
+        self.telemetry.event(
+            "initial_fit",
+            t=self.t,
+            train_set_size=len(train_set),
+            loss_after=float(loss),
         )
         self.events.append(
             FineTuneEvent(
@@ -379,9 +492,19 @@ class StreamingAnomalyDetector:
         )
 
     def _finetune(self, train_set: np.ndarray) -> None:
-        loss_before = self.model.loss(train_set)
-        loss_after = self.model.finetune(train_set, epochs=self.finetune_epochs)
+        with self.telemetry.span("fine-tune"):
+            loss_before = self.model.loss(train_set)
+            loss_after = self.model.finetune(train_set, epochs=self.finetune_epochs)
         self.drift_detector.notify_finetuned(self.t, train_set)
+        self.telemetry.count("finetunes")
+        self.telemetry.event(
+            "finetune",
+            t=self.t,
+            reason=self.drift_detector.name,
+            train_set_size=len(train_set),
+            loss_before=float(loss_before),
+            loss_after=float(loss_after),
+        )
         self.events.append(
             FineTuneEvent(
                 t=self.t,

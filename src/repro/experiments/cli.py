@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro.core.config import DetectorConfig
 from repro.core.registry import build_algorithm_grid
@@ -22,6 +23,7 @@ from repro.experiments.reporting import render_table
 from repro.experiments.score_ablation import render_score_ablation, run_score_ablation
 from repro.experiments.table2 import render_table2, run_table2
 from repro.experiments.table3 import Table3Config, render_table3, run_table3
+from repro.obs import Telemetry, build_manifest
 
 
 def _table3_config(args: argparse.Namespace) -> Table3Config:
@@ -75,6 +77,14 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
                         help="stream block size for the chunked engine "
                              "(default: per-step loop; chunked results are "
                              "bitwise invariant to the block size)")
+    parser.add_argument("--trace", action="store_true",
+                        help="collect run telemetry (counters, stage/span "
+                             "timers, event log) and write a RunManifest "
+                             "JSON next to the output; scores are bitwise "
+                             "identical with or without tracing")
+    parser.add_argument("--trace-out", default=None, dest="trace_out",
+                        help="path for the RunManifest JSON (default: "
+                             "RunManifest_<command>.json)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -110,6 +120,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _write_manifest(
+    args: argparse.Namespace,
+    config: Table3Config,
+    telemetry: Telemetry,
+    wall_time_seconds: float,
+) -> None:
+    manifest = build_manifest(
+        command=args.command,
+        config=config,
+        telemetry=telemetry,
+        wall_time_seconds=wall_time_seconds,
+        seeds=[args.seed],
+    )
+    out = args.trace_out or f"RunManifest_{args.command}.json"
+    path = manifest.write(out)
+    print(f"run manifest written to {path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table1":
@@ -125,12 +153,24 @@ def main(argv: list[str] | None = None) -> int:
         print(render_table2(run_table2(n_jobs=args.n_jobs)))
     elif args.command == "table3":
         config = _table3_config(args)
-        rows = run_table3(args.corpus, config=config, n_jobs=args.n_jobs)
+        telemetry = Telemetry() if args.trace else None
+        started = time.perf_counter()
+        rows = run_table3(
+            args.corpus, config=config, n_jobs=args.n_jobs, telemetry=telemetry
+        )
         print(render_table3(args.corpus, rows))
+        if telemetry is not None:
+            _write_manifest(args, config, telemetry, time.perf_counter() - started)
     elif args.command == "scores":
         config = _table3_config(args)
-        rows = run_score_ablation(args.corpus, config=config, n_jobs=args.n_jobs)
+        telemetry = Telemetry() if args.trace else None
+        started = time.perf_counter()
+        rows = run_score_ablation(
+            args.corpus, config=config, n_jobs=args.n_jobs, telemetry=telemetry
+        )
         print(render_score_ablation(args.corpus, rows))
+        if telemetry is not None:
+            _write_manifest(args, config, telemetry, time.perf_counter() - started)
     elif args.command == "figure1":
         impact = run_figure1(n_steps=args.steps, seed=args.seed)
         print(render_figure1(impact))
@@ -138,8 +178,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.report import write_report
 
         config = _table3_config(args)
-        out = write_report(args.out, config=config, n_jobs=args.n_jobs)
+        telemetry = Telemetry() if args.trace else None
+        started = time.perf_counter()
+        out = write_report(
+            args.out, config=config, n_jobs=args.n_jobs, telemetry=telemetry
+        )
         print(f"report written to {out}")
+        if telemetry is not None:
+            _write_manifest(args, config, telemetry, time.perf_counter() - started)
     return 0
 
 

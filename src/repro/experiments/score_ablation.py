@@ -16,6 +16,7 @@ from repro.datasets.corpora import make_corpus
 from repro.experiments.evaluation import MetricRow, average_rows, evaluate_result
 from repro.experiments.reporting import render_table
 from repro.experiments.table3 import Table3Config
+from repro.obs import NULL_TELEMETRY, STAGE_PREFIX, Telemetry
 from repro.streaming.parallel import CellFailure, CorpusCell, ParallelCorpusRunner
 
 SCORER_ORDER = ("raw", "avg", "al")
@@ -35,6 +36,7 @@ def run_score_ablation(
     specs: list[AlgorithmSpec] | None = None,
     config: Table3Config | None = None,
     n_jobs: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> list[AblationRow]:
     """Average each scoring function over the algorithm grid.
 
@@ -49,16 +51,20 @@ def run_score_ablation(
             to keep the benchmark fast).
         config: experiment scale parameters.
         n_jobs: worker processes for the grid.
+        telemetry: when given, collects stage times and the merged
+            per-cell detector telemetry (see :func:`run_table3`).
     """
     config = config if config is not None else Table3Config()
     specs = specs if specs is not None else build_algorithm_grid()
-    corpus = make_corpus(
-        corpus_name,
-        n_series=config.n_series,
-        n_steps=config.n_steps,
-        clean_prefix=config.clean_prefix,
-        seed=config.seed,
-    )
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span(STAGE_PREFIX + "corpus"):
+        corpus = make_corpus(
+            corpus_name,
+            n_series=config.n_series,
+            n_steps=config.n_steps,
+            clean_prefix=config.clean_prefix,
+            seed=config.seed,
+        )
     cells = [
         CorpusCell(spec=spec, series=series, config=config.detector, scorer=scorer)
         for scorer in SCORER_ORDER
@@ -66,27 +72,29 @@ def run_score_ablation(
         for series in corpus
     ]
     grid = ParallelCorpusRunner(
-        n_jobs=n_jobs, batch_size=config.stream_chunk
+        n_jobs=n_jobs, batch_size=config.stream_chunk, trace=tel.enabled
     ).run(cells)
+    tel.merge_payload(grid.telemetry if tel.enabled else None)
     per_scorer = len(specs) * len(corpus)
     rows = []
-    for i, scorer in enumerate(SCORER_ORDER):
-        block = grid.outcomes[i * per_scorer : (i + 1) * per_scorer]
-        metric_rows = []
-        for outcome in block:
-            if isinstance(outcome, CellFailure):
-                print(f"  WARNING: cell {outcome.label} failed: {outcome.message}")
-                continue
-            metric_rows.append(
-                evaluate_result(outcome, backend=config.metrics_backend)
+    with tel.span(STAGE_PREFIX + "evaluate"):
+        for i, scorer in enumerate(SCORER_ORDER):
+            block = grid.outcomes[i * per_scorer : (i + 1) * per_scorer]
+            metric_rows = []
+            for outcome in block:
+                if isinstance(outcome, CellFailure):
+                    print(f"  WARNING: cell {outcome.label} failed: {outcome.message}")
+                    continue
+                metric_rows.append(
+                    evaluate_result(outcome, backend=config.metrics_backend)
+                )
+            rows.append(
+                AblationRow(
+                    scorer=scorer,
+                    metrics=average_rows(metric_rows),
+                    n_runs=len(metric_rows),
+                )
             )
-        rows.append(
-            AblationRow(
-                scorer=scorer,
-                metrics=average_rows(metric_rows),
-                n_runs=len(metric_rows),
-            )
-        )
     return rows
 
 

@@ -17,6 +17,7 @@ from repro.core.types import TimeSeries
 from repro.datasets.corpora import make_corpus
 from repro.experiments.evaluation import MetricRow, average_rows, evaluate_result
 from repro.experiments.reporting import render_table
+from repro.obs import NULL_TELEMETRY, STAGE_PREFIX, Telemetry
 from repro.streaming.parallel import (
     CellFailure,
     GridResult,
@@ -155,6 +156,7 @@ def run_table3(
     config: Table3Config | None = None,
     n_jobs: int | None = None,
     progress: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> list[Table3Row]:
     """Regenerate one corpus block of Table III.
 
@@ -173,28 +175,37 @@ def run_table3(
         n_jobs: worker processes for the grid (``None``/``1``
             sequential, ``-1`` all CPUs).
         progress: print one line per completed cell.
+        telemetry: when given, collects the experiment's coarse stage
+            times (``stage:corpus`` / ``stage:stream`` / ``stage:evaluate``)
+            plus the merged per-cell detector telemetry.  With ``n_jobs``
+            > 1 the stream stage sums worker CPU time and may exceed
+            wall-clock.  Tracing never changes a number in the table.
 
     Returns:
         One row per algorithm, in Table I order.
     """
     config = config if config is not None else Table3Config()
     specs = specs if specs is not None else build_algorithm_grid()
-    corpus = make_corpus(
-        corpus_name,
-        n_series=config.n_series,
-        n_steps=config.n_steps,
-        clean_prefix=config.clean_prefix,
-        seed=config.seed,
-    )
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span(STAGE_PREFIX + "corpus"):
+        corpus = make_corpus(
+            corpus_name,
+            n_series=config.n_series,
+            n_steps=config.n_steps,
+            clean_prefix=config.clean_prefix,
+            seed=config.seed,
+        )
     cells = build_cells(specs, corpus, config.detector, scorers=config.scorers)
     grid = ParallelCorpusRunner(
-        n_jobs=n_jobs, batch_size=config.stream_chunk
+        n_jobs=n_jobs, batch_size=config.stream_chunk, trace=tel.enabled
     ).run(cells, progress=progress)
+    tel.merge_payload(grid.telemetry if tel.enabled else None)
     per_spec = len(config.scorers) * len(corpus)
     rows = []
-    for i, spec in enumerate(specs):
-        block = GridResult(grid.outcomes[i * per_spec : (i + 1) * per_spec])
-        rows.append(_row_from_grid(spec, block, config))
+    with tel.span(STAGE_PREFIX + "evaluate"):
+        for i, spec in enumerate(specs):
+            block = GridResult(grid.outcomes[i * per_spec : (i + 1) * per_spec])
+            rows.append(_row_from_grid(spec, block, config))
     return rows
 
 

@@ -126,8 +126,13 @@ def _weighted_curves_sweep(
     negative_mass = float((1.0 - weights).sum())
     fprs = curve.fp / negative_mass if negative_mass else np.zeros_like(curve.fp)
     pr_auc = step_pr_auc(recalls, curve.precisions)
-    order = np.argsort(fprs)
-    roc_auc = float(trapezoid(recalls[order], fprs[order]))
+    # The predicted set only grows as the threshold descends, so fprs and
+    # recalls are already in ascending-x order.  Do NOT re-sort: exact
+    # ties in fp mass can differ by 1 ulp between summation orders, and
+    # an unstable sort would then scramble the tied entries, moving
+    # different recall values to the tie boundaries and changing the
+    # integral (the curve is a step exactly at those ties).
+    roc_auc = float(trapezoid(recalls, fprs))
     return pr_auc, roc_auc
 
 
@@ -170,8 +175,10 @@ def weighted_curves_reference(
         tprs.append(recall)
         fprs.append(fp / negative_mass if negative_mass else 0.0)
     pr_auc = step_pr_auc(np.asarray(recalls), np.asarray(precisions))
-    order = np.argsort(fprs)
-    roc_auc = float(trapezoid(np.asarray(tprs)[order], np.asarray(fprs)[order]))
+    # Already ascending in fpr (descending-threshold iteration); see the
+    # tie-ordering note in _weighted_curves_sweep for why sorting here
+    # would be wrong.
+    roc_auc = float(trapezoid(np.asarray(tprs), np.asarray(fprs)))
     return pr_auc, roc_auc
 
 

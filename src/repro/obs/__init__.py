@@ -1,0 +1,43 @@
+"""Zero-dependency observability: telemetry, run manifests, stream logging.
+
+See :mod:`repro.obs.telemetry` for the counters/spans/events model,
+:mod:`repro.obs.manifest` for the ``RunManifest`` JSON artifact, and
+:mod:`repro.obs.streamlog` for the idempotent progress logger.
+"""
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunManifest,
+    build_manifest,
+    canonicalize,
+    fingerprint_config,
+    library_versions,
+)
+from repro.obs.streamlog import STREAM_LOGGER_NAME, get_stream_logger
+from repro.obs.telemetry import (
+    CORE_COUNTERS,
+    CORE_SPANS,
+    NULL_TELEMETRY,
+    STAGE_PREFIX,
+    NullTelemetry,
+    Telemetry,
+    merge_payloads,
+)
+
+__all__ = [
+    "CORE_COUNTERS",
+    "CORE_SPANS",
+    "MANIFEST_SCHEMA",
+    "NULL_TELEMETRY",
+    "STAGE_PREFIX",
+    "STREAM_LOGGER_NAME",
+    "NullTelemetry",
+    "RunManifest",
+    "Telemetry",
+    "build_manifest",
+    "canonicalize",
+    "fingerprint_config",
+    "get_stream_logger",
+    "library_versions",
+    "merge_payloads",
+]

@@ -1,0 +1,156 @@
+"""Run manifests: the JSON artifact a traced run leaves next to its outputs.
+
+A :class:`RunManifest` records everything needed to answer "what ran,
+with which configuration, and where did the time go" after the fact:
+
+- the command and a **config fingerprint** (a stable hash of the
+  canonicalized configuration, so two manifests are comparable at a
+  glance and a result file can be tied to the exact settings
+  that produced it);
+- the seeds and library versions (python / numpy / repro) the run saw;
+- **per-stage wall times** (``stage:``-prefixed telemetry spans recorded
+  by the experiment harness: corpus synthesis, grid streaming,
+  metric evaluation, ...);
+- the fine-grained detector **spans** and **counters** (steps,
+  fine-tunes, drift fires, rollbacks, cell failures/retries) and the
+  bounded event log.
+
+Manifests are written by the CLI's ``--trace`` flag (see
+``repro.experiments.cli``) and by CI next to the ``BENCH_*.json``
+artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.obs.telemetry import STAGE_PREFIX, Telemetry
+
+#: bump when the manifest's JSON layout changes incompatibly.
+MANIFEST_SCHEMA = "repro.obs/run-manifest/v1"
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce an arbitrary config object to JSON-stable primitives.
+
+    Dataclasses become sorted dicts, numpy scalars/arrays become lists,
+    and anything else non-primitive falls back to ``repr``; the result
+    round-trips through ``json`` deterministically, which is what the
+    fingerprint needs.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonicalize(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer, np.floating, np.bool_)):
+        return obj.item()
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    return repr(obj)
+
+
+def fingerprint_config(config: Any) -> str:
+    """Stable short hash of a configuration object (dataclass, dict, ...)."""
+    payload = json.dumps(canonicalize(config), sort_keys=True).encode()
+    return hashlib.blake2b(payload, digest_size=12).hexdigest()
+
+
+def library_versions() -> dict[str, str]:
+    """The interpreter and library versions the run executed under."""
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "repro": __version__,
+    }
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """One traced run, ready to serialize as JSON."""
+
+    command: str
+    config: dict[str, Any]
+    config_fingerprint: str
+    seeds: list[int]
+    versions: dict[str, str]
+    wall_time_seconds: float
+    stages: list[dict[str, Any]]
+    spans: dict[str, dict[str, float]]
+    counters: dict[str, int]
+    events: list[dict[str, Any]]
+    n_events_dropped: int = 0
+    schema: str = MANIFEST_SCHEMA
+    created_unix: float = 0.0
+
+    @property
+    def stage_seconds(self) -> float:
+        """Wall time accounted to the coarse stages (coverage check)."""
+        return float(sum(stage["seconds"] for stage in self.stages))
+
+    def as_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+
+def build_manifest(
+    command: str,
+    config: Any,
+    telemetry: Telemetry,
+    wall_time_seconds: float,
+    seeds: list[int] | None = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` from a finished traced run.
+
+    ``stage:``-prefixed spans become the coarse ``stages`` list (in
+    recording order); every other span stays in ``spans`` (the detector's
+    per-stage component accounting).
+    """
+    snapshot = telemetry.as_dict()
+    stages = []
+    spans = {}
+    for name, entry in snapshot["spans"].items():
+        if name.startswith(STAGE_PREFIX):
+            stages.append(
+                {
+                    "name": name[len(STAGE_PREFIX) :],
+                    "seconds": entry["seconds"],
+                    "calls": entry["calls"],
+                }
+            )
+        else:
+            spans[name] = entry
+    return RunManifest(
+        command=command,
+        config=canonicalize(config),
+        config_fingerprint=fingerprint_config(config),
+        seeds=list(seeds) if seeds is not None else [],
+        versions=library_versions(),
+        wall_time_seconds=float(wall_time_seconds),
+        stages=stages,
+        spans=spans,
+        counters=snapshot["counters"],
+        events=snapshot["events"],
+        n_events_dropped=snapshot["n_events_dropped"],
+        created_unix=time.time(),
+    )

@@ -1,0 +1,52 @@
+"""The stream progress logger, attached idempotently.
+
+``run_stream(progress_every=...)`` emits one INFO line every N steps.
+Before this module existed the line went to a bare module logger with no
+handler (silent unless the application configured logging), and the
+obvious fix — attaching a ``StreamHandler`` inside ``run_stream`` — would
+attach one *per call*: under the parallel runner or pytest, where
+``run_stream`` executes hundreds of times per process, every progress
+line would be duplicated hundreds of times.
+
+:func:`get_stream_logger` makes the attachment idempotent:
+
+- a handler is added only if the logger (or an ancestor, via
+  propagation) has none — an application that configured logging keeps
+  full control and sees no duplicate lines;
+- the handler added here is tagged, so repeated calls find the tag and
+  never add a second one.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+#: logger name shared by every stream progress emitter.
+STREAM_LOGGER_NAME = "repro.stream"
+
+#: attribute tagging the handler this module attached.
+_HANDLER_TAG = "_repro_obs_stream_handler"
+
+
+def get_stream_logger(name: str = STREAM_LOGGER_NAME) -> logging.Logger:
+    """Return the stream progress logger, attaching at most one handler.
+
+    Safe to call once per ``run_stream`` invocation: the first call in a
+    process with unconfigured logging attaches a tagged stderr handler at
+    INFO level; every later call finds either that tag or the
+    application's own handlers and attaches nothing.
+    """
+    logger = logging.getLogger(name)
+    if any(getattr(handler, _HANDLER_TAG, False) for handler in logger.handlers):
+        return logger
+    if logger.hasHandlers():
+        # The application (or pytest) configured logging; don't double up.
+        return logger
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    setattr(handler, _HANDLER_TAG, True)
+    logger.addHandler(handler)
+    if logger.level == logging.NOTSET:
+        logger.setLevel(logging.INFO)
+    return logger

@@ -89,6 +89,19 @@ class AnomalyScorer:
 
     name = "base"
 
+    def describe(self) -> dict:
+        """JSON-safe identity of this scorer (name + window parameters).
+
+        Recorded in checkpoint metadata and run manifests so an artifact
+        states which scoring function produced it without unpickling.
+        """
+        info: dict = {"scorer": self.name}
+        for attr in ("k", "k_short"):
+            value = getattr(self, attr, None)
+            if value is not None:
+                info[attr] = int(value)
+        return info
+
     def update(self, nonconformity: float) -> float:
         """Consume ``a_t`` and return ``f_t``."""
         raise NotImplementedError

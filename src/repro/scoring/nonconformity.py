@@ -79,6 +79,11 @@ class NonconformityMeasure:
 
     name = "base"
 
+    def describe(self) -> dict:
+        """JSON-safe identity of this measure (for checkpoint metadata
+        and run manifests)."""
+        return {"nonconformity": self.name}
+
     def __call__(self, x: FeatureVector, model: StreamModel) -> float:
         raise NotImplementedError
 

@@ -1,6 +1,10 @@
 """Stream execution: drive detectors over labelled series."""
 
-from repro.streaming.checkpoint import load_detector, save_detector
+from repro.streaming.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_detector,
+    save_detector,
+)
 from repro.streaming.corpus import CorpusResult, run_corpus
 from repro.streaming.ensemble import EnsembleDetector
 from repro.streaming.parallel import (
@@ -14,6 +18,7 @@ from repro.streaming.parallel import (
 from repro.streaming.runner import StreamResult, run_stream
 
 __all__ = [
+    "CHECKPOINT_VERSION",
     "CellFailure",
     "CorpusCell",
     "CorpusResult",

@@ -8,6 +8,20 @@ stream can resume where it left off.
 Implementation: the whole detector object graph is pure Python + numpy,
 so the checkpoint is a pickle.  The usual pickle caveat applies — only
 load checkpoints you produced yourself.
+
+Versioning policy: ``CHECKPOINT_VERSION`` is bumped whenever the pickled
+detector structure changes in a way an older (or newer) library would
+silently mis-resume — *not* only when unpickling would crash.  Version 2
+covers the chunked-engine state (mirrored score ring, nonconformity
+snapshot/restore machinery, lazily materialized training sets) and the
+telemetry-free pickle contract: detectors never persist their telemetry
+sink (see ``StreamingAnomalyDetector.__getstate__``), so a restored
+detector always starts with the no-op default.  Version 1 checkpoints
+(pre-chunked-engine structures) are rejected rather than resumed with
+stale state.  Resume fidelity is pinned by
+``tests/test_checkpoint_roundtrip.py``: a mid-stream save/load must
+reproduce the remaining score sequence bitwise for every registry
+algorithm and chunk size.
 """
 
 from __future__ import annotations
@@ -15,16 +29,36 @@ from __future__ import annotations
 import pickle
 from pathlib import Path
 
+import numpy as np
+
 from repro.core.detector import StreamingAnomalyDetector
 
 #: bump when the detector's persisted structure changes incompatibly.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
 
 
 def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
-    """Write a checkpoint of the full detector state."""
+    """Write a checkpoint of the full detector state.
+
+    Besides the detector, the payload records a small metadata block
+    (library/numpy versions, stream clock, model name) so a checkpoint
+    can be identified without unpickling model state.
+    """
+    from repro import __version__
+
     path = Path(path)
-    payload = {"version": CHECKPOINT_VERSION, "detector": detector}
+    payload = {
+        "version": CHECKPOINT_VERSION,
+        "detector": detector,
+        "meta": {
+            "repro": __version__,
+            "numpy": np.__version__,
+            "t": detector.t,
+            "model": type(detector.model).__name__,
+            **detector.scorer.describe(),
+            **detector.nonconformity.describe(),
+        },
+    }
     with open(path, "wb") as handle:
         pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
     return path
@@ -32,6 +66,10 @@ def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
 
 def load_detector(path: str | Path) -> StreamingAnomalyDetector:
     """Load a checkpoint written by :func:`save_detector`.
+
+    The restored detector carries the no-op telemetry default regardless
+    of what was attached when it was saved; re-attach a sink if the
+    resumed run should be traced.
 
     Raises:
         ValueError: if the file is not a detector checkpoint or was

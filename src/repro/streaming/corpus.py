@@ -7,6 +7,7 @@ from typing import Callable
 
 from repro.core.detector import StreamingAnomalyDetector
 from repro.core.types import TimeSeries
+from repro.obs import Telemetry
 from repro.streaming.runner import StreamResult, run_stream
 
 DetectorFactory = Callable[[TimeSeries], StreamingAnomalyDetector]
@@ -41,6 +42,7 @@ def run_corpus(
     progress_every: int | None = None,
     n_jobs: int | None = None,
     batch_size: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> CorpusResult:
     """Stream every series through a fresh detector from ``factory``.
 
@@ -66,6 +68,10 @@ def run_corpus(
         batch_size: forwarded to :func:`run_stream` — stream each series
             through the chunked engine in blocks of this many steps
             (``None`` keeps the per-step reference loop).
+        telemetry: when given, accumulates counters/spans/events across
+            the whole corpus.  Sequential runs attach it to every
+            detector directly; parallel runs trace inside the workers
+            and merge the per-series snapshots into it afterwards.
 
     Returns:
         A :class:`CorpusResult` wrapping the per-series stream results.
@@ -91,6 +97,7 @@ def run_corpus(
             progress=progress,
             progress_every=progress_every,
             batch_size=batch_size,
+            trace=telemetry is not None,
         )
         for outcome in outcomes:
             if isinstance(outcome, CellFailure):
@@ -98,13 +105,20 @@ def run_corpus(
                     f"series {outcome.series_name} failed in its worker:\n"
                     f"{outcome.traceback}"
                 )
+        if telemetry is not None:
+            for outcome in outcomes:
+                telemetry.merge_payload(outcome.telemetry)
         return CorpusResult(results=outcomes)
 
     results = []
     for index, series in enumerate(corpus):
         detector = factory(series)
         result = run_stream(
-            detector, series, progress_every=progress_every, batch_size=batch_size
+            detector,
+            series,
+            progress_every=progress_every,
+            batch_size=batch_size,
+            telemetry=telemetry,
         )
         results.append(result)
         if progress:

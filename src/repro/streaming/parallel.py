@@ -39,6 +39,7 @@ from repro.core.config import DetectorConfig
 from repro.core.detector import StreamingAnomalyDetector
 from repro.core.registry import AlgorithmSpec, build_detector
 from repro.core.types import TimeSeries
+from repro.obs import Telemetry
 from repro.streaming.runner import StreamResult, run_stream
 
 
@@ -108,13 +109,18 @@ class CorpusCell:
 
 @dataclass
 class CellFailure:
-    """A cell that raised inside its worker; the grid keeps going."""
+    """A cell that raised inside its worker; the grid keeps going.
+
+    ``retried`` is ``True`` once the runner's bounded retry pass has
+    re-executed the cell and it failed again — the failure is final.
+    """
 
     label: str
     series_name: str
     error_type: str
     message: str
     traceback: str
+    retried: bool = False
 
     def __str__(self) -> str:
         return f"{self.label}: {self.error_type}: {self.message}"
@@ -125,6 +131,9 @@ class GridResult:
     """Ordered outcomes of one grid run (aligned with the input cells)."""
 
     outcomes: list[StreamResult | CellFailure]
+    #: grid-level telemetry rollup: cell accounting counters always;
+    #: merged per-cell spans/counters/events when the run was traced.
+    telemetry: dict | None = None
 
     @property
     def results(self) -> list[StreamResult]:
@@ -151,16 +160,17 @@ class GridResult:
 
 
 def _run_cell(
-    payload: tuple[CorpusCell, int | None, int | None],
+    payload: tuple[CorpusCell, int | None, int | None, bool],
 ) -> StreamResult | CellFailure:
     """Worker body: rebuild the detector, stream the series, capture errors."""
-    cell, progress_every, batch_size = payload
+    cell, progress_every, batch_size, trace = payload
     try:
         return run_stream(
             cell.build(),
             cell.series,
             progress_every=progress_every,
             batch_size=batch_size,
+            telemetry=Telemetry() if trace else None,
         )
     except Exception as exc:  # noqa: BLE001 — one cell must not kill the grid
         return CellFailure(
@@ -184,6 +194,12 @@ class ParallelCorpusRunner:
         batch_size: forwarded to :func:`run_stream` — stream each cell
             through the chunked engine in blocks of this many steps
             (``None`` keeps the per-step reference loop).
+        trace: collect per-cell :class:`~repro.obs.Telemetry` inside each
+            worker and merge the snapshots into ``GridResult.telemetry``.
+        retries: bounded re-execution budget for failed cells (default 1).
+            A retried cell rebuilds its detector from scratch with the
+            same resolved seed, so a deterministic failure fails again
+            and a transient one (worker OOM-kill, flaky I/O) recovers.
 
     The executor is created per :meth:`run` call so a runner instance is
     cheap, stateless and reusable.
@@ -194,12 +210,18 @@ class ParallelCorpusRunner:
         n_jobs: int | None = None,
         chunksize: int = 1,
         batch_size: int | None = None,
+        trace: bool = False,
+        retries: int = 1,
     ) -> None:
         if chunksize < 1:
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.n_jobs = resolve_n_jobs(n_jobs)
         self.chunksize = chunksize
         self.batch_size = batch_size
+        self.trace = trace
+        self.retries = retries
 
     def run(
         self,
@@ -209,6 +231,10 @@ class ParallelCorpusRunner:
     ) -> GridResult:
         """Execute every cell; outcomes stay aligned with ``cells``.
 
+        Failed cells get up to ``retries`` fresh re-executions (same
+        seed, new detector) before their :class:`CellFailure` is final;
+        the retry accounting lands in ``GridResult.telemetry``.
+
         Args:
             cells: the grid to run.
             progress: print one line per completed cell.
@@ -216,7 +242,9 @@ class ParallelCorpusRunner:
                 progress inside a cell; with a pool the workers' lines
                 interleave on shared stdout).
         """
-        payloads = [(cell, progress_every, self.batch_size) for cell in cells]
+        payloads = [
+            (cell, progress_every, self.batch_size, self.trace) for cell in cells
+        ]
         outcomes: list[StreamResult | CellFailure] = []
         if self.n_jobs == 1 or len(cells) <= 1:
             iterator: Iterable[StreamResult | CellFailure] = map(
@@ -237,7 +265,75 @@ class ParallelCorpusRunner:
         finally:
             if self.n_jobs > 1 and len(cells) > 1:
                 executor.shutdown(wait=True)
-        return GridResult(outcomes=outcomes)
+        n_retries, n_recovered = self._retry_failures(payloads, outcomes, progress)
+        return GridResult(
+            outcomes=outcomes,
+            telemetry=self._rollup(outcomes, n_retries, n_recovered),
+        )
+
+    def _retry_failures(
+        self,
+        payloads: list[tuple[CorpusCell, int | None, int | None, bool]],
+        outcomes: list[StreamResult | CellFailure],
+        progress: bool,
+    ) -> tuple[int, int]:
+        """Re-execute failed cells in-process, up to ``self.retries`` each.
+
+        Retries run sequentially in the parent process (the pool is gone
+        by now): failures are rare, and an in-process run surfaces any
+        environment-specific breakage directly.  Returns
+        ``(n_retries, n_recovered)``.
+        """
+        n_retries = 0
+        n_recovered = 0
+        if self.retries == 0:
+            return n_retries, n_recovered
+        for index, outcome in enumerate(outcomes):
+            if not isinstance(outcome, CellFailure):
+                continue
+            final = outcome
+            for _ in range(self.retries):
+                n_retries += 1
+                attempt = _run_cell(payloads[index])
+                if isinstance(attempt, StreamResult):
+                    outcomes[index] = attempt
+                    n_recovered += 1
+                    if progress:
+                        print(f"  [retry] {final.label}: recovered")
+                    final = None
+                    break
+                final = attempt
+            if final is not None:
+                final.retried = True
+                outcomes[index] = final
+        return n_retries, n_recovered
+
+    def _rollup(
+        self,
+        outcomes: list[StreamResult | CellFailure],
+        n_retries: int,
+        n_recovered: int,
+    ) -> dict:
+        """Grid-level telemetry: cell accounting + merged cell snapshots."""
+        rollup = Telemetry()
+        for outcome in outcomes:
+            if isinstance(outcome, CellFailure):
+                rollup.count("cells_failed")
+                rollup.event(
+                    "cell_failure",
+                    label=outcome.label,
+                    error_type=outcome.error_type,
+                    retried=outcome.retried,
+                )
+            else:
+                rollup.count("cells_ok")
+                if self.trace:
+                    rollup.merge_payload(outcome.telemetry)
+        if n_retries:
+            rollup.count("cell_retries", n_retries)
+        if n_recovered:
+            rollup.count("cells_recovered", n_recovered)
+        return rollup.as_dict()
 
     @staticmethod
     def _print_progress(
@@ -301,9 +397,9 @@ _FORK_FACTORY: Callable[[TimeSeries], StreamingAnomalyDetector] | None = None
 
 
 def _run_forked_series(
-    payload: tuple[TimeSeries, int | None, int | None],
+    payload: tuple[TimeSeries, int | None, int | None, bool],
 ) -> StreamResult | CellFailure:
-    series, progress_every, batch_size = payload
+    series, progress_every, batch_size, trace = payload
     assert _FORK_FACTORY is not None, "worker started without a factory"
     try:
         return run_stream(
@@ -311,6 +407,7 @@ def _run_forked_series(
             series,
             progress_every=progress_every,
             batch_size=batch_size,
+            telemetry=Telemetry() if trace else None,
         )
     except Exception as exc:  # noqa: BLE001
         return CellFailure(
@@ -334,6 +431,7 @@ def run_corpus_parallel(
     progress: bool = False,
     progress_every: int | None = None,
     batch_size: int | None = None,
+    trace: bool = False,
 ) -> list[StreamResult | CellFailure]:
     """Stream every series through ``factory`` detectors, ``n_jobs`` at a time.
 
@@ -342,7 +440,7 @@ def run_corpus_parallel(
     execution when the platform has no ``fork`` start method.
     """
     global _FORK_FACTORY
-    payloads = [(series, progress_every, batch_size) for series in corpus]
+    payloads = [(series, progress_every, batch_size, trace) for series in corpus]
     if n_jobs <= 1 or len(corpus) <= 1 or not fork_start_method_available():
         return [_run_forked_series_with(factory, p) for p in payloads]
     context = multiprocessing.get_context("fork")

@@ -2,17 +2,18 @@
 
 from __future__ import annotations
 
-import logging
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 from numpy.typing import NDArray
 
 from repro.core.detector import StreamingAnomalyDetector
 from repro.core.types import FineTuneEvent, FloatArray, TimeSeries, count_finetunes
+from repro.obs import NULL_TELEMETRY, STAGE_PREFIX, Telemetry, get_stream_logger
 
-logger = logging.getLogger(__name__)
+logger = get_stream_logger()
 
 
 @dataclass
@@ -34,6 +35,8 @@ class StreamResult:
     events: list[FineTuneEvent] = field(default_factory=list)
     drift_steps: list[int] = field(default_factory=list)
     runtime_seconds: float = 0.0
+    #: :meth:`Telemetry.as_dict` snapshot for traced runs, else ``None``.
+    telemetry: dict[str, Any] | None = None
 
     @property
     def n_steps(self) -> int:
@@ -57,6 +60,7 @@ def run_stream(
     series: TimeSeries,
     progress_every: int | None = None,
     batch_size: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> StreamResult:
     """Feed every stream vector of ``series`` through ``detector``.
 
@@ -64,16 +68,26 @@ def run_stream(
         detector: a freshly built detector (call :meth:`reset` to reuse one).
         series: the labelled stream.
         progress_every: optionally log a progress line every N steps
-            (module logger, ``INFO`` level).
+            (the ``repro.stream`` logger, ``INFO`` level; the handler is
+            attached idempotently, so repeated runs never duplicate lines).
         batch_size: when set (>= 1), process the stream through the
             chunked engine (:meth:`StreamingAnomalyDetector.step_chunk`)
             in blocks of this many steps; ``None`` keeps the sequential
             per-step reference loop.  The chunked results are bitwise
             invariant to the chosen block size.
+        telemetry: when given, attached to the detector for the duration
+            of the run; the result carries an :meth:`Telemetry.as_dict`
+            snapshot.  Telemetry never feeds back into the computation,
+            so traced scores are bitwise identical to untraced ones.
 
     Returns:
         A :class:`StreamResult` with scores aligned to the series.
     """
+    if telemetry is not None:
+        detector.telemetry = telemetry
+    # Duck-typed detectors (e.g. score-fusion ensembles) need not carry a
+    # telemetry slot; they simply run untraced.
+    tel = getattr(detector, "telemetry", NULL_TELEMETRY)
     n_steps = series.n_steps
     scores = np.zeros(n_steps, dtype=np.float64)
     nonconformities = np.zeros(n_steps, dtype=np.float64)
@@ -105,6 +119,8 @@ def run_stream(
                 for t in range(first, stop, progress_every):
                     logger.info("  [%s] step %d/%d", series.name, t, n_steps)
     runtime = time.perf_counter() - started
+    if tel.enabled:
+        tel.add_time(STAGE_PREFIX + "stream", runtime)
     first_scored = (
         detector.first_scored_step
         if detector.first_scored_step is not None
@@ -120,4 +136,5 @@ def run_stream(
         events=list(detector.events),
         drift_steps=drift_steps,
         runtime_seconds=runtime,
+        telemetry=tel.as_dict() if tel.enabled else None,
     )

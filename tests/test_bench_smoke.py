@@ -120,3 +120,18 @@ def test_bench_stream_smoke(tmp_path):
         # even at smoke scale; the benchmark asserts it before writing.
         assert combo["bitwise_identical"] is True
     assert payload["determinism"]["bitwise_identical"] is True
+
+    telemetry = payload["telemetry"]
+    for key in (
+        "disabled_seconds",
+        "disabled_spread",
+        "traced_seconds",
+        "traced_overhead",
+        "scores_identical",
+    ):
+        assert key in telemetry
+    # Disabled telemetry must not change a single bit of the scores; the
+    # runtime claim ("within noise") is judged from the recorded
+    # disabled_spread at full scale, not asserted at smoke scale.
+    assert telemetry["scores_identical"] is True
+    assert len(telemetry["disabled_seconds"]) == 3

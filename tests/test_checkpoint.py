@@ -7,7 +7,12 @@ import pytest
 
 from repro.core.config import DetectorConfig
 from repro.core.registry import AlgorithmSpec, build_detector
-from repro.streaming import load_detector, run_stream, save_detector
+from repro.streaming import (
+    CHECKPOINT_VERSION,
+    load_detector,
+    run_stream,
+    save_detector,
+)
 
 
 def make_stream(n, seed=0):
@@ -83,6 +88,32 @@ class TestCheckpoint:
     def test_wrong_payload_type_rejected(self, tmp_path):
         path = tmp_path / "odd.pkl"
         with open(path, "wb") as handle:
-            pickle.dump({"version": 1, "detector": "not a detector"}, handle)
+            pickle.dump(
+                {"version": CHECKPOINT_VERSION, "detector": "not a detector"},
+                handle,
+            )
         with pytest.raises(ValueError, match="does not contain"):
             load_detector(path)
+
+    def test_pre_chunked_engine_version_rejected(self, tmp_path):
+        # Version 1 predates the chunked-engine state (score rings,
+        # nonconformity snapshots); resuming it silently would be wrong.
+        path = tmp_path / "v1.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"version": 1, "detector": "stale"}, handle)
+        with pytest.raises(ValueError, match="incompatible"):
+            load_detector(path)
+
+    def test_checkpoint_meta_identifies_run(self, tmp_path):
+        detector = fresh_detector()
+        for v in make_stream(120):
+            detector.step(v)
+        path = save_detector(detector, tmp_path / "meta.pkl")
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        assert payload["version"] == CHECKPOINT_VERSION
+        meta = payload["meta"]
+        assert meta["t"] == detector.t
+        assert meta["model"] == type(detector.model).__name__
+        assert meta["scorer"] == detector.scorer.name
+        assert meta["nonconformity"] == detector.nonconformity.name

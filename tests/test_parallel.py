@@ -184,7 +184,7 @@ class TestRunCorpusParallel:
 
     def test_progress_every_forwarded(self, caplog):
         corpus = make_smd(n_series=1, n_steps=250, clean_prefix=60, seed=0)
-        with caplog.at_level(logging.INFO, logger="repro.streaming.runner"):
+        with caplog.at_level(logging.INFO, logger="repro.stream"):
             run_corpus(self._factory, corpus, progress_every=100)
         assert "step 100/250" in caplog.text
 
