@@ -1,0 +1,201 @@
+"""Serving throughput: the online service vs the raw chunked engine.
+
+Measures sustained ingest-to-score throughput (points/s) of
+``repro.serve`` across session counts and micro-batch sizes, with the
+offline ``step_chunk`` rate over the same series as the ceiling — the
+gap between a row and its ceiling is pure serving overhead (queueing,
+sequence bookkeeping, scheduling, result buffering).  A separate row
+measures the in-process wire client, which adds JSON encode/decode on
+top.
+
+Before any number is written, one served stream is asserted bitwise
+identical to the offline ``batch_size=1`` ``run_stream`` reference —
+throughput numbers for a service that changed the scores would be
+meaningless.  Results land in ``BENCH_serve.json`` at the repo root.
+
+Run as a script (``python benchmarks/bench_serve.py [--fast]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.core.types import TimeSeries
+from repro.serve import DetectionService, ServeClient, ServeConfig
+from repro.streaming.runner import run_stream
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+SPEC = ("ae", "sw", "musigma")
+N_CHANNELS = 2
+CONFIG = dict(window=8, train_capacity=32, fit_epochs=3, kswin_check_every=8)
+
+
+def make_values(n, seed=0):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    values = np.stack(
+        [np.sin(2 * np.pi * t / 40), np.cos(2 * np.pi * t / 40)], axis=1
+    )
+    return values + rng.normal(scale=0.05, size=values.shape)
+
+
+def _detector():
+    return build_detector(
+        AlgorithmSpec(*SPEC), n_channels=N_CHANNELS, config=DetectorConfig(**CONFIG)
+    )
+
+
+def offline_rate(values, batch_size):
+    """Cold-start points/s of the bare chunked engine at this block size."""
+    detector = _detector()
+    started = time.perf_counter()
+    for start in range(0, len(values), batch_size):
+        detector.step_chunk(values[start : start + batch_size])
+    return len(values) / (time.perf_counter() - started)
+
+
+def _service(n_sessions, max_batch):
+    # max_delay_ms=0 makes any queued point immediately due, so a manual
+    # pump loop drains deterministically with no timer in the path; big
+    # limits keep backpressure out of a pure throughput measurement.
+    return DetectionService(
+        ServeConfig(
+            default_spec="+".join(SPEC),
+            max_sessions=n_sessions,
+            max_batch=max_batch,
+            max_delay_ms=0.0,
+            queue_limit=max(8 * max_batch, 256),
+            result_limit=max(8 * max_batch, 1024),
+            detector=DetectorConfig(**CONFIG),
+        ),
+        autostart=False,
+    )
+
+
+def serve_rate(values, n_sessions, max_batch):
+    """Ingest-to-collect points/s through the full service path."""
+    service = _service(n_sessions, max_batch)
+    streams = [f"bench-{i}" for i in range(n_sessions)]
+    for stream in streams:
+        service.create_session(stream, n_channels=N_CHANNELS)
+    slice_size = max(4 * max_batch, 64)
+    n = len(values)
+    collected = {stream: 0 for stream in streams}
+    started = time.perf_counter()
+    sent = 0
+    while sent < n or any(done < n for done in collected.values()):
+        if sent < n:
+            block = values[sent : sent + slice_size]
+            for stream in streams:
+                service.ingest(stream, block)
+            sent += len(block)
+        while service.pump():
+            pass
+        for stream in streams:
+            payload = service.collect(stream, flush=False)
+            collected[stream] += len(payload["results"])
+    elapsed = time.perf_counter() - started
+    service.shutdown()
+    return n_sessions * n / elapsed
+
+
+def wire_rate(values, max_batch):
+    """Same path plus the JSON-lines encoding (in-process wire client)."""
+    service = _service(1, max_batch)
+    client = ServeClient(service)
+    client.create("wire", n_channels=N_CHANNELS)
+    started = time.perf_counter()
+    client.score_series("wire", values, ingest_size=max(4 * max_batch, 64))
+    elapsed = time.perf_counter() - started
+    service.shutdown()
+    return len(values) / elapsed
+
+
+def assert_equivalence(values, max_batch=32):
+    """Served scores == offline run_stream (batch_size=1), bitwise."""
+    service = _service(1, max_batch)
+    client = ServeClient(service)
+    client.create("check", n_channels=N_CHANNELS)
+    scores, nonconformities = client.score_series("check", values, ingest_size=97)
+    service.shutdown()
+    series = TimeSeries(values=values, labels=np.zeros(len(values), dtype=int))
+    offline = run_stream(_detector(), series, batch_size=1)
+    assert np.array_equal(scores, offline.scores), "served scores diverged"
+    assert np.array_equal(nonconformities, offline.nonconformities)
+    return True
+
+
+def run_benchmarks(fast: bool = False) -> dict:
+    n = 800 if fast else 4000
+    session_counts = (1, 4) if fast else (1, 4, 16)
+    batch_sizes = (1, 64) if fast else (1, 16, 128)
+    values = make_values(n)
+
+    identical = assert_equivalence(values[: min(n, 600)])
+
+    ceilings = {
+        str(batch): offline_rate(values, batch) for batch in batch_sizes
+    }
+    matrix = []
+    for max_batch in batch_sizes:
+        for n_sessions in session_counts:
+            rate = serve_rate(values, n_sessions, max_batch)
+            matrix.append(
+                {
+                    "sessions": n_sessions,
+                    "max_batch": max_batch,
+                    "points_per_second": rate,
+                    "efficiency_vs_ceiling": rate / ceilings[str(max_batch)],
+                }
+            )
+    return {
+        "generated_by": "benchmarks/bench_serve.py",
+        "mode": "fast" if fast else "full",
+        "cpu_count": os.cpu_count(),
+        "spec": "+".join(SPEC),
+        "n_points_per_session": n,
+        "offline_ceiling_points_per_second": ceilings,
+        "matrix": matrix,
+        "wire": {
+            "max_batch": batch_sizes[-1],
+            "points_per_second": wire_rate(values, batch_sizes[-1]),
+        },
+        "equivalence": {
+            "bitwise_identical": identical,
+            "reference": "run_stream(batch_size=1)",
+        },
+    }
+
+
+def write_results(payload: dict, out: Path = DEFAULT_OUT) -> Path:
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="Online serving benchmark")
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="smoke-test scale (used by the test-suite invocation)",
+    )
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+    payload = run_benchmarks(fast=args.fast)
+    out = write_results(payload, args.out)
+    print(json.dumps(payload, indent=2))
+    print(f"results written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,151 @@
+"""Live scoring through the online detection service.
+
+Streams SMD-like server metrics (one stream per machine) into
+``repro.serve`` and checks the returned anomaly scores against an
+offline :func:`~repro.streaming.runner.run_stream` reference — the
+service's core guarantee is that micro-batching, backpressure and
+checkpoint-backed eviction are invisible in the scores.
+
+Two modes:
+
+- default: spins up an in-process :class:`~repro.serve.DetectionService`
+  (no socket) sized to force LRU eviction, and drives it through the
+  wire-encoding :class:`~repro.serve.ServeClient`;
+- ``--connect HOST:PORT``: drives an already-running server (started
+  with ``python -m repro.experiments.cli serve``) over TCP — this is
+  what the CI service-smoke job runs.
+
+Exits non-zero if any served stream diverges from its offline reference.
+
+Run:  python examples/live_service.py
+      python examples/live_service.py --connect 127.0.0.1:8765 --shutdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import DetectorConfig, build_detector, run_stream
+from repro.core.registry import AlgorithmSpec
+from repro.datasets import make_smd
+from repro.serve import DetectionService, ServeClient, ServeConfig, SocketServeClient
+
+
+def parse_args(argv: list[str] | None = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--connect", default=None, metavar="HOST:PORT",
+                        help="drive a running server instead of an "
+                             "in-process service")
+    parser.add_argument("--points", type=int, default=500,
+                        help="total points to ingest across all sessions")
+    parser.add_argument("--sessions", type=int, default=3,
+                        help="concurrent machine streams")
+    parser.add_argument("--channels", type=int, default=8,
+                        help="metrics per machine (SMD has 38)")
+    parser.add_argument("--spec", default="ae+sw+kswin")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--shutdown", action="store_true",
+                        help="send a shutdown op when done (--connect "
+                             "mode; lets the server write its manifest)")
+    return parser.parse_args(argv)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = parse_args(argv)
+    per_session = -(-args.points // args.sessions)  # ceil
+    machines = make_smd(
+        n_series=args.sessions,
+        n_steps=per_session,
+        clean_prefix=max(per_session // 3, 30),
+        n_channels=args.channels,
+        seed=args.seed,
+    )
+    # Sent explicitly with every create, so the offline reference below
+    # is built from the same hyper-parameters whatever the server's
+    # defaults are.
+    config = dict(
+        window=8,
+        train_capacity=32,
+        fit_epochs=3,
+        initial_train_size=min(60, max(per_session // 3, 16)),
+        kswin_check_every=2,
+    )
+
+    service = None
+    if args.connect is not None:
+        host, _, port = args.connect.rpartition(":")
+        client = SocketServeClient(host or "127.0.0.1", int(port))
+    else:
+        # One hydration slot fewer than sessions, so the store must spill
+        # the coldest detector while all streams are live.
+        service = DetectionService(
+            ServeConfig(max_sessions=max(args.sessions - 1, 1), max_batch=32)
+        )
+        client = ServeClient(service)
+
+    # All sessions open at once, so a server with fewer hydration slots
+    # than sessions (the demo service above; CI passes --max-sessions 2)
+    # keeps spilling the coldest detector while every stream is live.
+    streams = [f"machine-{index}" for index in range(args.sessions)]
+    for stream in streams:
+        reply = client.create(
+            stream, spec=args.spec, n_channels=args.channels, config=config
+        )
+        if not reply.get("ok"):
+            print(f"create {stream} failed: {reply.get('error')}")
+            return 1
+
+    failures = 0
+    total = 0
+    for index, (stream, machine) in enumerate(zip(streams, machines)):
+        # Session 0 additionally takes a forced mid-stream eviction, so
+        # the spill/rehydrate path is on the scored path for sure.
+        evict_at = per_session // 2 if index == 0 else None
+        scores, _ = client.score_series(
+            stream, machine.values, ingest_size=64, evict_at=evict_at, sleep=True
+        )
+        total += len(scores)
+
+        offline = run_stream(
+            build_detector(
+                AlgorithmSpec(*args.spec.split("+")),
+                n_channels=args.channels,
+                config=DetectorConfig(**config),
+            ),
+            machine,
+            batch_size=1,
+        )
+        identical = np.array_equal(scores, offline.scores)
+        failures += 0 if identical else 1
+        marker = "ok " if identical else "FAIL"
+        print(
+            f"[{marker}] {stream}: {len(scores)} points served, "
+            f"bitwise-identical to offline run_stream: {identical}"
+        )
+
+    stats = client.stats()
+    for stream in streams:
+        client.close(stream)
+    counters = stats.get("rollup", {}).get("counters", {})
+    print(
+        f"\n{total} points across {args.sessions} sessions — "
+        f"evictions: {counters.get('sessions_evicted', 0)}, "
+        f"rehydrations: {counters.get('sessions_rehydrated', 0)}, "
+        f"ingest rejections (backpressure): {counters.get('ingest_rejected', 0)}"
+    )
+    if args.connect is not None and args.shutdown:
+        client.shutdown()
+    if service is not None:
+        service.shutdown()
+    if failures:
+        print(f"{failures} stream(s) diverged from the offline reference")
+        return 1
+    print("all served scores match the offline reference bitwise")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,7 @@ Usage (installed as the ``repro-experiments`` console script, or via
     repro-experiments table3 --corpus daphnet --series 2 --steps 1600
     repro-experiments scores --corpus smd
     repro-experiments figure1 --seed 7
+    repro-experiments serve --port 8765 --spec ae+sw+kswin --max-sessions 64
 """
 
 from __future__ import annotations
@@ -117,6 +118,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("--out", default="report.md", help="output file")
     _add_scale_arguments(report)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the online detection service (JSON-lines TCP)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 lets the OS pick one)")
+    serve.add_argument("--spec", default="ae+sw+kswin",
+                       help="default algorithm for create requests that "
+                            "omit one (model+task1+task2)")
+    serve.add_argument("--scorer", default=None,
+                       help="anomaly-scoring override for built detectors "
+                            "(raw/avg/al/conformal)")
+    serve.add_argument("--max-sessions", type=int, default=64,
+                       dest="max_sessions",
+                       help="hydrated-detector bound; LRU sessions beyond "
+                            "it spill to the checkpoint directory")
+    serve.add_argument("--spill-dir", default=None, dest="spill_dir",
+                       help="eviction checkpoint directory (default: a "
+                            "fresh temporary directory)")
+    serve.add_argument("--max-batch", type=int, default=64, dest="max_batch",
+                       help="micro-batch size coalesced per step_chunk call")
+    serve.add_argument("--max-delay-ms", type=float, default=25.0,
+                       dest="max_delay_ms",
+                       help="max time a buffered point waits before its "
+                            "session is flushed anyway")
+    serve.add_argument("--queue-limit", type=int, default=512,
+                       dest="queue_limit",
+                       help="per-session ingest queue bound (backpressure)")
+    serve.add_argument("--idle-timeout", type=float, default=None,
+                       dest="idle_timeout",
+                       help="spill sessions idle this many seconds even "
+                            "below the capacity bound")
+    serve.add_argument("--window", type=int, default=24,
+                       help="data representation length w for built detectors")
+    serve.add_argument("--capacity", type=int, default=64,
+                       help="maintained training-set size m")
+    serve.add_argument("--epochs", type=int, default=20,
+                       help="initial fit epochs")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--trace", action="store_true",
+                       help="write a fleet RunManifest JSON on shutdown")
+    serve.add_argument("--trace-out", default=None, dest="trace_out")
     return parser
 
 
@@ -136,6 +180,57 @@ def _write_manifest(
     out = args.trace_out or f"RunManifest_{args.command}.json"
     path = manifest.write(out)
     print(f"run manifest written to {path}")
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the online detection service until shutdown (op or Ctrl-C)."""
+    from repro.serve import DetectionServer, DetectionService, ServeConfig
+
+    config = ServeConfig(
+        default_spec=args.spec,
+        scorer=args.scorer,
+        max_sessions=args.max_sessions,
+        spill_dir=args.spill_dir,
+        max_batch=args.max_batch,
+        max_delay_ms=args.max_delay_ms,
+        queue_limit=args.queue_limit,
+        idle_timeout_s=args.idle_timeout,
+        detector=DetectorConfig(
+            window=args.window,
+            train_capacity=args.capacity,
+            fit_epochs=args.epochs,
+            seed=args.seed,
+        ),
+    )
+    service = DetectionService(config)
+    server = DetectionServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    print(
+        f"serving on {host}:{port} (default spec {args.spec}, "
+        f"spill dir {service.spill_dir})",
+        flush=True,
+    )
+    started = time.perf_counter()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+        server.server_close()
+        if args.trace:
+            rollup = Telemetry()
+            rollup.merge_payload(service.stats_payload()["rollup"])
+            manifest = build_manifest(
+                command="serve",
+                config=config,
+                telemetry=rollup,
+                wall_time_seconds=time.perf_counter() - started,
+                seeds=[args.seed],
+            )
+            out = args.trace_out or "RunManifest_serve.json"
+            print(f"run manifest written to {manifest.write(out)}", flush=True)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -174,6 +269,8 @@ def main(argv: list[str] | None = None) -> int:
     elif args.command == "figure1":
         impact = run_figure1(n_steps=args.steps, seed=args.seed)
         print(render_figure1(impact))
+    elif args.command == "serve":
+        return _run_serve(args)
     elif args.command == "report":
         from repro.experiments.report import write_report
 

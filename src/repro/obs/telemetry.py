@@ -48,6 +48,17 @@ CORE_COUNTERS = (
     "cells_failed",
     "cell_retries",
     "cells_recovered",
+    # repro.serve fleet counters (the online detection service).
+    "sessions_created",
+    "sessions_closed",
+    "sessions_evicted",
+    "sessions_rehydrated",
+    "evictions_skipped",
+    "points_ingested",
+    "points_scored",
+    "batches_flushed",
+    "ingest_rejected",
+    "drain_blocked",
 )
 
 #: Span keys recorded by the detector's per-step loop (the chunked engine

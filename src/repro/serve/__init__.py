@@ -1,0 +1,80 @@
+"""Online detection service: live streams in, anomaly scores out.
+
+The offline harness consumes finished labelled series; ``repro.serve``
+turns the same bitwise-pinned streaming engine into a long-lived scorer
+for many concurrent streams — the deployment setting the paper's
+streaming premise implies (points arrive one at a time, the detector
+adapts online).
+
+Layers (zero new dependencies — stdlib + numpy):
+
+- :mod:`repro.serve.session` — one live detector per stream id, with
+  monotonic sequence numbers, per-session telemetry and idle tracking;
+- :mod:`repro.serve.scheduler` — micro-batch coalescing with bounded
+  queues, :class:`~repro.serve.scheduler.QueueFull` backpressure and
+  round-robin fairness;
+- :mod:`repro.serve.state` — LRU session store with checkpoint-backed
+  eviction (spill to ``CHECKPOINT_VERSION`` 2 files, transparent
+  rehydration, bitwise-identical resume);
+- :mod:`repro.serve.protocol` / :mod:`repro.serve.server` — the
+  JSON-lines wire protocol, the threading TCP server, and in-process /
+  socket clients.
+
+CLI: ``python -m repro.experiments.cli serve --port 8765 --spec
+ae+sw+kswin``.  See ``docs/architecture.md`` ("Serving") and
+``examples/live_service.py``.
+"""
+
+from repro.serve.protocol import (
+    ERROR_TYPES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+from repro.serve.scheduler import MicroBatchScheduler, QueueFull, SchedulerConfig
+from repro.serve.server import (
+    BaseServeClient,
+    DetectionServer,
+    DetectionService,
+    ServeClient,
+    ServeConfig,
+    SocketServeClient,
+)
+from repro.serve.session import DetectorSession
+from repro.serve.state import (
+    DuplicateSessionError,
+    SessionStore,
+    UnknownSessionError,
+    spill_filename,
+)
+
+__all__ = [
+    "ERROR_TYPES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "BaseServeClient",
+    "DetectionServer",
+    "DetectionService",
+    "DetectorSession",
+    "DuplicateSessionError",
+    "MicroBatchScheduler",
+    "ProtocolError",
+    "QueueFull",
+    "SchedulerConfig",
+    "ServeClient",
+    "ServeConfig",
+    "SessionStore",
+    "SocketServeClient",
+    "UnknownSessionError",
+    "decode_line",
+    "encode",
+    "error_reply",
+    "ok_reply",
+    "parse_request",
+    "spill_filename",
+]

@@ -1,0 +1,163 @@
+"""The JSON-lines wire protocol of the online detection service.
+
+Every message — request and reply — is one JSON object per line
+(``\\n``-terminated UTF-8), wrapped in a versioned envelope:
+
+.. code-block:: text
+
+    request:  {"v": 1, "op": "ingest", "stream": "machine-1",
+               "points": [[0.1, 0.2], [0.3, 0.4]], "id": 7}
+    reply:    {"v": 1, "ok": true,  "op": "ingest", "id": 7,
+               "accepted": 2, "seq_from": 10, "seq_to": 11, "pending": 2}
+    error:    {"v": 1, "ok": false, "op": "ingest", "id": 7,
+               "error": {"type": "queue_full", "message": "...",
+                         "retry_after": 0.025}}
+
+The optional ``id`` field is an opaque client correlation token, echoed
+verbatim in the reply.  Verbs:
+
+``create``
+    Open a session: ``stream`` (new id), ``spec`` (a registry label such
+    as ``"ae+sw+kswin"``; optional when the server has a default),
+    ``n_channels`` (required), optional ``config`` (a dict of
+    :class:`~repro.core.config.DetectorConfig` fields) and ``scorer``.
+``ingest``
+    Append ``points`` (a ``[B][N]`` nested list) to the session's ingest
+    queue.  All-or-nothing: if the bounded queue cannot take the whole
+    batch, the reply is a ``queue_full`` error carrying ``retry_after``
+    seconds and nothing is enqueued.
+``score``
+    Collect scored results: ``max`` bounds the reply size, ``flush``
+    (default true) synchronously drains the session's queue first so a
+    client that just ingested can read every score without waiting for
+    the micro-batch delay.  Results are ``{seq, score, nonconformity,
+    drift, finetuned}`` dicts in sequence order.
+``stats``
+    Per-session state + telemetry and the fleet-wide merged rollup;
+    ``stream`` restricts the reply to one session.
+``evict``
+    Operational verb: flush then spill one session to the checkpoint
+    directory (the store also evicts idle sessions on its own when over
+    capacity).  The next ``ingest``/``score`` rehydrates transparently.
+``close``
+    Finalize a session, remove its spill file, return a summary.
+``ping`` / ``shutdown``
+    Liveness probe / stop the server loop (the reply is sent first).
+
+Scores cross the wire as JSON numbers; Python's ``json`` emits the
+shortest round-tripping decimal for a float, so a finite ``float64``
+survives encode→decode bit-for-bit — the service's end-to-end
+bitwise-equivalence guarantee holds through the protocol layer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.exceptions import ReproError
+
+#: bump when the envelope or a verb's fields change incompatibly.
+PROTOCOL_VERSION = 1
+
+OPS = ("create", "ingest", "score", "stats", "evict", "close", "ping", "shutdown")
+
+#: verbs that do not address a single session.
+_STREAMLESS_OPS = ("stats", "ping", "shutdown")
+
+#: ``error.type`` values a client can dispatch on.
+ERROR_TYPES = (
+    "bad_request",
+    "bad_config",
+    "bad_points",
+    "duplicate_stream",
+    "unknown_stream",
+    "queue_full",
+    "internal",
+)
+
+
+class ProtocolError(ReproError):
+    """A message violated the wire protocol (shape, version or fields)."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """Serialize one message as a JSON line (UTF-8, ``\\n``-terminated).
+
+    ``allow_nan=False`` keeps the wire format strict JSON: anything
+    carrying a NaN/Inf is a programming error on the sending side, not
+    something to smuggle past a standards-compliant peer.
+    """
+    return (json.dumps(message, allow_nan=False) + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one received line into a message dict.
+
+    Raises:
+        ProtocolError: if the line is not a JSON object.
+    """
+    if isinstance(line, bytes):
+        line = line.decode("utf-8", errors="replace")
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise ProtocolError(f"not valid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def parse_request(message: dict[str, Any]) -> dict[str, Any]:
+    """Validate a request envelope; return it with defaults normalized.
+
+    Raises:
+        ProtocolError: on a missing/unsupported version, unknown verb, or
+            a session verb without a ``stream`` id.
+    """
+    version = message.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version!r} "
+            f"(this server speaks v{PROTOCOL_VERSION})"
+        )
+    op = message.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r} (valid: {', '.join(OPS)})")
+    stream = message.get("stream")
+    if op not in _STREAMLESS_OPS:
+        if not isinstance(stream, str) or not stream:
+            raise ProtocolError(f"op {op!r} requires a non-empty 'stream' id")
+    elif stream is not None and not isinstance(stream, str):
+        raise ProtocolError("'stream' must be a string when present")
+    return message
+
+
+def ok_reply(op: str, request: dict[str, Any] | None = None, **payload: Any) -> dict:
+    """Build a success envelope, echoing the request's correlation id."""
+    reply: dict[str, Any] = {"v": PROTOCOL_VERSION, "ok": True, "op": op}
+    if request is not None and "id" in request:
+        reply["id"] = request["id"]
+    reply.update(payload)
+    return reply
+
+
+def error_reply(
+    op: str | None,
+    kind: str,
+    message: str,
+    request: dict[str, Any] | None = None,
+    **extra: Any,
+) -> dict:
+    """Build an error envelope (``kind`` is one of :data:`ERROR_TYPES`)."""
+    reply: dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "ok": False,
+        "op": op,
+        "error": {"type": kind, "message": message, **extra},
+    }
+    if request is not None and "id" in request:
+        reply["id"] = request["id"]
+    return reply

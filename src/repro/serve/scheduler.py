@@ -1,0 +1,272 @@
+"""Micro-batch scheduling: coalesce, bound, drain fairly.
+
+Per-point scoring wastes the chunked engine — one ``step_chunk`` call
+over ``B`` buffered points costs far less than ``B`` calls over one (see
+``BENCH_stream.json``).  The scheduler buys that batching without
+unbounded latency or memory:
+
+- **Coalescing.**  Ingested points sit in the session's queue until the
+  batch fills (``max_batch``) or the oldest point has waited
+  ``max_delay_ms`` — the classic micro-batch trade of a bounded delay
+  for a bigger block.  A ``score`` request flushes synchronously, so an
+  interactive client never waits for the timer.
+- **Backpressure.**  Queues are bounded (``queue_limit``).  An ingest
+  that does not fit is rejected whole with :class:`QueueFull`, carrying
+  a ``retry_after`` hint — the caller holds the data, the server's
+  memory stays bounded.  Result buffers are bounded too
+  (``result_limit``); a session whose client stops collecting stops
+  being drained (``drain_blocked``), which propagates the pressure back
+  to its ingest queue without stalling other sessions.
+- **Fairness.**  The drain pass visits sessions round-robin, at most one
+  micro-batch per session per pass, so a firehose stream cannot starve a
+  trickle stream.
+
+All scheduling decisions change only *when* points are scored, never
+*what* is computed — the chunked engine's bitwise invariance to block
+boundaries means any drain order and any batch size yield scores
+identical to the offline :func:`~repro.streaming.runner.run_stream`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, ReproError
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.serve.session import DetectorSession
+
+
+class QueueFull(ReproError):
+    """An ingest batch did not fit in the session's bounded queue.
+
+    Attributes:
+        stream_id: the session whose queue is full.
+        depth: current queue depth.
+        limit: the configured bound.
+        retry_after: seconds after which a retry is likely to succeed
+            (one micro-batch delay — by then the drain loop has run).
+    """
+
+    def __init__(
+        self, stream_id: str, depth: int, limit: int, retry_after: float
+    ) -> None:
+        super().__init__(
+            f"ingest queue for stream {stream_id!r} is full "
+            f"({depth}/{limit} points); retry after {retry_after:.3f}s"
+        )
+        self.stream_id = stream_id
+        self.depth = depth
+        self.limit = limit
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Micro-batch and backpressure knobs.
+
+    Attributes:
+        max_batch: largest block coalesced into one ``step_chunk`` call;
+            also the flush trigger on depth.
+        max_delay_ms: bound on how long a buffered point may wait before
+            the drain loop flushes its session anyway.
+        queue_limit: per-session ingest-queue bound (backpressure).
+        result_limit: per-session scored-result bound; a full buffer
+            pauses draining for that session until the client collects.
+    """
+
+    max_batch: int = 64
+    max_delay_ms: float = 25.0
+    queue_limit: int = 512
+    result_limit: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_delay_ms < 0:
+            raise ConfigurationError(
+                f"max_delay_ms must be >= 0, got {self.max_delay_ms}"
+            )
+        if self.queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.result_limit < self.max_batch:
+            raise ConfigurationError(
+                f"result_limit ({self.result_limit}) must be >= max_batch "
+                f"({self.max_batch})"
+            )
+
+
+class MicroBatchScheduler:
+    """Admission control + fair micro-batch draining over a session store.
+
+    Args:
+        store: the :class:`~repro.serve.state.SessionStore` holding the
+            sessions (the scheduler rehydrates through it before
+            flushing an evicted session).
+        config: batching and backpressure bounds.
+        telemetry: fleet-level sink for the admission/drain counters.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        store,
+        config: SchedulerConfig | None = None,
+        telemetry: Telemetry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else SchedulerConfig()
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._clock = clock
+        self._work = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: round-robin cursor: the stream id drained last, so the next
+        #: pass starts just after it.
+        self._rr_last: str | None = None
+        #: optional hook run by the drain loop whenever it goes idle
+        #: (the service wires the idle-session eviction sweep here).
+        self.on_idle: Callable[[], Any] | None = None
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, session: DetectorSession, block: np.ndarray) -> tuple[int, int]:
+        """Enqueue a validated block, or raise :class:`QueueFull`.
+
+        All-or-nothing: partial accepts would force clients to track
+        split batches; rejecting whole keeps the retry loop trivial.
+        """
+        with session.lock:
+            depth = session.queue_depth
+            if depth + len(block) > self.config.queue_limit:
+                self.telemetry.count("ingest_rejected")
+                raise QueueFull(
+                    session.stream_id,
+                    depth,
+                    self.config.queue_limit,
+                    retry_after=self.retry_after(),
+                )
+            span = session.enqueue(block)
+        self.telemetry.count("points_ingested", len(block))
+        self._work.set()
+        return span
+
+    def retry_after(self) -> float:
+        """Backoff hint for rejected ingests: one micro-batch delay."""
+        return max(self.config.max_delay_ms / 1000.0, 0.001)
+
+    # ------------------------------------------------------------------
+    # draining
+    # ------------------------------------------------------------------
+    def _due(self, session: DetectorSession, now: float) -> bool:
+        return session.queue_depth >= self.config.max_batch or (
+            session.queue_depth > 0
+            and session.oldest_wait(now) * 1000.0 >= self.config.max_delay_ms
+        )
+
+    def _flush_batch(self, session: DetectorSession) -> int:
+        """One micro-batch for one session, respecting the result bound."""
+        with session.lock:
+            if session.queue_depth == 0:
+                return 0
+            room = self.config.result_limit - session.n_results
+            if room <= 0:
+                self.telemetry.count("drain_blocked")
+                return 0
+            if not session.hydrated:
+                self.store.rehydrate(session)
+            scored = session.flush_once(min(self.config.max_batch, room))
+        if scored:
+            self.telemetry.count("points_scored", scored)
+            self.telemetry.count("batches_flushed")
+        return scored
+
+    def flush_session(self, session: DetectorSession) -> int:
+        """Synchronously drain one session's whole queue (the ``score``
+        verb's flush), stopping early only if its result buffer fills."""
+        total = 0
+        while True:
+            scored = self._flush_batch(session)
+            if scored == 0:
+                return total
+            total += scored
+
+    def pump(self, now: float | None = None) -> int:
+        """One fair drain pass: each due session gets one micro-batch.
+
+        Returns the number of points scored; callers loop while it makes
+        progress.  Visiting order rotates so the pass after a long batch
+        resumes with the *next* session, not the same one.
+        """
+        now = now if now is not None else self._clock()
+        sessions = self.store.sessions()
+        if not sessions:
+            return 0
+        ids = [s.stream_id for s in sessions]
+        start = 0
+        if self._rr_last in ids:
+            start = (ids.index(self._rr_last) + 1) % len(sessions)
+        scored = 0
+        for offset in range(len(sessions)):
+            session = sessions[(start + offset) % len(sessions)]
+            if not self._due(session, now):
+                continue
+            n = self._flush_batch(session)
+            if n:
+                self._rr_last = session.stream_id
+                scored += n
+        return scored
+
+    def next_deadline_in(self, now: float | None = None) -> float | None:
+        """Seconds until the oldest buffered point hits ``max_delay_ms``
+        (``None`` when every queue is empty)."""
+        now = now if now is not None else self._clock()
+        waits = [
+            session.oldest_wait(now)
+            for session in self.store.sessions()
+            if session.queue_depth > 0
+        ]
+        if not waits:
+            return None
+        return max(self.config.max_delay_ms / 1000.0 - max(waits), 0.0)
+
+    # ------------------------------------------------------------------
+    # drain thread
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the background drain loop (idempotent)."""
+        if self._thread is not None and self._thread.is_alive():
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="repro-serve-drain", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the drain loop and wait for it to exit."""
+        self._stop.set()
+        self._work.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _drain_loop(self) -> None:
+        while not self._stop.is_set():
+            if self.pump() == 0:
+                if self.on_idle is not None:
+                    self.on_idle()
+                deadline = self.next_deadline_in()
+                # No queued work: sleep until woken; queued but not due:
+                # sleep until the oldest point's deadline.
+                timeout = deadline if deadline is not None else 0.25
+                self._work.clear()
+                self._work.wait(timeout=max(timeout, 0.001))

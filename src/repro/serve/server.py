@@ -1,0 +1,577 @@
+"""The detection service: protocol dispatch, in-process client, TCP server.
+
+Three layers share one request path:
+
+- :class:`DetectionService` is the transport-free core — session store +
+  micro-batch scheduler + fleet telemetry behind a single
+  :meth:`~DetectionService.handle` that maps protocol requests to
+  replies.  Everything above it is plumbing.
+- :class:`ServeClient` drives a service in-process *through the wire
+  encoding* (every request and reply round-trips ``encode``/``decode``),
+  so tests and examples exercise exactly what a network peer sees
+  without a socket.
+- :class:`DetectionServer` is a ``socketserver.ThreadingTCPServer``
+  speaking the JSON-lines protocol; :class:`SocketServeClient` is its
+  blocking client.
+
+The service never computes scores differently from the offline harness:
+ingested points flow through the same
+:meth:`~repro.core.detector.StreamingAnomalyDetector.step_chunk` engine
+:func:`~repro.streaming.runner.run_stream` uses, so served scores are
+bitwise identical to an offline run over the same series — across any
+micro-batch size and across evict/rehydrate cycles
+(``tests/test_serve_e2e.py``).
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.exceptions import (
+    ConfigurationError,
+    ReproError,
+    StreamError,
+)
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.obs import Telemetry, merge_payloads
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_line,
+    encode,
+    error_reply,
+    ok_reply,
+    parse_request,
+)
+from repro.serve.scheduler import MicroBatchScheduler, QueueFull, SchedulerConfig
+from repro.serve.session import DetectorSession
+from repro.serve.state import (
+    DuplicateSessionError,
+    SessionStore,
+    UnknownSessionError,
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything a :class:`DetectionService` is parameterized by.
+
+    Attributes:
+        default_spec: registry label used by ``create`` requests that
+            omit a spec (``None`` makes the spec mandatory per request).
+        scorer: anomaly-scoring override applied to built detectors.
+        max_sessions: hydrated-detector bound of the session store; the
+            LRU session beyond it spills to ``spill_dir``.
+        spill_dir: eviction checkpoint directory (``None``: a fresh
+            temporary directory per service).
+        max_batch / max_delay_ms / queue_limit / result_limit: micro-
+            batching and backpressure knobs (:class:`SchedulerConfig`).
+        idle_timeout_s: when set, sessions idle this long are spilled
+            even below the capacity bound (a memory-release sweep run by
+            the drain loop).
+        per_session_telemetry: attach a :class:`~repro.obs.Telemetry` to
+            every session's detector (bitwise-neutral; feeds ``stats``).
+        detector: hyper-parameters for detectors built from specs;
+            ``create`` requests may override with a ``config`` dict.
+    """
+
+    default_spec: str | None = None
+    scorer: str | None = None
+    max_sessions: int = 64
+    spill_dir: str | None = None
+    max_batch: int = 64
+    max_delay_ms: float = 25.0
+    queue_limit: int = 512
+    result_limit: int = 8192
+    idle_timeout_s: float | None = None
+    per_session_telemetry: bool = True
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+
+
+def _json_safe(obj: Any) -> Any:
+    """Replace non-finite floats with ``None`` so replies stay strict
+    JSON (telemetry events may carry NaN losses from divergent fits)."""
+    if isinstance(obj, dict):
+        return {key: _json_safe(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(value) for value in obj]
+    if isinstance(obj, float) and not np.isfinite(obj):
+        return None
+    return obj
+
+
+class DetectionService:
+    """Stateful online scoring over many concurrent streams.
+
+    Args:
+        config: service parameters; defaults to :class:`ServeConfig`.
+        telemetry: fleet-level sink (sessions carry their own); created
+            internally when omitted so ``stats`` always has counters.
+        autostart: start the background drain thread.  Tests that want
+            deterministic scheduling pass ``False`` and drive
+            :meth:`pump` / ``score(flush=True)`` themselves.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        telemetry: Telemetry | None = None,
+        autostart: bool = True,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry(
+            max_events=512
+        )
+        self.spill_dir = Path(
+            self.config.spill_dir
+            if self.config.spill_dir is not None
+            else tempfile.mkdtemp(prefix="repro-serve-spill-")
+        )
+        self.store = SessionStore(
+            self.spill_dir,
+            max_live=self.config.max_sessions,
+            telemetry=self.telemetry,
+        )
+        self.scheduler = MicroBatchScheduler(
+            self.store,
+            SchedulerConfig(
+                max_batch=self.config.max_batch,
+                max_delay_ms=self.config.max_delay_ms,
+                queue_limit=self.config.queue_limit,
+                result_limit=self.config.result_limit,
+            ),
+            telemetry=self.telemetry,
+        )
+        if self.config.idle_timeout_s is not None:
+            timeout = self.config.idle_timeout_s
+            self.scheduler.on_idle = lambda: self.store.evict_idle(timeout)
+        self.started_at = time.monotonic()
+        self._shutdown = threading.Event()
+        if autostart:
+            self.scheduler.start()
+
+    # ------------------------------------------------------------------
+    # direct (in-process) API
+    # ------------------------------------------------------------------
+    def create_session(
+        self,
+        stream: str,
+        spec: str | None = None,
+        n_channels: int | None = None,
+        config: dict[str, Any] | None = None,
+        scorer: str | None = None,
+        detector: Any = None,
+    ) -> DetectorSession:
+        """Open a session from a registry spec (or a prebuilt detector).
+
+        The ``detector`` escape hatch is in-process only — it is how
+        ensembles and custom detectors become servable without a
+        registry entry.
+        """
+        if detector is None:
+            label = spec if spec is not None else self.config.default_spec
+            if label is None:
+                raise ConfigurationError(
+                    "create needs a 'spec' (the server has no default)"
+                )
+            if n_channels is None or int(n_channels) < 1:
+                raise ConfigurationError(
+                    f"create needs 'n_channels' >= 1, got {n_channels!r}"
+                )
+            parts = label.split("+")
+            if len(parts) != 3:
+                raise ConfigurationError(
+                    f"spec must look like 'model+task1+task2', got {label!r}"
+                )
+            try:
+                detector_config = (
+                    DetectorConfig(**config)
+                    if config is not None
+                    else self.config.detector
+                )
+            except TypeError as error:
+                raise ConfigurationError(f"bad detector config: {error}") from None
+            detector = build_detector(
+                AlgorithmSpec(*parts),
+                n_channels=int(n_channels),
+                config=detector_config,
+                scorer=scorer if scorer is not None else self.config.scorer,
+            )
+            spec_label = label
+        else:
+            if n_channels is None:
+                raise ConfigurationError(
+                    "custom-detector sessions need an explicit n_channels"
+                )
+            spec_label = spec if spec is not None else "custom"
+        session_telemetry = (
+            Telemetry(max_events=64) if self.config.per_session_telemetry else None
+        )
+        return self.store.create(
+            stream,
+            detector,
+            n_channels=int(n_channels),
+            spec_label=spec_label,
+            telemetry=session_telemetry,
+        )
+
+    def ingest(self, stream: str, points: Any) -> dict[str, Any]:
+        """Validate + enqueue one batch; the reply payload of ``ingest``."""
+        session = self.store.get(stream)
+        block = session.validate_points(points)
+        if len(block) == 0:
+            return {
+                "accepted": 0,
+                "seq_from": None,
+                "seq_to": None,
+                "pending": session.queue_depth,
+            }
+        seq_from, seq_to = self.scheduler.submit(session, block)
+        return {
+            "accepted": len(block),
+            "seq_from": seq_from,
+            "seq_to": seq_to,
+            "pending": session.queue_depth,
+        }
+
+    def collect(
+        self, stream: str, max_results: int | None = None, flush: bool = True
+    ) -> dict[str, Any]:
+        """Flush (optionally) and drain scored results; the ``score`` payload."""
+        session = self.store.get(stream)
+        if flush:
+            self.scheduler.flush_session(session)
+        results = session.collect(max_results)
+        return {
+            "results": results,
+            "pending_points": session.queue_depth,
+            "pending_results": session.n_results,
+        }
+
+    def evict(self, stream: str) -> dict[str, Any]:
+        """Flush then spill one session (the operational ``evict`` verb)."""
+        session = self.store.get(stream)
+        self.scheduler.flush_session(session)
+        path = self.store.evict(session)
+        return {"stream": stream, "spilled": str(path), "hydrated": session.hydrated}
+
+    def close_session(self, stream: str) -> dict[str, Any]:
+        """Flush, then remove the session and its spill file."""
+        session = self.store.get(stream)
+        if session.hydrated or session.spill_path is not None:
+            self.scheduler.flush_session(session)
+        session = self.store.close(stream)
+        return {
+            "stream": stream,
+            "n_points": session.seq,
+            "scored": session.scored,
+            "uncollected_results": session.n_results,
+        }
+
+    def stats_payload(self, stream: str | None = None) -> dict[str, Any]:
+        """Per-session blocks + fleet counters + the merged rollup."""
+        now = time.monotonic()
+        sessions = (
+            [self.store.get(stream)] if stream is not None else self.store.sessions()
+        )
+        blocks = {session.stream_id: session.describe(now) for session in sessions}
+        fleet = self.telemetry.as_dict()
+        rollup = merge_payloads(
+            [fleet]
+            + [block.get("telemetry") for block in blocks.values()]
+        )
+        return _json_safe(
+            {
+                "sessions": blocks,
+                "fleet": fleet,
+                "rollup": rollup,
+                "n_sessions": len(self.store),
+                "n_hydrated": self.store.hydrated_count(),
+                "max_sessions": self.config.max_sessions,
+                "uptime_seconds": round(now - self.started_at, 6),
+            }
+        )
+
+    def pump(self) -> int:
+        """One manual drain pass (for ``autostart=False`` tests)."""
+        return self.scheduler.pump()
+
+    def shutdown(self) -> None:
+        """Stop the drain thread; idempotent."""
+        self._shutdown.set()
+        self.scheduler.stop()
+
+    # ------------------------------------------------------------------
+    # protocol dispatch
+    # ------------------------------------------------------------------
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Map one protocol request to its reply (never raises)."""
+        op = request.get("op") if isinstance(request, dict) else None
+        try:
+            request = parse_request(request)
+            op = request["op"]
+            stream = request.get("stream")
+            if op == "ping":
+                return ok_reply(op, request, uptime_seconds=round(
+                    time.monotonic() - self.started_at, 6
+                ))
+            if op == "create":
+                session = self.create_session(
+                    stream,
+                    spec=request.get("spec"),
+                    n_channels=request.get("n_channels"),
+                    config=request.get("config"),
+                    scorer=request.get("scorer"),
+                )
+                return ok_reply(
+                    op, request, stream=stream, spec=session.spec_label,
+                    n_channels=session.n_channels,
+                )
+            if op == "ingest":
+                if "points" not in request:
+                    raise ProtocolError("ingest requires 'points'")
+                return ok_reply(
+                    op, request, stream=stream,
+                    **self.ingest(stream, request["points"]),
+                )
+            if op == "score":
+                return ok_reply(
+                    op, request, stream=stream,
+                    **self.collect(
+                        stream,
+                        max_results=request.get("max"),
+                        flush=bool(request.get("flush", True)),
+                    ),
+                )
+            if op == "stats":
+                return ok_reply(op, request, **self.stats_payload(stream))
+            if op == "evict":
+                return ok_reply(op, request, **self.evict(stream))
+            if op == "close":
+                return ok_reply(op, request, **self.close_session(stream))
+            if op == "shutdown":
+                self.shutdown()
+                return ok_reply(op, request, stopping=True)
+            raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+        except QueueFull as error:
+            return error_reply(
+                op, "queue_full", str(error), request,
+                retry_after=error.retry_after,
+                depth=error.depth,
+                limit=error.limit,
+            )
+        except ProtocolError as error:
+            return error_reply(op, "bad_request", str(error), request)
+        except UnknownSessionError as error:
+            return error_reply(op, "unknown_stream", str(error), request)
+        except DuplicateSessionError as error:
+            return error_reply(op, "duplicate_stream", str(error), request)
+        except StreamError as error:
+            return error_reply(op, "bad_points", str(error), request)
+        except ConfigurationError as error:
+            return error_reply(op, "bad_config", str(error), request)
+        except ReproError as error:
+            return error_reply(op, "internal", str(error), request)
+        except Exception as error:  # noqa: BLE001 — the server must not die
+            return error_reply(
+                op, "internal", f"{type(error).__name__}: {error}", request
+            )
+
+
+# ----------------------------------------------------------------------
+# clients
+# ----------------------------------------------------------------------
+class BaseServeClient:
+    """Shared convenience verbs over an abstract ``request`` transport."""
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def _request(self, op: str, **fields: Any) -> dict[str, Any]:
+        return self.request(op, **{k: v for k, v in fields.items() if v is not None})
+
+    def create(
+        self,
+        stream: str,
+        spec: str | None = None,
+        n_channels: int | None = None,
+        config: dict[str, Any] | None = None,
+        scorer: str | None = None,
+    ) -> dict[str, Any]:
+        return self._request(
+            "create", stream=stream, spec=spec, n_channels=n_channels,
+            config=config, scorer=scorer,
+        )
+
+    def ingest(self, stream: str, points: Any) -> dict[str, Any]:
+        if isinstance(points, np.ndarray):
+            points = points.tolist()
+        return self._request("ingest", stream=stream, points=points)
+
+    def score(
+        self, stream: str, max_results: int | None = None, flush: bool = True
+    ) -> dict[str, Any]:
+        return self._request("score", stream=stream, max=max_results, flush=flush)
+
+    def stats(self, stream: str | None = None) -> dict[str, Any]:
+        return self._request("stats", stream=stream)
+
+    def evict(self, stream: str) -> dict[str, Any]:
+        return self._request("evict", stream=stream)
+
+    def close(self, stream: str) -> dict[str, Any]:
+        return self._request("close", stream=stream)
+
+    def ping(self) -> dict[str, Any]:
+        return self._request("ping")
+
+    def shutdown(self) -> dict[str, Any]:
+        return self._request("shutdown")
+
+    # ------------------------------------------------------------------
+    def score_series(
+        self,
+        stream: str,
+        values: np.ndarray,
+        ingest_size: int = 100,
+        evict_at: int | None = None,
+        sleep: bool = False,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stream a whole ``(T, N)`` array and gather every score.
+
+        The canonical client loop: ingest in slices, honor ``queue_full``
+        backpressure by collecting (and optionally sleeping
+        ``retry_after``), and poll ``score`` until all ``T`` results
+        arrived.  ``evict_at`` forces a spill once that many points have
+        been sent — the evict/rehydrate path the equivalence tests pin.
+
+        Returns ``(scores, nonconformities)`` aligned with ``values``.
+        """
+        values = np.atleast_2d(np.asarray(values, dtype=np.float64))
+        n = len(values)
+        by_seq: dict[int, dict[str, Any]] = {}
+        sent = 0
+        evicted = False
+        while len(by_seq) < n:
+            if evict_at is not None and not evicted and sent >= evict_at:
+                reply = self.evict(stream)
+                if not reply.get("ok"):
+                    raise ReproError(f"evict failed: {reply.get('error')}")
+                evicted = True
+            if sent < n:
+                reply = self.ingest(stream, values[sent : sent + ingest_size])
+                if reply.get("ok"):
+                    sent += reply["accepted"]
+                    continue
+                error = reply.get("error", {})
+                if error.get("type") != "queue_full":
+                    raise ReproError(f"ingest failed: {error}")
+                if sleep:
+                    time.sleep(float(error.get("retry_after", 0.01)))
+            reply = self.score(stream, flush=True)
+            if not reply.get("ok"):
+                raise ReproError(f"score failed: {reply.get('error')}")
+            for result in reply["results"]:
+                by_seq[result["seq"]] = result
+        scores = np.array([by_seq[seq]["score"] for seq in range(n)])
+        nonconformities = np.array(
+            [by_seq[seq]["nonconformity"] for seq in range(n)]
+        )
+        return scores, nonconformities
+
+
+class ServeClient(BaseServeClient):
+    """In-process client: full wire encoding, no socket.
+
+    Every request and reply passes through ``encode``/``decode_line``,
+    so JSON round-trip fidelity (including float exactness) is part of
+    what in-process tests cover.
+    """
+
+    def __init__(self, service: DetectionService) -> None:
+        self.service = service
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        message = {"v": PROTOCOL_VERSION, "op": op, **fields}
+        reply = self.service.handle(decode_line(encode(message)))
+        return decode_line(encode(reply))
+
+
+# ----------------------------------------------------------------------
+# TCP layer
+# ----------------------------------------------------------------------
+class _ServeHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                request = decode_line(line)
+            except ProtocolError as error:
+                reply = error_reply(None, "bad_request", str(error))
+            else:
+                reply = self.server.service.handle(request)
+            try:
+                self.wfile.write(encode(reply))
+                self.wfile.flush()
+            except (BrokenPipeError, ConnectionResetError):
+                return
+            if reply.get("op") == "shutdown" and reply.get("ok"):
+                # shutdown() joins the serve_forever loop, which runs in
+                # another thread — safe to trigger from a handler, but
+                # done on a side thread so this handler can finish.
+                threading.Thread(target=self.server.shutdown, daemon=True).start()
+                return
+
+
+class DetectionServer(socketserver.ThreadingTCPServer):
+    """JSON-lines TCP front end over one :class:`DetectionService`.
+
+    Bind to port 0 to let the OS pick a free port (tests do); the bound
+    address is ``server_address``.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, address: tuple[str, int], service: DetectionService
+    ) -> None:
+        super().__init__(address, _ServeHandler)
+        self.service = service
+
+
+class SocketServeClient(BaseServeClient):
+    """Blocking JSON-lines client for a :class:`DetectionServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        self._sock.sendall(encode({"v": PROTOCOL_VERSION, "op": op, **fields}))
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode_line(line)
+
+    def disconnect(self) -> None:
+        self._rfile.close()
+        self._sock.close()
+
+    def __enter__(self) -> "SocketServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.disconnect()

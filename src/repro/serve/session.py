@@ -1,0 +1,236 @@
+"""One live detector behind the service: queue, results, idle tracking.
+
+A :class:`DetectorSession` wraps one detector (usually a
+:class:`~repro.core.detector.StreamingAnomalyDetector` built from a
+registry spec, but any object exposing the ``step_chunk`` contract works
+— score-fusion ensembles included) with the state the service needs
+around it:
+
+- a **monotonic sequence number** per ingested point, so every scored
+  result can be matched to the exact stream position it came from even
+  though scoring happens asynchronously in micro-batches;
+- a bounded **ingest queue** (filled by the scheduler's backpressure
+  gate) and a bounded **result buffer** (drained by ``score`` requests);
+- a per-session :class:`~repro.obs.Telemetry` attached to the detector,
+  so ``stats`` can report per-stream counters and stage timers — and a
+  fleet rollup, since telemetry payloads merge;
+- **idle-time tracking** (``last_active``) that orders LRU eviction in
+  the session store.
+
+Sessions own no locks on the store; their own ``lock`` serializes
+detector stepping, queue mutation and spill/rehydrate transitions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.detector import StreamingAnomalyDetector
+from repro.core.exceptions import StreamError
+from repro.core.types import count_finetunes
+from repro.obs import Telemetry
+
+
+class DetectorSession:
+    """State of one live stream inside the detection service.
+
+    Args:
+        stream_id: the caller-chosen session key.
+        detector: the live detector; anything with ``step_chunk``.
+        n_channels: expected stream-vector width, validated at ingest
+            time so a malformed point is rejected at the protocol edge
+            instead of corrupting the detector mid-drain.
+        spec_label: registry label for ``stats`` (e.g. ``"ae+sw+kswin"``).
+        telemetry: per-session sink; attached to the detector when it
+            carries a telemetry slot (duck-typed detectors run untraced).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        stream_id: str,
+        detector: Any,
+        n_channels: int,
+        spec_label: str = "custom",
+        telemetry: Telemetry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.stream_id = stream_id
+        self.detector = detector
+        self.n_channels = int(n_channels)
+        self.spec_label = spec_label
+        self.telemetry = telemetry
+        if telemetry is not None and isinstance(detector, StreamingAnomalyDetector):
+            detector.telemetry = telemetry
+        self._clock = clock
+        self.lock = threading.RLock()
+
+        #: next sequence number to assign (== points ingested so far).
+        self.seq = 0
+        #: points scored and moved to the result buffer so far.
+        self.scored = 0
+        self.queue: deque[tuple[int, np.ndarray]] = deque()
+        self.enqueued_at: deque[float] = deque()
+        self.results: deque[dict[str, Any]] = deque()
+        self.created_at = clock()
+        self.last_active = self.created_at
+        self.closed = False
+
+        #: spill bookkeeping, maintained by the session store.
+        self.spill_path: Path | None = None
+        self.n_evictions = 0
+        self.n_rehydrations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def hydrated(self) -> bool:
+        """Whether the detector is live in memory (vs spilled to disk)."""
+        return self.detector is not None
+
+    @property
+    def evictable(self) -> bool:
+        """Only full framework detectors checkpoint; duck-typed ones
+        (e.g. ensembles) stay resident."""
+        return isinstance(self.detector, StreamingAnomalyDetector) or (
+            self.detector is None and self.spill_path is not None
+        )
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.queue)
+
+    @property
+    def n_results(self) -> int:
+        return len(self.results)
+
+    def idle_seconds(self, now: float | None = None) -> float:
+        return (now if now is not None else self._clock()) - self.last_active
+
+    def touch(self) -> None:
+        self.last_active = self._clock()
+
+    # ------------------------------------------------------------------
+    def validate_points(self, points: Any) -> np.ndarray:
+        """Coerce an ingest payload to a finite ``(B, N)`` float block.
+
+        Raises:
+            StreamError: on a shape mismatch or non-finite values — the
+                batch is rejected whole, before anything is enqueued, so
+                detector state is never exposed to malformed input.
+        """
+        block = np.asarray(points, dtype=np.float64)
+        if block.ndim == 1:
+            block = block[:, None] if self.n_channels == 1 else block[None, :]
+        if block.ndim != 2 or block.shape[1] != self.n_channels:
+            raise StreamError(
+                f"stream {self.stream_id!r} expects (B, {self.n_channels}) "
+                f"points, got shape {block.shape}"
+            )
+        if not np.all(np.isfinite(block)):
+            raise StreamError(
+                f"stream {self.stream_id!r} ingest contains non-finite values"
+            )
+        return block
+
+    def enqueue(self, block: np.ndarray) -> tuple[int, int]:
+        """Append validated points; return their ``(seq_from, seq_to)``.
+
+        Capacity is the scheduler's concern — it gates every call with
+        the backpressure check before touching the queue.
+        """
+        with self.lock:
+            now = self._clock()
+            seq_from = self.seq
+            for row in block:
+                self.queue.append((self.seq, row))
+                self.enqueued_at.append(now)
+                self.seq += 1
+            self.last_active = now
+            return seq_from, self.seq - 1
+
+    def oldest_wait(self, now: float | None = None) -> float:
+        """Seconds the oldest queued point has been waiting (0 if none)."""
+        if not self.enqueued_at:
+            return 0.0
+        return (now if now is not None else self._clock()) - self.enqueued_at[0]
+
+    # ------------------------------------------------------------------
+    def flush_once(self, max_batch: int) -> int:
+        """Step up to ``max_batch`` queued points through the detector.
+
+        The coalesced block goes through one ``step_chunk`` call — the
+        chunked engine's bitwise invariance to block boundaries is what
+        makes the micro-batch size a pure throughput knob, invisible in
+        the scores.  Returns the number of points scored.
+        """
+        with self.lock:
+            k = min(len(self.queue), max_batch)
+            if k == 0:
+                return 0
+            if self.detector is None:
+                raise RuntimeError(
+                    f"session {self.stream_id!r} flushed while evicted; "
+                    "the store must rehydrate first"
+                )
+            seqs = np.empty(k, dtype=np.int64)
+            rows = []
+            for j in range(k):
+                seq, row = self.queue.popleft()
+                self.enqueued_at.popleft()
+                seqs[j] = seq
+                rows.append(row)
+            a, f, drift, fine = self.detector.step_chunk(np.stack(rows))
+            for j in range(k):
+                self.results.append(
+                    {
+                        "seq": int(seqs[j]),
+                        "score": float(f[j]),
+                        "nonconformity": float(a[j]),
+                        "drift": bool(drift[j]),
+                        "finetuned": bool(fine[j]),
+                    }
+                )
+            self.scored += k
+            self.last_active = self._clock()
+            return k
+
+    def collect(self, max_results: int | None = None) -> list[dict[str, Any]]:
+        """Drain up to ``max_results`` scored results, in sequence order."""
+        with self.lock:
+            k = len(self.results)
+            if max_results is not None:
+                k = min(k, max_results)
+            out = [self.results.popleft() for _ in range(k)]
+            if out:
+                self.last_active = self._clock()
+            return out
+
+    # ------------------------------------------------------------------
+    def describe(self, now: float | None = None) -> dict[str, Any]:
+        """JSON-safe session block for the ``stats`` verb."""
+        with self.lock:
+            detector = self.detector
+            info: dict[str, Any] = {
+                "spec": self.spec_label,
+                "n_channels": self.n_channels,
+                "seq": self.seq,
+                "scored": self.scored,
+                "pending_points": len(self.queue),
+                "pending_results": len(self.results),
+                "hydrated": self.hydrated,
+                "evictable": self.evictable,
+                "n_evictions": self.n_evictions,
+                "n_rehydrations": self.n_rehydrations,
+                "idle_seconds": round(self.idle_seconds(now), 6),
+            }
+            if detector is not None and hasattr(detector, "events"):
+                info["n_finetunes"] = count_finetunes(detector.events)
+            if self.telemetry is not None:
+                info["telemetry"] = self.telemetry.as_dict()
+            return info

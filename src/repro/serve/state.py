@@ -1,0 +1,266 @@
+"""Session store: LRU residency with checkpoint-backed eviction.
+
+A long-lived service accumulates sessions faster than memory allows —
+every live detector carries model parameters, a training set and scorer
+history.  The store keeps at most ``max_live`` detectors hydrated; the
+least-recently-active evictable session beyond that is *spilled*:
+serialized with :func:`~repro.streaming.checkpoint.save_detector`
+(atomic write, ``CHECKPOINT_VERSION`` 2) into the spill directory and
+dropped from memory.  The session object itself — sequence numbers,
+queues, result buffer, telemetry — stays resident; only the detector is
+swapped out.  The next point for an evicted stream rehydrates it
+transparently, and because checkpoint round-trips are bitwise-exact
+(``tests/test_checkpoint_roundtrip.py``), an evicted/rehydrated session
+produces scores identical to one that never left memory.
+
+Spill files are named by a hash of the stream id (ids are caller-chosen
+and may not be filesystem-safe) and deleted on rehydrate and on close.
+
+Locking: the store lock guards the session map and residency decisions;
+detector state is guarded by each session's own lock.  The eviction scan
+acquires session locks non-blocking and skips busy sessions, so the
+store never deadlocks against a drain in progress — under pressure it
+prefers staying briefly over capacity to stalling the hot path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from pathlib import Path
+from threading import RLock
+from typing import Callable
+
+from repro.core.exceptions import ConfigurationError, ReproError
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.serve.session import DetectorSession
+from repro.streaming.checkpoint import load_detector, save_detector
+
+
+class UnknownSessionError(ReproError):
+    """A request addressed a stream id with no session."""
+
+
+class DuplicateSessionError(ReproError):
+    """A ``create`` reused a stream id that is still open."""
+
+
+def spill_filename(stream_id: str) -> str:
+    """Deterministic, filesystem-safe checkpoint name for a stream id."""
+    digest = hashlib.blake2b(stream_id.encode("utf-8"), digest_size=10).hexdigest()
+    return f"session-{digest}.ckpt"
+
+
+class SessionStore:
+    """All sessions of one service, with bounded detector residency.
+
+    Args:
+        spill_dir: directory for eviction checkpoints (created eagerly).
+        max_live: hydrated-detector bound; a soft limit — when every
+            candidate is busy or non-evictable the store stays over
+            capacity rather than blocking.
+        telemetry: fleet sink for eviction/rehydration counters.
+        clock: monotonic time source shared with the sessions.
+    """
+
+    def __init__(
+        self,
+        spill_dir: str | Path,
+        max_live: int = 64,
+        telemetry: Telemetry | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_live < 1:
+            raise ConfigurationError(f"max_live must be >= 1, got {max_live}")
+        self.spill_dir = Path(spill_dir)
+        self.spill_dir.mkdir(parents=True, exist_ok=True)
+        self.max_live = max_live
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._clock = clock
+        self._lock = RLock()
+        self._sessions: dict[str, DetectorSession] = {}
+
+    # ------------------------------------------------------------------
+    def create(
+        self,
+        stream_id: str,
+        detector,
+        n_channels: int,
+        spec_label: str = "custom",
+        telemetry: Telemetry | None = None,
+    ) -> DetectorSession:
+        """Register a new session and enforce the residency bound."""
+        session = DetectorSession(
+            stream_id,
+            detector,
+            n_channels=n_channels,
+            spec_label=spec_label,
+            telemetry=telemetry,
+            clock=self._clock,
+        )
+        with self._lock:
+            if stream_id in self._sessions:
+                raise DuplicateSessionError(
+                    f"stream {stream_id!r} already has an open session"
+                )
+            self._sessions[stream_id] = session
+        self.telemetry.count("sessions_created")
+        self.enforce_capacity(protect=session)
+        return session
+
+    def get(self, stream_id: str) -> DetectorSession:
+        with self._lock:
+            session = self._sessions.get(stream_id)
+        if session is None:
+            raise UnknownSessionError(f"no open session for stream {stream_id!r}")
+        return session
+
+    def sessions(self) -> list[DetectorSession]:
+        """Snapshot of the open sessions (insertion order)."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def hydrated_count(self) -> int:
+        with self._lock:
+            return sum(1 for s in self._sessions.values() if s.hydrated)
+
+    # ------------------------------------------------------------------
+    # eviction / rehydration
+    # ------------------------------------------------------------------
+    def spill_path_for(self, stream_id: str) -> Path:
+        return self.spill_dir / spill_filename(stream_id)
+
+    def evict(self, session: DetectorSession) -> Path:
+        """Spill one session's detector to its checkpoint file.
+
+        The caller must ensure the session's queue is drained first
+        (``flush`` before a forced evict); the capacity scan only picks
+        empty-queue sessions.  Safe to call with the session lock held.
+        """
+        with session.lock:
+            if not session.hydrated:
+                return session.spill_path  # already spilled
+            if not session.evictable:
+                raise ConfigurationError(
+                    f"session {session.stream_id!r} wraps a detector that "
+                    "cannot checkpoint; it must stay resident"
+                )
+            path = self.spill_path_for(session.stream_id)
+            save_detector(session.detector, path)
+            session.detector = None
+            session.spill_path = path
+            session.n_evictions += 1
+        self.telemetry.count("sessions_evicted")
+        return path
+
+    def rehydrate(self, session: DetectorSession) -> None:
+        """Load a spilled session's detector back into memory.
+
+        Called by the scheduler (under the session lock) right before a
+        flush.  Re-attaches the session's telemetry — checkpoints never
+        persist a sink — and frees the spill file, then re-enforces the
+        residency bound, which may push out a colder session.
+        """
+        with session.lock:
+            if session.hydrated:
+                return
+            if session.spill_path is None:
+                raise UnknownSessionError(
+                    f"session {session.stream_id!r} has no detector and no "
+                    "spill checkpoint"
+                )
+            detector = load_detector(session.spill_path)
+            if session.telemetry is not None:
+                detector.telemetry = session.telemetry
+            session.detector = detector
+            session.spill_path.unlink(missing_ok=True)
+            session.spill_path = None
+            session.n_rehydrations += 1
+            session.touch()
+        self.telemetry.count("sessions_rehydrated")
+        self.enforce_capacity(protect=session)
+
+    def enforce_capacity(self, protect: DetectorSession | None = None) -> int:
+        """Evict LRU sessions until at most ``max_live`` are hydrated.
+
+        Candidates must be hydrated, evictable, idle (empty ingest
+        queue) and not ``protect`` (the session that just triggered the
+        check).  Busy sessions are skipped via a non-blocking lock
+        acquire.  Returns the number of evictions performed.
+        """
+        evicted = 0
+        while True:
+            with self._lock:
+                live = [s for s in self._sessions.values() if s.hydrated]
+                if len(live) <= self.max_live:
+                    return evicted
+                candidates = sorted(
+                    (
+                        s
+                        for s in live
+                        if s is not protect and s.evictable and s.queue_depth == 0
+                    ),
+                    key=lambda s: s.last_active,
+                )
+            victim = None
+            for candidate in candidates:
+                if candidate.lock.acquire(blocking=False):
+                    try:
+                        if (
+                            candidate.hydrated
+                            and candidate.queue_depth == 0
+                            and not candidate.closed
+                        ):
+                            self.evict(candidate)
+                            victim = candidate
+                            break
+                    finally:
+                        candidate.lock.release()
+            if victim is None:
+                # Everything is busy or pinned; stay over capacity
+                # rather than blocking the hot path.
+                self.telemetry.count("evictions_skipped")
+                return evicted
+            evicted += 1
+
+    def evict_idle(self, max_idle_seconds: float) -> int:
+        """Spill every evictable session idle longer than the threshold
+        (independent of the capacity bound; a memory-release sweep)."""
+        now = self._clock()
+        evicted = 0
+        for session in self.sessions():
+            if not (
+                session.hydrated
+                and session.evictable
+                and session.queue_depth == 0
+                and session.idle_seconds(now) >= max_idle_seconds
+            ):
+                continue
+            if session.lock.acquire(blocking=False):
+                try:
+                    if session.hydrated and session.queue_depth == 0:
+                        self.evict(session)
+                        evicted += 1
+                finally:
+                    session.lock.release()
+        return evicted
+
+    # ------------------------------------------------------------------
+    def close(self, stream_id: str) -> DetectorSession:
+        """Remove a session and its spill file; return it for a summary."""
+        with self._lock:
+            session = self._sessions.pop(stream_id, None)
+        if session is None:
+            raise UnknownSessionError(f"no open session for stream {stream_id!r}")
+        with session.lock:
+            session.closed = True
+            session.detector = None
+            if session.spill_path is not None:
+                session.spill_path.unlink(missing_ok=True)
+                session.spill_path = None
+        self.telemetry.count("sessions_closed")
+        return session

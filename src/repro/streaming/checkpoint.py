@@ -26,7 +26,10 @@ algorithm and chunk size.
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pickle
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -43,6 +46,12 @@ def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
     Besides the detector, the payload records a small metadata block
     (library/numpy versions, stream clock, model name) so a checkpoint
     can be identified without unpickling model state.
+
+    The write is atomic: the payload is pickled to a temporary file in
+    the target directory and moved into place with :func:`os.replace`,
+    so a crash mid-write (power loss, OOM-kill during a session spill)
+    can never leave a truncated checkpoint at ``path`` — either the old
+    file survives intact or the new one is complete.
     """
     from repro import __version__
 
@@ -59,8 +68,17 @@ def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
             **detector.nonconformity.describe(),
         },
     }
-    with open(path, "wb") as handle:
-        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
     return path
 
 

@@ -59,16 +59,80 @@ class EnsembleDetector:
             return float(np.max(values))
         return float(np.median(values))
 
+    def _fuse_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Fuse a ``(B, n_members)`` block of per-step member values.
+
+        Rows are C-contiguous, so the axis-1 reductions see each step's
+        member values in the same memory order as :meth:`_fuse` sees its
+        per-step list — the block path is bitwise identical to fusing
+        step by step.
+        """
+        if self.fusion == "mean":
+            return np.mean(rows, axis=1)
+        if self.fusion == "max":
+            return np.max(rows, axis=1)
+        return np.median(rows, axis=1)
+
     def step(self, s: StreamVector) -> StepResult:
-        """Feed one stream vector to every member; return the fused result."""
-        self.t += 1
-        results = [member.step(s) for member in self.members]
+        """Feed one stream vector to every member; return the fused result.
+
+        Routed through the members' chunked engines as a single-row
+        block, so a ``step`` loop and one :meth:`step_chunk` call are
+        the same computation — the ensemble has a single scoring path
+        whichever way it is driven (the engine's legacy per-step loop is
+        a separately-kept reference and is not used here).
+        """
+        a, f, drift, fine = self.step_chunk(np.asarray(s, dtype=np.float64))
         return StepResult(
             t=self.t,
-            nonconformity=self._fuse([r.nonconformity for r in results]),
-            score=self._fuse([r.score for r in results]),
-            drift_detected=any(r.drift_detected for r in results),
-            finetuned=any(r.finetuned for r in results),
+            nonconformity=float(a[0]),
+            score=float(f[0]),
+            drift_detected=bool(drift[0]),
+            finetuned=bool(fine[0]),
+        )
+
+    def step_chunk(
+        self, block: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Process a ``(B, N)`` block through every member and fuse per step.
+
+        Each member consumes the whole block through its own chunked
+        engine (members are fully independent, so member order does not
+        matter), then the per-step member scores are fused exactly as
+        :meth:`step` fuses them — the result is bitwise identical to
+        ``B`` sequential :meth:`step` calls for any block size, which is
+        what lets ensembles ride the micro-batch scheduler in
+        :mod:`repro.serve`.
+
+        Returns four aligned length-``B`` arrays: fused nonconformities,
+        fused anomaly scores, drift flags and fine-tune flags (a step's
+        flag is set when *any* member drifted / fine-tuned there).
+        """
+        block = np.atleast_2d(np.asarray(block, dtype=np.float64))
+        n_steps = len(block)
+        drift_out = np.zeros(n_steps, dtype=bool)
+        fine_out = np.zeros(n_steps, dtype=bool)
+        if n_steps == 0:
+            return (
+                np.zeros(0, dtype=np.float64),
+                np.zeros(0, dtype=np.float64),
+                drift_out,
+                fine_out,
+            )
+        member_a = np.empty((n_steps, len(self.members)), dtype=np.float64)
+        member_f = np.empty((n_steps, len(self.members)), dtype=np.float64)
+        for j, member in enumerate(self.members):
+            a, f, drift, fine = member.step_chunk(block)
+            member_a[:, j] = a
+            member_f[:, j] = f
+            drift_out |= drift
+            fine_out |= fine
+        self.t += n_steps
+        return (
+            self._fuse_rows(member_a),
+            self._fuse_rows(member_f),
+            drift_out,
+            fine_out,
         )
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_parallel_speedup.py"
 METRICS_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_metrics.py"
 STREAM_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_runtime_models.py"
+SERVE_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_serve.py"
 
 
 def test_bench_parallel_smoke(tmp_path):
@@ -135,3 +136,41 @@ def test_bench_stream_smoke(tmp_path):
     # disabled_spread at full scale, not asserted at smoke scale.
     assert telemetry["scores_identical"] is True
     assert len(telemetry["disabled_seconds"]) == 3
+
+
+def test_bench_serve_smoke(tmp_path):
+    out = tmp_path / "BENCH_serve.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, str(SERVE_BENCH_SCRIPT), "--fast", "--out", str(out)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "fast"
+    for key in (
+        "generated_by",
+        "cpu_count",
+        "spec",
+        "n_points_per_session",
+        "offline_ceiling_points_per_second",
+        "matrix",
+        "wire",
+        "equivalence",
+    ):
+        assert key in payload
+    assert len(payload["matrix"]) == 4  # 2 session counts x 2 batch sizes
+    for row in payload["matrix"]:
+        for key in ("sessions", "max_batch", "points_per_second",
+                    "efficiency_vs_ceiling"):
+            assert key in row
+        assert row["points_per_second"] > 0
+    # Correctness claim (served == offline run_stream, bitwise) holds even
+    # at smoke scale; the benchmark asserts it before writing any number.
+    assert payload["equivalence"]["bitwise_identical"] is True
+    assert payload["wire"]["points_per_second"] > 0

@@ -104,6 +104,47 @@ class TestCheckpoint:
         with pytest.raises(ValueError, match="incompatible"):
             load_detector(path)
 
+    def test_save_is_atomic_under_injected_failure(self, tmp_path, monkeypatch):
+        """A crash mid-serialization never corrupts an existing checkpoint
+        (save writes a temp file, then ``os.replace``) and never leaves a
+        stray temp file behind."""
+        from repro.streaming import checkpoint as checkpoint_module
+
+        detector = fresh_detector()
+        for v in make_stream(120):
+            detector.step(v)
+        path = tmp_path / "ckpt.pkl"
+        save_detector(detector, path)
+        good_bytes = path.read_bytes()
+
+        def exploding_dump(*args, **kwargs):
+            raise OSError("disk full mid-write")
+
+        monkeypatch.setattr(checkpoint_module.pickle, "dump", exploding_dump)
+        with pytest.raises(OSError, match="disk full"):
+            save_detector(detector, path)
+        monkeypatch.undo()
+
+        # The previous checkpoint is untouched and still loads.
+        assert path.read_bytes() == good_bytes
+        assert load_detector(path).t == detector.t
+        # The failed attempt's temp file was cleaned up.
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_failed_first_save_leaves_nothing(self, tmp_path, monkeypatch):
+        from repro.streaming import checkpoint as checkpoint_module
+
+        detector = fresh_detector()
+        monkeypatch.setattr(
+            checkpoint_module.pickle,
+            "dump",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("boom")),
+        )
+        with pytest.raises(OSError):
+            save_detector(detector, tmp_path / "never.pkl")
+        assert list(tmp_path.iterdir()) == []
+
     def test_checkpoint_meta_identifies_run(self, tmp_path):
         detector = fresh_detector()
         for v in make_stream(120):

@@ -37,13 +37,13 @@ class TestEnsembleDetector:
         values = stream(100)
         for v in values[:-1]:
             ensemble.step(v)
-        # Compare against manually stepping fresh members on the same data.
+        # Compare against manually driving fresh members through the
+        # same chunked engine the ensemble uses.
         fresh = members()
-        for v in values[:-1]:
-            for member in fresh:
-                member.step(v)
+        for member in fresh:
+            member.step_chunk(values[:-1])
         fused = ensemble.step(values[-1])
-        individual = [member.step(values[-1]).score for member in fresh]
+        individual = [float(member.step_chunk(values[-1:])[1][0]) for member in fresh]
         assert fused.score == pytest.approx(float(np.mean(individual)))
 
     def test_max_fusion_upper_bounds_mean(self):
@@ -78,6 +78,31 @@ class TestEnsembleDetector:
         steps = [event.t for event in ensemble.events]
         assert steps == sorted(steps)
         assert len(steps) >= 2  # at least both initial fits
+
+    @pytest.mark.parametrize("fusion", ["mean", "max", "median"])
+    def test_step_chunk_matches_looped_step(self, fusion):
+        """One ``step_chunk`` over the whole stream is bitwise identical
+        to a per-point ``step`` loop — ensembles ride the micro-batch
+        scheduler without the batch size leaking into the scores."""
+        values = stream(160, seed=4)
+        looped = EnsembleDetector(members(), fusion=fusion)
+        chunked = EnsembleDetector(members(), fusion=fusion)
+        results = [looped.step(v) for v in values]
+        a, f, drift, fine = chunked.step_chunk(values)
+        assert np.array_equal([r.nonconformity for r in results], a)
+        assert np.array_equal([r.score for r in results], f)
+        assert np.array_equal([r.drift_detected for r in results], drift)
+        assert np.array_equal([r.finetuned for r in results], fine)
+        assert chunked.t == looped.t == len(values) - 1
+
+    def test_step_chunk_invariant_to_block_size(self):
+        values = stream(150, seed=5)
+        whole = EnsembleDetector(members(), fusion="mean")
+        split = EnsembleDetector(members(), fusion="mean")
+        a_whole, f_whole, _, _ = whole.step_chunk(values)
+        pieces = [split.step_chunk(values[i : i + 17]) for i in range(0, 150, 17)]
+        assert np.array_equal(np.concatenate([p[0] for p in pieces]), a_whole)
+        assert np.array_equal(np.concatenate([p[1] for p in pieces]), f_whole)
 
     def test_reset(self):
         ensemble = EnsembleDetector(members())

@@ -1,0 +1,195 @@
+"""End-to-end service equivalence: served scores == offline run_stream.
+
+The acceptance property of ``repro.serve``: scores returned by the
+service — at any micro-batch size, through the JSON wire encoding, and
+with at least one forced eviction/rehydration mid-stream — are bitwise
+identical to an offline :func:`~repro.streaming.runner.run_stream` over
+the same series.  The offline reference runs the chunked engine's
+sequential reference (``batch_size=1``); the chunked engine is bitwise
+invariant to block boundaries, which is exactly what makes the service's
+micro-batch size a pure throughput knob.
+
+Extends the registry slice and stream of
+``tests/test_checkpoint_roundtrip.py`` so evict/rehydrate cycles cross
+the same detector phases those cuts pin (warm-up, post-fit, post-drift).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.core.types import TimeSeries
+from repro.serve import (
+    DetectionServer,
+    DetectionService,
+    ServeClient,
+    ServeConfig,
+    SocketServeClient,
+)
+from repro.streaming import run_stream
+
+#: Same slice as tests/test_checkpoint_roundtrip.py — every model family
+#: and both Task-2 drift detectors.
+SPECS = [
+    ("ae", "sw", "kswin"),
+    ("online_arima", "sw", "musigma"),
+    ("pcb_iforest", "sw", "kswin"),
+    ("usad", "ares", "kswin"),
+]
+
+CONFIG = dict(
+    window=6,
+    train_capacity=24,
+    fit_epochs=3,
+    initial_train_size=40,
+    kswin_check_every=1,
+)
+
+
+def make_stream(n=600, seed=3):
+    rng = np.random.default_rng(seed)
+    t = np.arange(n, dtype=np.float64)
+    values = np.stack(
+        [np.sin(2 * np.pi * t / 30), np.cos(2 * np.pi * t / 30)], axis=1
+    )
+    values[n // 2 :] *= 2.5
+    values[n // 2 :] += 1.0
+    return values + rng.normal(scale=0.08, size=values.shape)
+
+
+_OFFLINE_CACHE: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def offline_reference(spec, values):
+    """``run_stream`` over the same series (sequential chunked reference)."""
+    key = (spec, len(values))
+    if key not in _OFFLINE_CACHE:
+        detector = build_detector(
+            AlgorithmSpec(*spec), n_channels=2, config=DetectorConfig(**CONFIG)
+        )
+        series = TimeSeries(values=values, labels=np.zeros(len(values), dtype=int))
+        result = run_stream(detector, series, batch_size=1)
+        _OFFLINE_CACHE[key] = (result.scores, result.nonconformities)
+    return _OFFLINE_CACHE[key]
+
+
+def make_service(tmp_path, max_batch, **overrides):
+    defaults = dict(
+        max_sessions=1,
+        spill_dir=str(tmp_path / "spill"),
+        max_batch=max_batch,
+        queue_limit=512,
+        detector=DetectorConfig(**CONFIG),
+    )
+    defaults.update(overrides)
+    return DetectionService(ServeConfig(**defaults), autostart=False)
+
+
+@pytest.mark.parametrize("max_batch", [1, 7, 64])
+@pytest.mark.parametrize("spec", SPECS, ids=["-".join(s) for s in SPECS])
+def test_served_scores_bitwise_equal_offline(tmp_path, spec, max_batch):
+    """Full wire round-trip + forced mid-stream eviction, any batch size."""
+    values = make_stream()
+    ref_scores, ref_nc = offline_reference(spec, values)
+
+    service = make_service(tmp_path, max_batch)
+    client = ServeClient(service)
+    label = "+".join(spec)
+    reply = client.create("s", spec=label, n_channels=2, config=CONFIG)
+    assert reply["ok"], reply
+
+    # Evict at 350: past the level shift at 300, so the spilled state
+    # includes post-drift fine-tunes (the hardest state to round-trip).
+    scores, nonconformities = client.score_series(
+        "s", values, ingest_size=37, evict_at=350
+    )
+
+    assert np.array_equal(scores, ref_scores), (
+        f"served scores diverge from offline run_stream for {label} "
+        f"at max_batch={max_batch}"
+    )
+    assert np.array_equal(nonconformities, ref_nc)
+
+    session = service.store.get("s")
+    assert session.n_evictions >= 1, "the forced eviction never happened"
+    assert session.n_rehydrations >= 1
+    stats = client.stats()
+    rollup = stats["rollup"]["counters"]
+    assert rollup["sessions_evicted"] >= 1
+    assert rollup["sessions_rehydrated"] >= 1
+    assert rollup["points_scored"] == len(values)
+
+
+def test_lru_thrash_across_sessions_stays_bitwise(tmp_path):
+    """Interleaved streams under max_sessions=2 force repeated LRU
+    evictions; every stream still matches its own offline reference."""
+    specs = SPECS[:3]
+    values = make_stream(n=420)
+    service = make_service(tmp_path, max_batch=32, max_sessions=2)
+    client = ServeClient(service)
+    streams = []
+    for index, spec in enumerate(specs):
+        stream = f"s{index}"
+        client.create(stream, spec="+".join(spec), n_channels=2, config=CONFIG)
+        streams.append(stream)
+
+    collected = {stream: {} for stream in streams}
+    # Round-robin slices keep all three sessions alternately hot, so the
+    # 2-slot store keeps spilling whichever stream went cold.
+    for start in range(0, len(values), 60):
+        block = values[start : start + 60]
+        for stream in streams:
+            reply = client.ingest(stream, block)
+            assert reply["ok"], reply
+            for result in client.score(stream, flush=True)["results"]:
+                collected[stream][result["seq"]] = result
+
+    total_evictions = 0
+    for stream, spec in zip(streams, specs):
+        by_seq = collected[stream]
+        assert len(by_seq) == len(values)
+        scores = np.array([by_seq[seq]["score"] for seq in range(len(values))])
+        ref_scores, _ = offline_reference(spec, values)
+        assert np.array_equal(scores, ref_scores), f"{stream} diverged"
+        total_evictions += service.store.get(stream).n_evictions
+    assert total_evictions >= 2, "LRU churn never evicted anything"
+
+
+def test_tcp_server_round_trip(tmp_path):
+    """The same property through a real socket: live drain thread,
+    ThreadingTCPServer, forced eviction, stats and shutdown."""
+    spec = SPECS[0]
+    values = make_stream(n=400)
+    ref_scores, ref_nc = offline_reference(spec, values)
+
+    service = make_service(tmp_path, max_batch=16)  # autostart below
+    service.scheduler.start()
+    server = DetectionServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    try:
+        with SocketServeClient(host, port) as client:
+            assert client.ping()["ok"]
+            reply = client.create(
+                "tcp", spec="+".join(spec), n_channels=2, config=CONFIG
+            )
+            assert reply["ok"], reply
+            scores, nonconformities = client.score_series(
+                "tcp", values, ingest_size=50, evict_at=200, sleep=True
+            )
+            assert np.array_equal(scores, ref_scores)
+            assert np.array_equal(nonconformities, ref_nc)
+            stats = client.stats()
+            assert stats["sessions"]["tcp"]["n_rehydrations"] >= 1
+            summary = client.close("tcp")
+            assert summary["n_points"] == len(values)
+            assert client.shutdown()["ok"]
+        thread.join(timeout=10.0)
+        assert not thread.is_alive(), "server thread failed to stop"
+    finally:
+        service.shutdown()
+        server.server_close()
