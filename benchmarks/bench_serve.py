@@ -75,6 +75,11 @@ def _service(n_sessions, max_batch):
             max_delay_ms=0.0,
             queue_limit=max(8 * max_batch, 256),
             result_limit=max(8 * max_batch, 1024),
+            # Per-step stage timers cost more than the steps at this
+            # scale and pin sessions to the per-session drain path;
+            # throughput rows measure the fused fleet path the service
+            # runs when tracing is off.
+            per_session_telemetry=False,
             detector=DetectorConfig(**CONFIG),
         ),
         autostart=False,

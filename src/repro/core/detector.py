@@ -272,7 +272,30 @@ class StreamingAnomalyDetector:
         if trace:
             tel.add_time("represent", perf_counter() - t0, calls=n_steps)
         self.t += n_cold  # cold steps only advance the clock
+        self._process_windows(
+            windows, n_cold, n_steps, a_out, f_out, drift_out, fine_out
+        )
+        return a_out, f_out, drift_out, fine_out
 
+    def _process_windows(
+        self,
+        windows: np.ndarray,
+        n_cold: int,
+        n_steps: int,
+        a_out: np.ndarray,
+        f_out: np.ndarray,
+        drift_out: np.ndarray,
+        fine_out: np.ndarray,
+    ) -> None:
+        """Run the segment loop over already-pushed windows.
+
+        Factored out of :meth:`step_chunk` so the fleet engine can route
+        a diverging session (one whose block contains a fine-tune) back
+        through the exact per-session machinery after the windows were
+        pushed by the fused path.
+        """
+        tel = self.telemetry
+        trace = tel.enabled
         i = n_cold
         while i < n_steps:
             if not self.model.is_fitted:
@@ -306,7 +329,6 @@ class StreamingAnomalyDetector:
                     drift_out,
                     fine_out,
                 )
-        return a_out, f_out, drift_out, fine_out
 
     def _prefit_step(
         self, window: np.ndarray, fine_out: np.ndarray, i: int
@@ -397,9 +419,13 @@ class StreamingAnomalyDetector:
         length means a fine-tune invalidated the speculation and the
         caller must recompute the remainder under the new parameters.
         """
+        n_seg = len(seg_windows)
+        if n_seg == 1:
+            return self._speculative_single(
+                seg_windows, precursors, i, a_out, f_out, drift_out, fine_out
+            )
         tel = self.telemetry
         trace = tel.enabled
-        n_seg = len(seg_windows)
         if trace:
             t0 = perf_counter()
         measure_state = self.nonconformity.snapshot(self.model)
@@ -461,6 +487,61 @@ class StreamingAnomalyDetector:
                 self._finetune(train_set)
                 return k + 1
         return n_seg
+
+    def _speculative_single(
+        self,
+        seg_windows: np.ndarray,
+        precursors: np.ndarray,
+        i: int,
+        a_out: np.ndarray,
+        f_out: np.ndarray,
+        drift_out: np.ndarray,
+        fine_out: np.ndarray,
+    ) -> int:
+        """One-step segment: a fine-tune at the only step needs no
+        rollback, so the measure/scorer snapshots and batch plumbing are
+        skipped (``update_batch`` is documented bit-identical to looping
+        ``update``).  This is the hot path for chunk size 1 and for
+        chunked streams right after a fine-tune.
+        """
+        tel = self.telemetry
+        trace = tel.enabled
+        if trace:
+            t0 = perf_counter()
+        a = float(
+            self.nonconformity.consume(precursors, 0, seg_windows[0], self.model)
+        )
+        if trace:
+            t1 = perf_counter()
+            tel.add_time("nonconformity", t1 - t0, calls=1)
+        f = float(self.scorer.update(a))
+        if trace:
+            tel.add_time("score", perf_counter() - t1, calls=1)
+        self.t += 1
+        if self.first_scored_step is None:
+            self.first_scored_step = self.t
+        x = np.array(seg_windows[0])
+        if trace:
+            t0 = perf_counter()
+        update = self.train_strategy.update(x, score=f)
+        self.drift_detector.observe(update, self.t)
+        if trace:
+            t1 = perf_counter()
+            tel.add_time("task1-update", t1 - t0)
+        a_out[i] = a
+        f_out[i] = f
+        train_set = self._segment_train_set()
+        fire = self.drift_detector.should_finetune(self.t, train_set)
+        if trace:
+            tel.add_time("task2-check", perf_counter() - t1)
+        if fire:
+            drift_out[i] = True
+            fine_out[i] = True
+            tel.count("drift_fires")
+            if not self.drift_detector.needs_train_set:
+                train_set = self.train_strategy.training_set()
+            self._finetune(train_set)
+        return 1
 
     # ------------------------------------------------------------------
     def _initial_fit(self) -> None:

@@ -181,3 +181,125 @@ class MuSigmaChange(DriftDetector):
         self._sumsq = None
         self._ref_mean = None
         self._ref_std = None
+
+    @property
+    def fuse_ready(self) -> bool:
+        """True once the detector can join a fused session-axis lane.
+
+        The lane replays observe/should_finetune on stacked state copies,
+        which requires the running sums to exist and the reference
+        snapshot to be taken (the first ``should_finetune`` call after
+        warm-up adopts a snapshot as a side effect, which the lane does
+        not reproduce).
+        """
+        return self._sum is not None and self._ref_mean is not None
+
+
+class MuSigmaLane:
+    """Session-axis batched preview of K :class:`MuSigmaChange` detectors.
+
+    Stacks the running statistics of K detectors into ``(K, D)`` tensors
+    and replays the per-step observe + should-finetune sequence with
+    vectorized elementwise ops and row reductions.  Every operation is
+    lane-parallel over sessions — elementwise arithmetic and
+    ``mean(axis=1)`` row reductions produce the same bits as the
+    per-session scalars/1-D calls (pinned by the kernel probes in
+    ``tests/test_fleet.py``) — so a session's preview decisions are
+    bitwise the decisions the sequential path would have made.
+
+    The lane works on *copies*: the detectors themselves are mutated only
+    by :meth:`commit`, so a session whose preview fires can simply be
+    handed back to the stock per-session path with its state untouched.
+
+    An append update is replayed as a replace with an all-zero removed
+    row (``x + (a - 0.0)`` and ``x + (a*a - 0.0)`` are bit-identical to
+    ``x + a`` / ``x + a*a``), which keeps mixed append/replace steps in
+    one vectorized update.
+    """
+
+    def __init__(self, detectors: list[MuSigmaChange]) -> None:
+        first = detectors[0]
+        if any(
+            d.aggregate != first.aggregate or d.std_factor != first.std_factor
+            for d in detectors
+        ):
+            raise ValueError("lane detectors must share aggregate/std_factor")
+        if any(not d.fuse_ready for d in detectors):
+            raise ValueError("lane detectors must be fuse_ready")
+        self.aggregate = first.aggregate
+        self.std_factor = first.std_factor
+        self._sum = np.stack([d._sum for d in detectors])
+        self._sumsq = np.stack([d._sumsq for d in detectors])
+        self._count = np.array(
+            [d._count for d in detectors], dtype=np.float64
+        )
+        self._ref_mean = np.stack([d._ref_mean for d in detectors])
+        self._ref_std = np.stack([d._ref_std for d in detectors])
+
+    def step(
+        self,
+        idx: np.ndarray,
+        added: FloatArray,
+        removed: FloatArray,
+        replaced: np.ndarray,
+    ) -> np.ndarray:
+        """Advance sessions ``idx`` by one training-set update and return
+        their fire decisions.
+
+        Args:
+            idx: ``(n,)`` session indices to advance.
+            added: ``(n, D)`` flattened vectors entering the set.
+            removed: ``(n, D)`` evicted vectors, all-zero rows where the
+                update appends.
+            replaced: ``(n,)`` bool, True where the update replaces.
+        """
+        self._sum[idx] += added - removed
+        self._sumsq[idx] += added**2 - removed**2
+        self._count[idx] += np.where(replaced, 0.0, 1.0)
+        count = self._count[idx, None]
+        mean = self._sum[idx] / count
+        variance = self._sumsq[idx] / count - mean**2
+        std = np.sqrt(np.maximum(variance, 0.0))
+        ref_mean = self._ref_mean[idx]
+        ref_std = self._ref_std[idx]
+        mean_shift = np.abs(mean - ref_mean)
+        upper = ref_std * self.std_factor
+        lower = ref_std / self.std_factor
+        if self.aggregate == "any":
+            return (
+                (mean_shift > ref_std).any(axis=1)
+                | (std > upper).any(axis=1)
+                | (std < lower).any(axis=1)
+            )
+        std_row = std.mean(axis=1)
+        return (
+            (mean_shift.mean(axis=1) > ref_std.mean(axis=1))
+            | (std_row > upper.mean(axis=1))
+            | (std_row < lower.mean(axis=1))
+        )
+
+    def commit(
+        self,
+        k: int,
+        detector: MuSigmaChange,
+        n_added: int,
+        n_replaced: int,
+        n_checks: int,
+    ) -> None:
+        """Write session ``k``'s previewed state back into ``detector``.
+
+        The op counters are settled in bulk with the exact per-step
+        tallies: observe adds ``2D`` additions + ``D`` multiplications
+        per append and ``4D`` + ``2D`` per replace; every
+        ``should_finetune`` with a live reference adds ``D`` additions
+        and ``3D`` comparisons.
+        """
+        detector._sum = self._sum[k].copy()
+        detector._sumsq = self._sumsq[k].copy()
+        detector._count = int(self._count[k])
+        dim = detector._sum.size
+        detector.ops.additions += (
+            2 * n_added + 4 * n_replaced + n_checks
+        ) * dim
+        detector.ops.multiplications += (n_added + 2 * n_replaced) * dim
+        detector.ops.comparisons += 3 * n_checks * dim

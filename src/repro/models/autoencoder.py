@@ -14,7 +14,13 @@ import numpy as np
 from repro.core.exceptions import ConfigurationError
 from repro.core.types import FeatureVector, FloatArray
 from repro import nn
-from repro.models.base import Standardizer, StreamModel, _as_windows, tiled_forward
+from repro.models.base import (
+    Standardizer,
+    StreamModel,
+    _as_windows,
+    fleet_tiled_forward,
+    tiled_forward,
+)
 
 
 class TwoLayerAutoencoder(StreamModel):
@@ -124,3 +130,24 @@ class TwoLayerAutoencoder(StreamModel):
                 f"got {windows.shape}"
             )
         return windows
+
+    # ------------------------------------------------------------------
+    def fleet_modules(self) -> tuple:
+        return (self.network,)
+
+    @classmethod
+    def fleet_predict_batch(
+        cls, models: list, mirror: tuple, windows_list: list
+    ) -> list:
+        (network,) = mirror
+        flats = [
+            model.scaler.transform(X).reshape(len(X), model.input_dim)
+            for model, X in zip(models, windows_list)
+        ]
+        outputs = fleet_tiled_forward(network, flats)
+        return [
+            model.scaler.inverse(
+                rows.reshape(len(X), model.window, model.n_channels)
+            )
+            for model, rows, X in zip(models, outputs, windows_list)
+        ]

@@ -109,11 +109,17 @@ class MinMaxScaler:
         return np.asarray(values, dtype=np.float64) * self.span + self.low
 
 
-#: Fixed row count of every batched linear-algebra call (see
-#: :func:`tiled_forward`).  Chosen to match the models' training batch
-#: size; large enough to amortize BLAS call overhead, small enough that
-#: padding a single-row block stays cheap.
-BATCH_TILE = 32
+#: Fixed row count of every batched linear-algebra GEMM slice (see
+#: :func:`tiled_forward`).  Every slice of the stacked
+#: ``(T, BATCH_TILE, F)`` matmul runs the same kernel, which is what
+#: makes batched inference chunk-invariant.  Tile size 1 computes each
+#: row as its own ``(1, F) @ (F, H)`` product — bitwise identical to the
+#: single-window ``predict`` path — so the chunk-size-1 engine pays zero
+#: padding waste; large blocks trade some BLAS efficiency for that
+#: (batched row-slices instead of one big GEMM), which profiling shows
+#: keeps the chunked engine comfortably above its speedup bar while
+#: letting chunk=1 match the legacy per-step loop.
+BATCH_TILE = 1
 
 
 def tiled_forward(fn: "callable", rows: FloatArray) -> FloatArray:
@@ -122,28 +128,59 @@ def tiled_forward(fn: "callable", rows: FloatArray) -> FloatArray:
     BLAS GEMM results for one row depend on the *total* row count of the
     call (different kernels / blockings for different M), so naively
     stacking a variable number of windows would make batched predictions
-    depend on the chunk size.  Running every call with exactly
+    depend on the chunk size.  Fixing every GEMM slice at exactly
     ``BATCH_TILE`` rows — padding the final tile with zero rows and
     discarding their outputs — makes each row's bits a function of the
     row alone, so batched inference is invariant to how the stream is
     chunked.
 
+    The tiles are not looped over in Python: the padded rows are reshaped
+    to ``(T, BATCH_TILE, d)`` and ``fn`` is applied once.  ``np.matmul``
+    maps a stacked operand to per-slice 2-D GEMMs, so each
+    ``(BATCH_TILE, d)`` slice produces bits identical to a standalone
+    tile call regardless of ``T`` (asserted by the kernel probes in
+    ``tests/test_fleet.py``).
+
     ``fn`` must be row-independent apart from the BLAS effect above
-    (a stack of ``Linear``/activation layers, or a plain ``@``), and must
-    accept a ``(BATCH_TILE, d)`` array; 1-D or 2-D outputs are supported.
+    (a stack of ``Linear``/activation layers, or a plain ``@``) and must
+    broadcast over a leading tile axis; per-tile 1-D or 2-D outputs are
+    supported.  The result may be a view into a larger buffer — callers
+    must not mutate it in place.
     """
     rows = np.asarray(rows, dtype=np.float64)
-    n = rows.shape[0]
-    pieces = []
-    for start in range(0, n, BATCH_TILE):
-        tile = rows[start : start + BATCH_TILE]
-        real = tile.shape[0]
-        if real < BATCH_TILE:
-            tile = np.concatenate(
-                [tile, np.zeros((BATCH_TILE - real, rows.shape[1]))]
-            )
-        pieces.append(fn(tile)[:real])
-    return np.concatenate(pieces)
+    n, d = rows.shape
+    n_tiles = -(-n // BATCH_TILE)
+    if n % BATCH_TILE:
+        padded = np.zeros((n_tiles * BATCH_TILE, d), dtype=np.float64)
+        padded[:n] = rows
+    else:
+        padded = rows
+    out = fn(padded.reshape(n_tiles, BATCH_TILE, d))
+    return out.reshape((n_tiles * BATCH_TILE,) + out.shape[2:])[:n]
+
+
+def fleet_tiled_forward(fn: "callable", rows_list: list) -> list:
+    """Fused :func:`tiled_forward` over K sessions' row blocks.
+
+    Stacks each session's zero-padded ``(T_k, BATCH_TILE, d)`` tiles into
+    one ``(K, T_max, BATCH_TILE, d)`` array (short sessions padded with
+    all-zero tiles) and applies ``fn`` once.  ``fn`` sees the session
+    axis first; a :class:`~repro.nn.arena.ParameterArena` mirror maps
+    slice ``k`` to session ``k``'s parameters.  Because every GEMM slice
+    keeps the exact ``(BATCH_TILE, d)`` geometry of the per-session path,
+    the returned per-session outputs are bitwise identical to K separate
+    :func:`tiled_forward` calls.
+    """
+    k_sessions = len(rows_list)
+    d = rows_list[0].shape[1]
+    tiles = [-(-len(rows) // BATCH_TILE) for rows in rows_list]
+    t_max = max(tiles)
+    stack = np.zeros((k_sessions, t_max * BATCH_TILE, d), dtype=np.float64)
+    for k, rows in enumerate(rows_list):
+        stack[k, : len(rows)] = rows
+    out = fn(stack.reshape(k_sessions, t_max, BATCH_TILE, d))
+    flat = out.reshape((k_sessions, t_max * BATCH_TILE) + out.shape[3:])
+    return [flat[k, : len(rows)] for k, rows in enumerate(rows_list)]
 
 
 class StreamModel:
@@ -213,6 +250,34 @@ class StreamModel:
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise NotFittedError(f"{type(self).__name__} used before fit")
+
+    # ------------------------------------------------------------------
+    # fleet (cross-session fused inference) hooks
+    # ------------------------------------------------------------------
+    def fleet_modules(self) -> tuple | None:
+        """Module roots to mirror for cross-session fused inference.
+
+        Returns a tuple of :class:`repro.nn.Module` trees whose stacked
+        parameters drive :meth:`fleet_predict_batch`, or ``None`` when
+        the model has no fused path (the fleet engine then falls back to
+        per-session ``step_chunk``).  Modules shared between roots (USAD
+        weight sharing via ``shared_copy``) may appear in several trees;
+        the arena maps them to one stacked tensor.
+        """
+        return None
+
+    @classmethod
+    def fleet_predict_batch(
+        cls, models: list, mirror: tuple, windows_list: list
+    ) -> list:
+        """Fused :meth:`predict_batch` over K same-spec sessions.
+
+        ``mirror`` is the arena mirror of :meth:`fleet_modules` (stacked
+        ``(K, in, out)`` parameters); ``windows_list`` holds each
+        session's ``(B_k, w, N)`` block.  Returns per-session prediction
+        arrays bitwise identical to K separate ``predict_batch`` calls.
+        """
+        raise NotImplementedError
 
 
 def _as_windows(windows: FloatArray) -> FloatArray:

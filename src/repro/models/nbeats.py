@@ -28,7 +28,13 @@ import numpy as np
 from repro.core.exceptions import ConfigurationError
 from repro.core.types import FeatureVector, FloatArray
 from repro import nn
-from repro.models.base import Standardizer, StreamModel, _as_windows, tiled_forward
+from repro.models.base import (
+    Standardizer,
+    StreamModel,
+    _as_windows,
+    fleet_tiled_forward,
+    tiled_forward,
+)
 
 
 def trend_basis(theta_per_channel: int, length: int, n_channels: int) -> FloatArray:
@@ -93,6 +99,19 @@ class _GenericBasis(nn.Module):
 
     def backward(self, grad: FloatArray) -> FloatArray:
         return self.linear.backward(grad)
+
+
+def _nbeats_forward(
+    blocks: list, inputs: FloatArray, forecast_dim: int
+) -> FloatArray:
+    """Residual block wiring shared by per-session and fleet forwards."""
+    residual = inputs
+    forecast = np.zeros(inputs.shape[:-1] + (forecast_dim,))
+    for block in blocks:
+        backcast, block_forecast = block.forward(residual)
+        residual = residual - backcast
+        forecast = forecast + block_forecast
+    return forecast
 
 
 class NBeatsBlock(nn.Module):
@@ -226,14 +245,13 @@ class NBeats(StreamModel):
 
     # ------------------------------------------------------------------
     def _forward(self, inputs: FloatArray) -> FloatArray:
-        """Residually-wired forward pass; returns the summed forecast."""
-        residual = inputs
-        forecast = np.zeros((inputs.shape[0], self.forecast_dim))
-        for block in self.blocks:
-            backcast, block_forecast = block.forward(residual)
-            residual = residual - backcast
-            forecast = forecast + block_forecast
-        return forecast
+        """Residually-wired forward pass; returns the summed forecast.
+
+        Shape-agnostic over leading axes so the same code serves plain
+        ``(B, F)`` batches, ``(T, tile, F)`` stacked tiles and
+        ``(K, T, tile, F)`` fleet stacks.
+        """
+        return _nbeats_forward(self.blocks, inputs, self.forecast_dim)
 
     def _backward(self, grad_forecast: FloatArray) -> None:
         """Backprop through the residual wiring.
@@ -311,3 +329,25 @@ class NBeats(StreamModel):
                 f"got {windows.shape}"
             )
         return windows
+
+    # ------------------------------------------------------------------
+    def fleet_modules(self) -> tuple:
+        return tuple(self.blocks)
+
+    @classmethod
+    def fleet_predict_batch(
+        cls, models: list, mirror: tuple, windows_list: list
+    ) -> list:
+        forecast_dim = models[0].forecast_dim
+        inputs_list = [
+            model.scaler.transform(X)[:, :-1, :].reshape(len(X), model.backcast_dim)
+            for model, X in zip(models, windows_list)
+        ]
+        forecasts = fleet_tiled_forward(
+            lambda stacked: _nbeats_forward(list(mirror), stacked, forecast_dim),
+            inputs_list,
+        )
+        return [
+            model.scaler.inverse(rows)
+            for model, rows in zip(models, forecasts)
+        ]

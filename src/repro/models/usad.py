@@ -27,7 +27,13 @@ from repro.core.exceptions import ConfigurationError
 from repro.core.types import FeatureVector, FloatArray
 from repro import nn
 from repro.nn.share import shared_copy, unique_parameters
-from repro.models.base import MinMaxScaler, StreamModel, _as_windows, tiled_forward
+from repro.models.base import (
+    MinMaxScaler,
+    StreamModel,
+    _as_windows,
+    fleet_tiled_forward,
+    tiled_forward,
+)
 
 
 def _encoder(input_dim: int, latent_dim: int, rng: np.random.Generator) -> nn.Sequential:
@@ -250,3 +256,40 @@ class USAD(StreamModel):
                 f"got {windows.shape}"
             )
         return windows
+
+    # ------------------------------------------------------------------
+    def fleet_modules(self) -> tuple:
+        # The shared copies reuse encoder/decoder2 Parameter objects, so
+        # the arena maps all five trees onto three stacked weight sets.
+        return (
+            self.encoder,
+            self.decoder1,
+            self.decoder2,
+            self._encoder_b,
+            self._decoder2_b,
+        )
+
+    @classmethod
+    def fleet_predict_batch(
+        cls, models: list, mirror: tuple, windows_list: list
+    ) -> list:
+        encoder, decoder1, decoder2, _, _ = mirror
+        flats = [
+            model.scaler.transform(X).reshape(len(X), model.input_dim)
+            for model, X in zip(models, windows_list)
+        ]
+        # Two stacked passes, mirroring reconstructions_batch: AE1 over
+        # the inputs, then AE2 over AE1's reconstructions.
+        w1_list = fleet_tiled_forward(
+            lambda stacked: decoder1(encoder(stacked)), flats
+        )
+        w3_list = fleet_tiled_forward(
+            lambda stacked: decoder2(encoder(stacked)), w1_list
+        )
+        results = []
+        for model, w1, w3, X in zip(models, w1_list, w3_list, windows_list):
+            shape = (len(X), model.window, model.n_channels)
+            r1 = model.scaler.inverse(w1.reshape(shape))
+            r3 = model.scaler.inverse(w3.reshape(shape))
+            results.append((1.0 - model.blend) * r1 + model.blend * r3)
+        return results

@@ -17,6 +17,7 @@ Gradients accumulate across backward calls until ``zero_grad`` is invoked,
 matching the usual framework semantics.
 """
 
+from repro.nn.arena import FleetIncompatible, ParameterArena
 from repro.nn.init import glorot_uniform, zeros
 from repro.nn.layers import (
     Dropout,
@@ -34,6 +35,8 @@ from repro.nn.optim import SGD, Adam, Optimizer
 __all__ = [
     "Adam",
     "Dropout",
+    "FleetIncompatible",
+    "ParameterArena",
     "Identity",
     "Linear",
     "Module",

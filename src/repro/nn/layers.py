@@ -40,21 +40,54 @@ class Linear(Module):
         self._input: FloatArray | None = None
 
     def forward(self, x: FloatArray) -> FloatArray:
-        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
-        if x.shape[1] != self.in_features:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None]
+        if x.shape[-1] != self.in_features:
             raise ValueError(
-                f"expected input with {self.in_features} features, got {x.shape[1]}"
+                f"expected input with {self.in_features} features, got {x.shape[-1]}"
             )
         self._input = x
-        return x @ self.weight.value + self.bias.value
+        w = self.weight.value
+        if w.ndim == 2:
+            # Plain weights broadcast over any leading axes: (B, F),
+            # (T, tile, F) stacked tiles, or (K, T, tile, F) fleet stacks
+            # all reduce to the same per-slice (rows, F) @ (F, H) GEMM.
+            out = np.matmul(x, w)
+            out += self.bias.value
+            return out
+        # Session-axis fused weights: w is (K, F, H), bias (K, H).
+        if x.ndim == 3:  # (K, B, F) @ (K, F, H)
+            out = np.matmul(x, w)
+            out += self.bias.value[:, None, :]
+            return out
+        if x.ndim == 4:  # (K, T, tile, F) @ broadcast (K, 1, F, H)
+            out = np.matmul(x, w[:, None])
+            out += self.bias.value[:, None, None, :]
+            return out
+        raise ValueError(
+            f"fused Linear expects (K, B, F) or (K, T, tile, F) input, "
+            f"got shape {x.shape}"
+        )
 
     def backward(self, grad: FloatArray) -> FloatArray:
         if self._input is None:
             raise RuntimeError("backward called before forward")
         grad = np.atleast_2d(grad)
-        self.weight.grad += self._input.T @ grad
-        self.bias.grad += grad.sum(axis=0)
-        return grad @ self.weight.value.T
+        w = self.weight.value
+        if w.ndim == 2:
+            self.weight.grad += self._input.T @ grad
+            self.bias.grad += grad.sum(axis=0)
+            return grad @ w.T
+        # Session-axis batched backward: grad (K, B, H), input (K, B, F).
+        if grad.ndim != 3 or self._input.ndim != 3:
+            raise ValueError(
+                "fused Linear backward expects (K, B, H) gradients from a "
+                f"(K, B, F) forward, got {grad.shape} / {self._input.shape}"
+            )
+        self.weight.grad += np.matmul(self._input.transpose(0, 2, 1), grad)
+        self.bias.grad += grad.sum(axis=1)
+        return np.matmul(grad, w.transpose(0, 2, 1))
 
 
 class Sigmoid(Module):

@@ -75,6 +75,23 @@ class Module:
     def __call__(self, x: FloatArray) -> FloatArray:
         return self.forward(x)
 
+    def __getstate__(self) -> dict:
+        """Drop forward/backward scratch from pickles.
+
+        Underscore-prefixed ndarray attributes hold the last forward
+        pass's cached activations (the backward inputs).  They are
+        overwritten by every forward, so a checkpoint that includes
+        them depends on whatever batch shape last flowed through the
+        module — dropping them keeps checkpoints a function of logical
+        state only (and smaller).  A restored module must run a forward
+        before a backward, which training always does.
+        """
+        state = dict(self.__dict__)
+        for name, attr in state.items():
+            if name.startswith("_") and isinstance(attr, np.ndarray):
+                state[name] = None
+        return state
+
     def state(self) -> list[FloatArray]:
         """Return copies of all parameter values (a checkpoint)."""
         return [param.value.copy() for param in self.parameters()]

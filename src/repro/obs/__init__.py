@@ -5,6 +5,7 @@ See :mod:`repro.obs.telemetry` for the counters/spans/events model,
 :mod:`repro.obs.streamlog` for the idempotent progress logger.
 """
 
+from repro.obs.latency import LatencyReservoir, merge_summaries
 from repro.obs.manifest import (
     MANIFEST_SCHEMA,
     RunManifest,
@@ -27,6 +28,7 @@ from repro.obs.telemetry import (
 __all__ = [
     "CORE_COUNTERS",
     "CORE_SPANS",
+    "LatencyReservoir",
     "MANIFEST_SCHEMA",
     "NULL_TELEMETRY",
     "STAGE_PREFIX",
@@ -40,4 +42,5 @@ __all__ = [
     "get_stream_logger",
     "library_versions",
     "merge_payloads",
+    "merge_summaries",
 ]

@@ -78,6 +78,16 @@ class NonconformityMeasure:
     """Interface: produce ``a_t`` from the feature vector and the model."""
 
     name = "base"
+    #: True when :meth:`from_predictions` is implemented, i.e. the
+    #: precursors are a pure function of (windows, predictions) — the
+    #: property the fleet engine needs to swap the per-session
+    #: ``model.predict_batch`` for one fused session-axis forward.
+    supports_fused = False
+    #: True when :meth:`consume` neither reads nor writes measure/model
+    #: state, so ``consume(precursors, k, ...) == precursors[k]`` and the
+    #: fleet engine can take the precursor row vector as the
+    #: nonconformity block directly.
+    stateless_consume = False
 
     def describe(self) -> dict:
         """JSON-safe identity of this measure (for checkpoint metadata
@@ -100,6 +110,21 @@ class NonconformityMeasure:
         preserves arbitrary model/measure statefulness exactly.
         """
         return None
+
+    def from_predictions(
+        self,
+        windows: FloatArray,
+        predictions: FloatArray,
+        model: StreamModel,
+    ) -> FloatArray:
+        """Precursors from already-computed model predictions.
+
+        The pure tail of :meth:`precompute` for measures whose precursors
+        depend on the model only through ``predict_batch`` — the fleet
+        engine computes the predictions once per fused forward and calls
+        this per session.  Only meaningful when :attr:`supports_fused`.
+        """
+        raise NotImplementedError
 
     def consume(
         self,
@@ -138,6 +163,8 @@ class CosineNonconformity(NonconformityMeasure):
     """
 
     name = "cosine"
+    supports_fused = True
+    stateless_consume = True
 
     def __call__(self, x: FeatureVector, model: StreamModel) -> float:
         x = np.asarray(x, dtype=np.float64)
@@ -155,7 +182,16 @@ class CosineNonconformity(NonconformityMeasure):
         self, windows: FloatArray, model: StreamModel
     ) -> FloatArray:
         windows = np.asarray(windows, dtype=np.float64)
-        predictions = model.predict_batch(windows)
+        return self.from_predictions(
+            windows, model.predict_batch(windows), model
+        )
+
+    def from_predictions(
+        self,
+        windows: FloatArray,
+        predictions: FloatArray,
+        model: StreamModel,
+    ) -> FloatArray:
         if model.prediction_kind == "reconstruction":
             observed = windows.reshape(len(windows), -1)
             predicted = predictions.reshape(len(windows), -1)
@@ -195,6 +231,7 @@ class EuclideanNonconformity(NonconformityMeasure):
     """
 
     name = "euclidean"
+    supports_fused = True
 
     def __init__(self, alpha: float = 0.02) -> None:
         if not 0.0 < alpha <= 1.0:
@@ -229,7 +266,16 @@ class EuclideanNonconformity(NonconformityMeasure):
         self, windows: FloatArray, model: StreamModel
     ) -> FloatArray:
         windows = np.asarray(windows, dtype=np.float64)
-        predictions = model.predict_batch(windows)
+        return self.from_predictions(
+            windows, model.predict_batch(windows), model
+        )
+
+    def from_predictions(
+        self,
+        windows: FloatArray,
+        predictions: FloatArray,
+        model: StreamModel,
+    ) -> FloatArray:
         if model.prediction_kind == "reconstruction":
             return np.sqrt(
                 np.mean((predictions - windows) ** 2, axis=(1, 2))

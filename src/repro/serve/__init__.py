@@ -14,7 +14,7 @@ Layers (zero new dependencies — stdlib + numpy):
   queues, :class:`~repro.serve.scheduler.QueueFull` backpressure and
   round-robin fairness;
 - :mod:`repro.serve.state` — LRU session store with checkpoint-backed
-  eviction (spill to ``CHECKPOINT_VERSION`` 2 files, transparent
+  eviction (spill to ``CHECKPOINT_VERSION`` 3 files, transparent
   rehydration, bitwise-identical resume);
 - :mod:`repro.serve.protocol` / :mod:`repro.serve.server` — the
   JSON-lines wire protocol, the threading TCP server, and in-process /

@@ -20,15 +20,25 @@ unbounded latency or memory:
 - **Fairness.**  The drain pass visits sessions round-robin, at most one
   micro-batch per session per pass, so a firehose stream cannot starve a
   trickle stream.
+- **Fusion.**  Due sessions sharing a spec fingerprint
+  (:attr:`~repro.serve.session.DetectorSession.fleet_key`) are drained
+  together through one :class:`~repro.streaming.fleet.FleetEngine`
+  call — K same-spec micro-batches become a handful of session-axis
+  batched kernels instead of K small ones.  The engine (and its weight
+  arena) is cached per group and reused while the membership is stable,
+  so steady-state drains pay no re-stacking cost.
 
 All scheduling decisions change only *when* points are scored, never
 *what* is computed — the chunked engine's bitwise invariance to block
-boundaries means any drain order and any batch size yield scores
-identical to the offline :func:`~repro.streaming.runner.run_stream`.
+boundaries, and the fleet engine's bitwise equivalence to per-session
+``step_chunk``, mean any drain order, any batch size and any grouping
+yield scores identical to the offline
+:func:`~repro.streaming.runner.run_stream`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
 import time
 from dataclasses import dataclass
@@ -37,8 +47,9 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.core.exceptions import ConfigurationError, ReproError
-from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.obs import NULL_TELEMETRY, Telemetry, merge_summaries
 from repro.serve.session import DetectorSession
+from repro.streaming.fleet import FleetEngine
 
 
 class QueueFull(ReproError):
@@ -77,12 +88,19 @@ class SchedulerConfig:
         queue_limit: per-session ingest-queue bound (backpressure).
         result_limit: per-session scored-result bound; a full buffer
             pauses draining for that session until the client collects.
+        fused_drain: drain same-spec session groups through one
+            :class:`~repro.streaming.fleet.FleetEngine` call (bitwise
+            neutral; disable to force the per-session path).
+        min_fleet: smallest due group worth a fused call; below it the
+            per-session path is used.
     """
 
     max_batch: int = 64
     max_delay_ms: float = 25.0
     queue_limit: int = 512
     result_limit: int = 8192
+    fused_drain: bool = True
+    min_fleet: int = 2
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -94,6 +112,10 @@ class SchedulerConfig:
         if self.queue_limit < 1:
             raise ConfigurationError(
                 f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.min_fleet < 2:
+            raise ConfigurationError(
+                f"min_fleet must be >= 2, got {self.min_fleet}"
             )
         if self.result_limit < self.max_batch:
             raise ConfigurationError(
@@ -131,6 +153,12 @@ class MicroBatchScheduler:
         #: round-robin cursor: the stream id drained last, so the next
         #: pass starts just after it.
         self._rr_last: str | None = None
+        #: fused-drain engine cache: fleet_key -> (detector id tuple,
+        #: engine, member sessions).  The id tuple detects membership or
+        #: rehydration changes (the engine holds the detectors, so the
+        #: ids stay valid while the entry lives); a mismatch rebuilds
+        #: the engine and its weight arena.
+        self._fleets: dict[tuple, tuple[tuple, FleetEngine, list]] = {}
         #: optional hook run by the drain loop whenever it goes idle
         #: (the service wires the idle-session eviction sweep here).
         self.on_idle: Callable[[], Any] | None = None
@@ -189,6 +217,93 @@ class MicroBatchScheduler:
             self.telemetry.count("batches_flushed")
         return scored
 
+    # ------------------------------------------------------------------
+    # fused draining
+    # ------------------------------------------------------------------
+    def _fleet_engine(self, key: tuple, sessions: list[DetectorSession]) -> FleetEngine:
+        """Cached :class:`FleetEngine` for a stable same-spec group."""
+        ids = tuple(id(session.detector) for session in sessions)
+        cached = self._fleets.get(key)
+        if cached is not None and cached[0] == ids:
+            return cached[1]
+        engine = FleetEngine([session.detector for session in sessions])
+        self._fleets[key] = (ids, engine, list(sessions))
+        return engine
+
+    def _flush_group(self, key: tuple, members: list[DetectorSession]) -> int:
+        """One micro-batch for a same-spec group, through the fleet engine.
+
+        Bitwise neutral versus draining each member with
+        :meth:`_flush_batch`: the fleet engine is pinned to per-session
+        ``step_chunk`` (``tests/test_fleet.py``), and sessions it cannot
+        fuse fall through to their own engine inside the call.
+        """
+        # Sorted lock order keeps concurrent group flushes deadlock-free.
+        members = sorted(members, key=lambda s: s.stream_id)
+        scored = 0
+        with contextlib.ExitStack() as stack:
+            for session in members:
+                stack.enter_context(session.lock)
+            # Rehydrate before popping any queue: a session with queued
+            # points is never an eviction candidate, so the capacity
+            # enforcement a rehydrate triggers cannot spill a groupmate.
+            ready: list[DetectorSession] = []
+            for session in members:
+                if session.queue_depth == 0:
+                    continue
+                if self.config.result_limit - session.n_results <= 0:
+                    self.telemetry.count("drain_blocked")
+                    continue
+                if not session.hydrated:
+                    self.store.rehydrate(session)
+                ready.append(session)
+            prepared = []
+            for session in ready:
+                room = self.config.result_limit - session.n_results
+                batch = session.flush_prepare(min(self.config.max_batch, room))
+                if batch is not None:
+                    prepared.append((session, batch))
+            if not prepared:
+                return 0
+            if len(prepared) < self.config.min_fleet:
+                for session, (seqs, waits, block) in prepared:
+                    result = session.detector.step_chunk(block)
+                    scored += session.flush_finish(seqs, waits, result)
+                    self.telemetry.count("batches_flushed")
+            else:
+                engine = self._fleet_engine(key, [s for s, _ in prepared])
+                fused_before = engine.fused_steps
+                results = engine.step_chunk(
+                    [batch[2] for _, batch in prepared]
+                )
+                for (session, (seqs, waits, _)), result in zip(prepared, results):
+                    scored += session.flush_finish(seqs, waits, result)
+                    self.telemetry.count("batches_flushed")
+                self.telemetry.count("fused_drains")
+                self.telemetry.count(
+                    "points_fused", engine.fused_steps - fused_before
+                )
+        if scored:
+            self.telemetry.count("points_scored", scored)
+        return scored
+
+    def fleet_manifests(self) -> dict[str, dict]:
+        """Per-group fleet summaries for the ``stats`` verb.
+
+        Each block is the group's :meth:`FleetEngine.manifest` plus an
+        ingest-latency rollup over the member sessions' reservoirs.
+        """
+        out: dict[str, dict] = {}
+        for key, (_, engine, sessions) in self._fleets.items():
+            manifest = engine.manifest()
+            manifest["ingest_latency"] = merge_summaries(
+                [session.latency for session in sessions]
+            )
+            manifest["streams"] = [session.stream_id for session in sessions]
+            label = f"{key[0]}@{key[1]}ch#{key[2][:8]}"
+            out[label] = manifest
+        return out
+
     def flush_session(self, session: DetectorSession) -> int:
         """Synchronously drain one session's whole queue (the ``score``
         verb's flush), stopping early only if its result buffer fills."""
@@ -202,6 +317,9 @@ class MicroBatchScheduler:
     def pump(self, now: float | None = None) -> int:
         """One fair drain pass: each due session gets one micro-batch.
 
+        Due sessions sharing a :attr:`fleet_key` are drained together
+        through the fused group path (when ``fused_drain`` is on and the
+        group reaches ``min_fleet``); the rest get the per-session path.
         Returns the number of points scored; callers loop while it makes
         progress.  Visiting order rotates so the pass after a long batch
         resumes with the *next* session, not the same one.
@@ -214,10 +332,25 @@ class MicroBatchScheduler:
         start = 0
         if self._rr_last in ids:
             start = (ids.index(self._rr_last) + 1) % len(sessions)
+        due = [
+            sessions[(start + offset) % len(sessions)]
+            for offset in range(len(sessions))
+            if self._due(sessions[(start + offset) % len(sessions)], now)
+        ]
         scored = 0
-        for offset in range(len(sessions)):
-            session = sessions[(start + offset) % len(sessions)]
-            if not self._due(session, now):
+        grouped: set[str] = set()
+        if self.config.fused_drain:
+            groups: dict[tuple, list[DetectorSession]] = {}
+            for session in due:
+                if session.fleet_key is not None and session.evictable:
+                    groups.setdefault(session.fleet_key, []).append(session)
+            for key, members in groups.items():
+                if len(members) < self.config.min_fleet:
+                    continue
+                grouped.update(member.stream_id for member in members)
+                scored += self._flush_group(key, members)
+        for session in due:
+            if session.stream_id in grouped:
                 continue
             n = self._flush_batch(session)
             if n:
@@ -265,6 +398,10 @@ class MicroBatchScheduler:
                 if self.on_idle is not None:
                     self.on_idle()
                 deadline = self.next_deadline_in()
+                if deadline is None:
+                    # Fully idle: drop cached fleet engines so their
+                    # weight arenas stop pinning evicted detectors.
+                    self._fleets.clear()
                 # No queued work: sleep until woken; queued but not due:
                 # sleep until the oldest point's deadline.
                 timeout = deadline if deadline is not None else 0.25

@@ -43,7 +43,7 @@ from repro.core.exceptions import (
     StreamError,
 )
 from repro.core.registry import AlgorithmSpec, build_detector
-from repro.obs import Telemetry, merge_payloads
+from repro.obs import Telemetry, fingerprint_config, merge_payloads
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -76,6 +76,9 @@ class ServeConfig:
             temporary directory per service).
         max_batch / max_delay_ms / queue_limit / result_limit: micro-
             batching and backpressure knobs (:class:`SchedulerConfig`).
+        fused_drain / min_fleet: same-spec fused-drain knobs
+            (:class:`SchedulerConfig`); fusion is bitwise neutral, the
+            switch exists for A/B benchmarking and incident bisection.
         idle_timeout_s: when set, sessions idle this long are spilled
             even below the capacity bound (a memory-release sweep run by
             the drain loop).
@@ -93,6 +96,8 @@ class ServeConfig:
     max_delay_ms: float = 25.0
     queue_limit: int = 512
     result_limit: int = 8192
+    fused_drain: bool = True
+    min_fleet: int = 2
     idle_timeout_s: float | None = None
     per_session_telemetry: bool = True
     detector: DetectorConfig = field(default_factory=DetectorConfig)
@@ -149,6 +154,8 @@ class DetectionService:
                 max_delay_ms=self.config.max_delay_ms,
                 queue_limit=self.config.queue_limit,
                 result_limit=self.config.result_limit,
+                fused_drain=self.config.fused_drain,
+                min_fleet=self.config.min_fleet,
             ),
             telemetry=self.telemetry,
         )
@@ -208,22 +215,40 @@ class DetectionService:
                 scorer=scorer if scorer is not None else self.config.scorer,
             )
             spec_label = label
+            # Same label + channel count + hyper-parameters + scorer ⇒
+            # same-shaped detectors, safe to group for fused drains
+            # (the fleet engine re-verifies member uniformity anyway).
+            fleet_key = (
+                label,
+                int(n_channels),
+                fingerprint_config(
+                    {
+                        "detector": detector_config,
+                        "scorer": scorer
+                        if scorer is not None
+                        else self.config.scorer,
+                    }
+                ),
+            )
         else:
             if n_channels is None:
                 raise ConfigurationError(
                     "custom-detector sessions need an explicit n_channels"
                 )
             spec_label = spec if spec is not None else "custom"
+            fleet_key = None  # custom detectors stay on the per-session path
         session_telemetry = (
             Telemetry(max_events=64) if self.config.per_session_telemetry else None
         )
-        return self.store.create(
+        session = self.store.create(
             stream,
             detector,
             n_channels=int(n_channels),
             spec_label=spec_label,
             telemetry=session_telemetry,
         )
+        session.fleet_key = fleet_key
+        return session
 
     def ingest(self, stream: str, points: Any) -> dict[str, Any]:
         """Validate + enqueue one batch; the reply payload of ``ingest``."""
@@ -294,6 +319,7 @@ class DetectionService:
             {
                 "sessions": blocks,
                 "fleet": fleet,
+                "fleets": self.scheduler.fleet_manifests(),
                 "rollup": rollup,
                 "n_sessions": len(self.store),
                 "n_hydrated": self.store.hydrated_count(),

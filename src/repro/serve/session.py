@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.detector import StreamingAnomalyDetector
 from repro.core.exceptions import StreamError
 from repro.core.types import count_finetunes
-from repro.obs import Telemetry
+from repro.obs import LatencyReservoir, Telemetry
 
 
 class DetectorSession:
@@ -81,6 +81,12 @@ class DetectorSession:
         self.created_at = clock()
         self.last_active = self.created_at
         self.closed = False
+        #: ingest→scored wait time per point, for p50/p99 in ``stats``.
+        self.latency = LatencyReservoir()
+        #: same-spec grouping key for the fused drain path; ``None``
+        #: keeps the session on the per-session path (custom detectors,
+        #: or specs the service could not fingerprint).
+        self.fleet_key: tuple | None = None
 
         #: spill bookkeeping, maintained by the session store.
         self.spill_path: Path | None = None
@@ -161,6 +167,58 @@ class DetectorSession:
         return (now if now is not None else self._clock()) - self.enqueued_at[0]
 
     # ------------------------------------------------------------------
+    def flush_prepare(
+        self, max_batch: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        """Pop up to ``max_batch`` queued points for scoring.
+
+        Returns ``(seqs, enqueued_at, block)`` or ``None`` on an empty
+        queue.  Caller must hold the session lock and follow up with
+        :meth:`flush_finish` — the points are already off the queue.
+        """
+        k = min(len(self.queue), max_batch)
+        if k == 0:
+            return None
+        if self.detector is None:
+            raise RuntimeError(
+                f"session {self.stream_id!r} flushed while evicted; "
+                "the store must rehydrate first"
+            )
+        seqs = np.empty(k, dtype=np.int64)
+        waits = np.empty(k, dtype=np.float64)
+        rows = []
+        for j in range(k):
+            seq, row = self.queue.popleft()
+            waits[j] = self.enqueued_at.popleft()
+            seqs[j] = seq
+            rows.append(row)
+        return seqs, waits, np.stack(rows)
+
+    def flush_finish(
+        self,
+        seqs: np.ndarray,
+        enqueued_at: np.ndarray,
+        result: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    ) -> int:
+        """Append one scored block's results and record ingest latency."""
+        a, f, drift, fine = result
+        k = len(seqs)
+        now = self._clock()
+        for j in range(k):
+            self.results.append(
+                {
+                    "seq": int(seqs[j]),
+                    "score": float(f[j]),
+                    "nonconformity": float(a[j]),
+                    "drift": bool(drift[j]),
+                    "finetuned": bool(fine[j]),
+                }
+            )
+            self.latency.record(now - enqueued_at[j])
+        self.scored += k
+        self.last_active = now
+        return k
+
     def flush_once(self, max_batch: int) -> int:
         """Step up to ``max_batch`` queued points through the detector.
 
@@ -170,35 +228,12 @@ class DetectorSession:
         the scores.  Returns the number of points scored.
         """
         with self.lock:
-            k = min(len(self.queue), max_batch)
-            if k == 0:
+            prepared = self.flush_prepare(max_batch)
+            if prepared is None:
                 return 0
-            if self.detector is None:
-                raise RuntimeError(
-                    f"session {self.stream_id!r} flushed while evicted; "
-                    "the store must rehydrate first"
-                )
-            seqs = np.empty(k, dtype=np.int64)
-            rows = []
-            for j in range(k):
-                seq, row = self.queue.popleft()
-                self.enqueued_at.popleft()
-                seqs[j] = seq
-                rows.append(row)
-            a, f, drift, fine = self.detector.step_chunk(np.stack(rows))
-            for j in range(k):
-                self.results.append(
-                    {
-                        "seq": int(seqs[j]),
-                        "score": float(f[j]),
-                        "nonconformity": float(a[j]),
-                        "drift": bool(drift[j]),
-                        "finetuned": bool(fine[j]),
-                    }
-                )
-            self.scored += k
-            self.last_active = self._clock()
-            return k
+            seqs, waits, block = prepared
+            result = self.detector.step_chunk(block)
+            return self.flush_finish(seqs, waits, result)
 
     def collect(self, max_results: int | None = None) -> list[dict[str, Any]]:
         """Drain up to ``max_results`` scored results, in sequence order."""
@@ -228,6 +263,7 @@ class DetectorSession:
                 "n_evictions": self.n_evictions,
                 "n_rehydrations": self.n_rehydrations,
                 "idle_seconds": round(self.idle_seconds(now), 6),
+                "ingest_latency": self.latency.summary(),
             }
             if detector is not None and hasattr(detector, "events"):
                 info["n_finetunes"] = count_finetunes(detector.events)

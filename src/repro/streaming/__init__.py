@@ -7,6 +7,7 @@ from repro.streaming.checkpoint import (
 )
 from repro.streaming.corpus import CorpusResult, run_corpus
 from repro.streaming.ensemble import EnsembleDetector
+from repro.streaming.fleet import FleetEngine
 from repro.streaming.parallel import (
     CellFailure,
     CorpusCell,
@@ -23,6 +24,7 @@ __all__ = [
     "CorpusCell",
     "CorpusResult",
     "EnsembleDetector",
+    "FleetEngine",
     "GridResult",
     "ParallelCorpusRunner",
     "StreamResult",

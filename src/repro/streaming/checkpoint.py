@@ -11,14 +11,22 @@ load checkpoints you produced yourself.
 
 Versioning policy: ``CHECKPOINT_VERSION`` is bumped whenever the pickled
 detector structure changes in a way an older (or newer) library would
-silently mis-resume — *not* only when unpickling would crash.  Version 2
-covers the chunked-engine state (mirrored score ring, nonconformity
-snapshot/restore machinery, lazily materialized training sets) and the
-telemetry-free pickle contract: detectors never persist their telemetry
-sink (see ``StreamingAnomalyDetector.__getstate__``), so a restored
-detector always starts with the no-op default.  Version 1 checkpoints
-(pre-chunked-engine structures) are rejected rather than resumed with
-stale state.  Resume fidelity is pinned by
+silently mis-resume — *not* only when unpickling would crash.  Version 3
+covers the fused-fleet work: the batched forward uses tile geometry 1
+(``repro.models.base.BATCH_TILE``), whose GEMM row bits differ from the
+earlier fixed-tile layout, so a v2 checkpoint resumed here would diverge
+bitwise from its recorded scores mid-stream; nn modules also stopped
+pickling their forward-pass scratch (``Module.__getstate__``), which
+changes the payload structure and makes checkpoints identical whether or
+not the detector ever ran inside a :class:`~repro.streaming.fleet.FleetEngine`
+(arena row views pickle to the same bytes as standalone arrays).
+Version 2 covered the chunked-engine state (mirrored score ring,
+nonconformity snapshot/restore machinery, lazily materialized training
+sets) and the telemetry-free pickle contract: detectors never persist
+their telemetry sink (see ``StreamingAnomalyDetector.__getstate__``),
+so a restored detector always starts with the no-op default.  Older
+checkpoints are rejected rather than resumed with stale state.  Resume
+fidelity is pinned by
 ``tests/test_checkpoint_roundtrip.py``: a mid-stream save/load must
 reproduce the remaining score sequence bitwise for every registry
 algorithm and chunk size.
@@ -37,7 +45,7 @@ import numpy as np
 from repro.core.detector import StreamingAnomalyDetector
 
 #: bump when the detector's persisted structure changes incompatibly.
-CHECKPOINT_VERSION = 2
+CHECKPOINT_VERSION = 3
 
 
 def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:

@@ -1,0 +1,374 @@
+"""Cross-session fused inference: step K same-spec detectors as one fleet.
+
+An online service typically runs many sessions of the *same* algorithm
+spec (model class + hyperparameters + measure + learning strategy), one
+per monitored entity.  Stepping them one by one leaves most of the
+per-step cost in Python/numpy dispatch overhead repeated K times.  The
+:class:`FleetEngine` fuses the happy path across sessions:
+
+- model weights live in a :class:`~repro.nn.arena.ParameterArena` —
+  each session's parameters are row views of shared ``(K, ...)`` stacks,
+  so one session-axis batched forward scores every session's block at
+  once (``np.matmul`` maps stacked operands to per-slice GEMMs, bitwise
+  identical to per-session calls);
+- the drift machinery is previewed session-vectorized: for the fusable
+  Task-2 strategies the fine-tune decisions are independent of the
+  anomaly scores, so a :class:`~repro.learning.drift.MuSigmaLane`
+  replays observe/should-finetune over ``(K, D)`` state *copies* before
+  anything is committed;
+- sessions whose preview fires (or that fail an eligibility check) fall
+  out of the fused call and run the stock per-session engine — their
+  state was never touched, so no rollback is needed — and rejoin the
+  fleet at the next drain automatically.
+
+Everything is gated on bitwise equivalence: a fused drain produces
+exactly the scores, events, counters and checkpoint state that K
+separate :meth:`~repro.core.detector.StreamingAnomalyDetector.step_chunk`
+calls would have produced (pinned by ``tests/test_fleet.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.detector import StreamingAnomalyDetector
+from repro.learning.drift import (
+    MuSigmaChange,
+    MuSigmaLane,
+    NeverFineTune,
+    RegularFineTuning,
+)
+from repro.learning.sliding_window import SlidingWindow
+from repro.nn.arena import FleetIncompatible, ParameterArena
+
+#: Block results as returned by ``step_chunk``: (nonconformities,
+#: scores, drift flags, fine-tune flags), each aligned with the block.
+BlockResult = tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+_FUSABLE_DRIFT = (MuSigmaChange, RegularFineTuning, NeverFineTune)
+
+
+class FleetEngine:
+    """Step a fleet of same-spec detectors through fused kernels.
+
+    Args:
+        detectors: the member sessions.  They should share one algorithm
+            spec; members that do not (or that are in a non-fusable
+            state) are transparently stepped through their own
+            per-session engine.
+
+    The engine owns no session state: detectors can be stepped outside
+    the fleet between drains, checkpointed, or removed at any time.  The
+    weight arena attaches row views to the members' parameters lazily
+    and survives in-place fine-tunes; it is rebuilt automatically if a
+    member's parameters are rebound (e.g. ``load_state``).
+    """
+
+    def __init__(self, detectors: list[StreamingAnomalyDetector]) -> None:
+        if not detectors:
+            raise ValueError("fleet needs at least one detector")
+        self.detectors = list(detectors)
+        self._arena: ParameterArena | None = None
+        self._arena_unfusable = False
+        #: cumulative step counters by lane, for manifests/stats.
+        self.fused_steps = 0
+        self.dirty_steps = 0
+        self.stock_steps = 0
+        self.drains = 0
+        #: per-drain breakdown of the last :meth:`step_chunk` call.
+        self.last_drain: dict = {"fused": [], "dirty": [], "stock": []}
+
+    # ------------------------------------------------------------------
+    def step_chunk(self, blocks: list[np.ndarray]) -> list[BlockResult]:
+        """Step detector ``k`` through ``blocks[k]``, fusing where possible.
+
+        Bitwise equivalent to ``[det.step_chunk(b) for det, b in
+        zip(self.detectors, blocks)]`` — including checkpoint state, drift
+        events and op counters — for any mix of fused/dirty/stock lanes.
+        """
+        if len(blocks) != len(self.detectors):
+            raise ValueError(
+                f"expected {len(self.detectors)} blocks, got {len(blocks)}"
+            )
+        self.drains += 1
+        results: list[BlockResult | None] = [None] * len(self.detectors)
+        self.last_drain = {"fused": [], "dirty": [], "stock": []}
+
+        # Pass 1: static eligibility + fleet uniformity (no state touched).
+        candidates: list[tuple[int, np.ndarray]] = []
+        reference: StreamingAnomalyDetector | None = None
+        for k, raw in enumerate(blocks):
+            block = np.atleast_2d(np.asarray(raw, dtype=np.float64))
+            det = self.detectors[k]
+            if not self._eligible(det, block) or (
+                reference is not None and not self._uniform(reference, det)
+            ):
+                self.last_drain["stock"].append(k)
+                self.stock_steps += len(block)
+                results[k] = det.step_chunk(raw)
+                continue
+            if reference is None:
+                reference = det
+            candidates.append((k, block))
+        if not candidates:
+            return results  # type: ignore[return-value]
+
+        # Pass 2: push windows (shared with the stock path) and preview
+        # the drift decisions on state copies.
+        pushed: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for k, block in candidates:
+            windows, n_cold = self.detectors[k].buffer.push_block(block)
+            assert n_cold == 0  # guaranteed by the warm-buffer check
+            pushed.append((k, block, windows))
+        fired_at = self._preview_drift(pushed)
+
+        clean: list[tuple[int, np.ndarray]] = []
+        for i, (k, block, windows) in enumerate(pushed):
+            if fired_at[i] >= 0:
+                # Divergent session: windows are pushed, state untouched —
+                # run the exact per-session segment machinery.
+                self.last_drain["dirty"].append(k)
+                self.dirty_steps += len(windows)
+                results[k] = self._run_stock(k, windows)
+            else:
+                clean.append((i, k))
+        if not clean:
+            return results  # type: ignore[return-value]
+
+        # Pass 3: one fused forward for every clean session, then commit.
+        predictions = self._fused_predictions(
+            {k: pushed[i][2] for i, k in clean}
+        )
+        if predictions is None:
+            # Arena unavailable: fall back to the stock segment loop.
+            for i, k in clean:
+                windows = pushed[i][2]
+                self.last_drain["stock"].append(k)
+                self.stock_steps += len(windows)
+                results[k] = self._run_stock(k, windows)
+            return results  # type: ignore[return-value]
+        for i, k in clean:
+            windows = pushed[i][2]
+            self.last_drain["fused"].append(k)
+            self.fused_steps += len(windows)
+            results[k] = self._commit_clean(k, windows, predictions[k])
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def _eligible(self, det: StreamingAnomalyDetector, block: np.ndarray) -> bool:
+        """Can this session's block take the fused happy path at all?"""
+        if len(block) == 0 or det.telemetry.enabled:
+            return False
+        if not det.model.is_fitted or det.model.fleet_modules() is None:
+            return False
+        if det.n_channels is None or block.shape[1] != det.n_channels:
+            return False
+        if not det.buffer.is_warm:
+            return False
+        if type(det.train_strategy) is not SlidingWindow:
+            return False
+        if not det.nonconformity.supports_fused:
+            return False
+        drift = det.drift_detector
+        if type(drift) is MuSigmaChange:
+            if not drift.fuse_ready:
+                return False
+        elif type(drift) not in (RegularFineTuning, NeverFineTune):
+            return False
+        return bool(np.isfinite(block).all())
+
+    @staticmethod
+    def _uniform(
+        ref: StreamingAnomalyDetector, det: StreamingAnomalyDetector
+    ) -> bool:
+        """Does ``det`` share the fleet spec of the reference session?"""
+        if type(det.model) is not type(ref.model):
+            return False
+        if type(det.nonconformity) is not type(ref.nonconformity):
+            return False
+        # Same window geometry, or the session-axis stack won't line up.
+        if det.buffer._ring.shape != ref.buffer._ring.shape:
+            return False
+        if type(det.buffer.representation) is not type(ref.buffer.representation):
+            return False
+        a, b = det.drift_detector, ref.drift_detector
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, MuSigmaChange):
+            return a.aggregate == b.aggregate and a.std_factor == b.std_factor
+        if isinstance(a, RegularFineTuning):
+            return a.interval == b.interval
+        return True
+
+    # ------------------------------------------------------------------
+    def _preview_drift(
+        self, pushed: list[tuple[int, np.ndarray, np.ndarray]]
+    ) -> np.ndarray:
+        """First previewed fine-tune step per session, -1 when none.
+
+        For the fusable Task-2 strategies the decision sequence is a
+        function of the training-set updates (never the scores), so it
+        can be computed before any scoring — on copies, so divergent
+        sessions keep their state untouched.
+        """
+        n = len(pushed)
+        fired_at = np.full(n, -1, dtype=np.int64)
+        drift0 = self.detectors[pushed[0][0]].drift_detector
+        if isinstance(drift0, NeverFineTune):
+            return fired_at
+        if isinstance(drift0, RegularFineTuning):
+            interval = drift0.interval
+            for i, (k, _, windows) in enumerate(pushed):
+                t0 = self.detectors[k].t
+                t_next = (t0 // interval + 1) * interval
+                if t_next <= t0 + len(windows):
+                    fired_at[i] = t_next - t0 - 1
+            return fired_at
+
+        # μ/σ-Change: vectorized (K, D) replay over state copies.
+        lengths = np.array([len(w) for _, _, w in pushed])
+        b_max = int(lengths.max())
+        dim = pushed[0][2][0].size
+        added = np.zeros((n, b_max, dim), dtype=np.float64)
+        removed = np.zeros_like(added)
+        replaced = np.zeros((n, b_max), dtype=bool)
+        for i, (k, _, windows) in enumerate(pushed):
+            b = len(windows)
+            added[i, :b] = windows.reshape(b, -1)
+            rep, rem = self.detectors[k].train_strategy.preview_block(windows)
+            replaced[i, :b] = rep
+            removed[i, :b] = rem.reshape(b, -1)
+        lane = MuSigmaLane(
+            [self.detectors[k].drift_detector for k, _, _ in pushed]
+        )
+        self._lane = lane  # kept for the clean-session commit
+        alive = np.ones(n, dtype=bool)
+        for j in range(b_max):
+            active = alive & (j < lengths)
+            if not active.any():
+                break
+            idx = np.flatnonzero(active)
+            fired = lane.step(
+                idx, added[idx, j], removed[idx, j], replaced[idx, j]
+            )
+            newly = idx[fired]
+            fired_at[newly] = j
+            alive[newly] = False
+        self._replaced_counts = replaced.sum(axis=1)
+        self._preview_index = {k: i for i, (k, _, _) in enumerate(pushed)}
+        return fired_at
+
+    # ------------------------------------------------------------------
+    def _fused_predictions(
+        self, windows_by_session: dict[int, np.ndarray]
+    ) -> dict[int, np.ndarray] | None:
+        """One session-axis batched forward over every clean session.
+
+        Returns per-session predictions bitwise identical to
+        ``model.predict_batch`` per session, or ``None`` when no arena
+        can be built (the caller then falls back to the stock path).
+        """
+        arena = self._ensure_arena()
+        if arena is None:
+            return None
+        model_cls = type(self.detectors[0].model)
+        models = [det.model for det in self.detectors]
+        first = next(iter(windows_by_session.values()))
+        empty = np.empty((0,) + first.shape[1:], dtype=np.float64)
+        windows_list = [
+            windows_by_session.get(k, empty)
+            for k in range(len(self.detectors))
+        ]
+        outputs = model_cls.fleet_predict_batch(
+            models, arena.mirror, windows_list
+        )
+        return {k: outputs[k] for k in windows_by_session}
+
+    def _ensure_arena(self) -> ParameterArena | None:
+        if self._arena_unfusable:
+            return None
+        if self._arena is None or not self._arena.synced():
+            try:
+                self._arena = ParameterArena(
+                    [det.model.fleet_modules() for det in self.detectors]
+                )
+            except FleetIncompatible:
+                self._arena_unfusable = True
+                self._arena = None
+        return self._arena
+
+    # ------------------------------------------------------------------
+    def _run_stock(self, k: int, windows: np.ndarray) -> BlockResult:
+        """Per-session segment loop over already-pushed windows."""
+        det = self.detectors[k]
+        n = len(windows)
+        a_out = np.zeros(n, dtype=np.float64)
+        f_out = np.zeros(n, dtype=np.float64)
+        drift_out = np.zeros(n, dtype=bool)
+        fine_out = np.zeros(n, dtype=bool)
+        det._process_windows(windows, 0, n, a_out, f_out, drift_out, fine_out)
+        return a_out, f_out, drift_out, fine_out
+
+    def _commit_clean(
+        self, k: int, windows: np.ndarray, predictions: np.ndarray
+    ) -> BlockResult:
+        """Score and commit a session whose preview showed no fine-tune.
+
+        Replays exactly what the stock segment loop would have done for a
+        fire-free block: fold the precursors through the measure, batch
+        the scorer, extend the training set, advance the drift state and
+        the clock.  Output drift/fine flags are all False by construction.
+        """
+        det = self.detectors[k]
+        n = len(windows)
+        measure = det.nonconformity
+        precursors = measure.from_predictions(windows, predictions, det.model)
+        if measure.stateless_consume:
+            a_out = np.asarray(precursors, dtype=np.float64)
+        else:
+            a_out = np.empty(n, dtype=np.float64)
+            for j in range(n):
+                a_out[j] = measure.consume(precursors, j, windows[j], det.model)
+        f_out = np.asarray(det.scorer.update_batch(a_out), dtype=np.float64)
+        if det.first_scored_step is None:
+            det.first_scored_step = det.t + 1
+        det.train_strategy.commit_block(windows)
+        drift = det.drift_detector
+        if isinstance(drift, MuSigmaChange):
+            i = self._preview_index[k]
+            n_replaced = int(self._replaced_counts[i])
+            self._lane.commit(i, drift, n - n_replaced, n_replaced, n)
+        elif isinstance(drift, RegularFineTuning):
+            drift.ops.comparisons += n
+        det.t += n
+        return (
+            a_out,
+            f_out,
+            np.zeros(n, dtype=bool),
+            np.zeros(n, dtype=bool),
+        )
+
+    # ------------------------------------------------------------------
+    def manifest(self) -> dict:
+        """JSON-safe summary of the fleet for stats endpoints and logs."""
+        arena = self._arena
+        arena_info: dict = {"built": arena is not None}
+        if arena is not None:
+            arena_info.update(
+                synced=arena.synced(),
+                stacks=len(arena._bindings),
+                bytes=int(
+                    sum(stack.nbytes for _, stack in arena._bindings)
+                ),
+            )
+        total = self.fused_steps + self.dirty_steps + self.stock_steps
+        return {
+            "sessions": len(self.detectors),
+            "drains": self.drains,
+            "fused_steps": self.fused_steps,
+            "dirty_steps": self.dirty_steps,
+            "stock_steps": self.stock_steps,
+            "fused_fraction": (self.fused_steps / total) if total else 0.0,
+            "arena": arena_info,
+            "last_drain": self.last_drain,
+        }

@@ -112,7 +112,10 @@ def run_stream(
             stop = start + len(block)
             scores[start:stop] = f_block
             nonconformities[start:stop] = a_block
-            drift_steps.extend((start + np.flatnonzero(drift_block)).tolist())
+            if drift_block.any():
+                drift_steps.extend(
+                    (start + np.flatnonzero(drift_block)).tolist()
+                )
             if progress_every:
                 # Emit the same marks the per-step loop would have hit.
                 first = -(-max(start, 1) // progress_every) * progress_every

@@ -19,6 +19,7 @@ BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_parallel_speedup.py"
 METRICS_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_metrics.py"
 STREAM_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_runtime_models.py"
 SERVE_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_serve.py"
+FLEET_BENCH_SCRIPT = REPO_ROOT / "benchmarks" / "bench_fleet.py"
 
 
 def test_bench_parallel_smoke(tmp_path):
@@ -174,3 +175,49 @@ def test_bench_serve_smoke(tmp_path):
     # at smoke scale; the benchmark asserts it before writing any number.
     assert payload["equivalence"]["bitwise_identical"] is True
     assert payload["wire"]["points_per_second"] > 0
+
+
+def test_bench_fleet_smoke(tmp_path):
+    out = tmp_path / "BENCH_fleet.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [sys.executable, str(FLEET_BENCH_SCRIPT), "--fast", "--out", str(out)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "fast"
+    for key in (
+        "generated_by",
+        "cpu_count",
+        "spec",
+        "max_batch",
+        "n_points_per_session",
+        "fleet",
+        "serve",
+        "equivalence",
+    ):
+        assert key in payload
+    assert len(payload["fleet"]) == 2  # fast mode: K in {1, 4}
+    for row in payload["fleet"]:
+        for key in (
+            "sessions",
+            "per_session_points_per_second",
+            "fused_points_per_second",
+            "speedup_fused_vs_per_session",
+            "fused_fraction",
+        ):
+            assert key in row
+        # Correctness claim (fused == per-session step_chunk, bitwise)
+        # holds even at smoke scale; the 2x throughput claim is asserted
+        # only by the full run that writes the committed numbers.
+        assert row["equivalence_bitwise"] is True
+        assert row["fused_fraction"] > 0
+    assert payload["equivalence"]["bitwise_identical"] is True
+    for key in ("fused_points_per_second", "per_session_points_per_second"):
+        assert payload["serve"][key] > 0

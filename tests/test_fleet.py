@@ -1,0 +1,332 @@
+"""Bitwise-identity property tests for cross-session fused inference.
+
+The contract under test: :meth:`FleetEngine.step_chunk` over K same-spec
+detectors produces exactly the outputs *and* the detector state that K
+separate per-session :meth:`step_chunk` calls would have produced — for
+any fleet size, any chunk size, and any mix of clean / diverging /
+ineligible sessions.  Since ``step_chunk`` is itself pinned bitwise to
+``step()`` (``tests/test_chunked_stream.py``), this transitively pins the
+fused path to the sequential reference.
+
+The suite also pins the numerical substrate the fusion relies on (the
+"kernel probes"): session-axis stacked ``np.matmul`` slices, row-mean
+reductions, scatter adds and the zero-removed-row replay must be
+bit-identical to their per-session counterparts on this BLAS build —
+if a probe fails on some platform, the fused path is *wrong there*, not
+merely different.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.registry import AlgorithmSpec, build_detector
+from repro.datasets.corpora import make_daphnet
+from repro.models.base import BATCH_TILE, tiled_forward
+from repro.nn.arena import FleetIncompatible, ParameterArena
+from repro.streaming.checkpoint import load_detector, save_detector
+from repro.streaming.fleet import FleetEngine
+
+CONFIG = DetectorConfig(window=8, train_capacity=32, fit_epochs=2, kswin_check_every=8)
+WARMUP = 150
+
+#: registry slice with fleet support: session-axis batchable models ×
+#: the fusable Task-2 strategies.
+FLEET_SPECS = (
+    AlgorithmSpec("ae", "sw", "musigma"),
+    AlgorithmSpec("usad", "sw", "musigma"),
+    AlgorithmSpec("nbeats", "sw", "regular"),
+    AlgorithmSpec("ae", "sw", "never"),
+)
+
+#: (K, chunk) grid: fleet sizes {1, 3, 8} × chunk sizes {1, 7, 64},
+#: sampled so each axis value appears with several of the other's.
+FLEET_SHAPES = ((1, 7), (3, 1), (3, 64), (8, 7))
+
+
+def _series(k: int, n_steps: int = 600):
+    return make_daphnet(n_series=1, n_steps=n_steps, clean_prefix=200, seed=k)[0]
+
+
+def _build_fleet(spec: AlgorithmSpec, k_sessions: int, values_by_k):
+    """K warmed-up detectors, deterministically reproducible."""
+    detectors = []
+    for k in range(k_sessions):
+        det = build_detector(spec, _series(k).n_channels, CONFIG)
+        for t in range(WARMUP):
+            det.step(values_by_k[k][t])
+        detectors.append(det)
+    return detectors
+
+
+def state_fingerprint(det) -> bytes:
+    """Every piece of detector state the equivalence contract pins."""
+    drift = det.drift_detector
+    drift_state = (drift.ops.additions, drift.ops.multiplications, drift.ops.comparisons)
+    if getattr(drift, "_sum", None) is not None:
+        drift_state += (
+            drift._sum.tobytes(),
+            drift._sumsq.tobytes(),
+            drift._count,
+            drift._ref_mean.tobytes(),
+            drift._ref_std.tobytes(),
+        )
+    return pickle.dumps(
+        {
+            "t": det.t,
+            "first": det.first_scored_step,
+            "train_set": [x.tobytes() for x in det.train_strategy._deque],
+            "drift": drift_state,
+            "ring": det.buffer._ring.tobytes(),
+            "pos": det.buffer._pos,
+            "count": det.buffer._count,
+            "scorer": pickle.dumps(det.scorer),
+            "params": [
+                p.value.tobytes()
+                for m in det.model.fleet_modules()
+                for p in m.parameters()
+            ],
+            "events": [(e.t, e.reason, e.train_set_size) for e in det.events],
+        }
+    )
+
+
+def _drain_both(spec, k_sessions, chunk, values_by_k, n_steps, shift=None):
+    """Run fused vs per-session over identical streams; return both fleets."""
+    values = [v.copy() for v in values_by_k]
+    if shift is not None:
+        for k, start, delta in shift:
+            values[k][start:] += delta
+    fused_dets = _build_fleet(spec, k_sessions, values)
+    ref_dets = _build_fleet(spec, k_sessions, values)
+    fleet = FleetEngine(fused_dets)
+    for start in range(WARMUP, WARMUP + n_steps, chunk):
+        end = min(start + chunk, WARMUP + n_steps)
+        blocks = [v[start:end] for v in values]
+        fused = fleet.step_chunk(blocks)
+        for k in range(k_sessions):
+            reference = ref_dets[k].step_chunk(blocks[k])
+            for got, want in zip(fused[k], reference):
+                assert got.tobytes() == want.tobytes()
+    return fleet, fused_dets, ref_dets
+
+
+# ----------------------------------------------------------------------
+# fused == per-session across the registry slice × fleet shapes
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "spec", FLEET_SPECS, ids=lambda s: f"{s.model}+{s.task1}+{s.task2}"
+)
+@pytest.mark.parametrize("k_sessions,chunk", FLEET_SHAPES)
+def test_fleet_matches_per_session_bitwise(spec, k_sessions, chunk):
+    values = [_series(k).values for k in range(k_sessions)]
+    fleet, fused_dets, ref_dets = _drain_both(
+        spec, k_sessions, chunk, values, n_steps=192
+    )
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
+    manifest = fleet.manifest()
+    assert manifest["sessions"] == k_sessions
+    total = (
+        manifest["fused_steps"] + manifest["dirty_steps"] + manifest["stock_steps"]
+    )
+    assert total == k_sessions * 192
+
+
+def test_fleet_divergence_and_rejoin_bitwise():
+    """Sessions that fire mid-fleet drop to the dirty lane and rejoin."""
+    spec = AlgorithmSpec("ae", "sw", "musigma")
+    values = [_series(k).values for k in range(4)]
+    fleet, fused_dets, ref_dets = _drain_both(
+        spec,
+        4,
+        16,
+        values,
+        n_steps=320,
+        shift=[(1, 250, 6.0), (3, 400, 9.0)],
+    )
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
+    # The shifted sessions must actually have diverged (fine-tuned) and
+    # the fleet must still have fused the quiet majority.
+    assert fused_dets[1].n_finetunes > 0 and fused_dets[3].n_finetunes > 0
+    manifest = fleet.manifest()
+    assert manifest["dirty_steps"] > 0
+    assert manifest["fused_steps"] > manifest["dirty_steps"]
+
+
+def test_fleet_mixed_specs_fall_back_to_stock():
+    """A non-uniform member is stepped through its own engine, bitwise."""
+    values = [_series(k).values for k in range(3)]
+    mixed = [
+        build_detector(AlgorithmSpec("ae", "sw", "musigma"), 9, CONFIG),
+        build_detector(AlgorithmSpec("usad", "sw", "musigma"), 9, CONFIG),
+        build_detector(AlgorithmSpec("ae", "sw", "musigma"), 9, CONFIG),
+    ]
+    reference = [
+        build_detector(AlgorithmSpec("ae", "sw", "musigma"), 9, CONFIG),
+        build_detector(AlgorithmSpec("usad", "sw", "musigma"), 9, CONFIG),
+        build_detector(AlgorithmSpec("ae", "sw", "musigma"), 9, CONFIG),
+    ]
+    for k in range(3):
+        for t in range(WARMUP):
+            mixed[k].step(values[k][t])
+            reference[k].step(values[k][t])
+    fleet = FleetEngine(mixed)
+    for start in range(WARMUP, WARMUP + 96, 16):
+        blocks = [v[start : start + 16] for v in values]
+        fused = fleet.step_chunk(blocks)
+        for k in range(3):
+            want = reference[k].step_chunk(blocks[k])
+            for got, expected in zip(fused[k], want):
+                assert got.tobytes() == expected.tobytes()
+    assert 1 in fleet.last_drain["stock"]  # the usad member never fuses
+    for fused_det, ref_det in zip(mixed, reference):
+        assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
+
+
+# ----------------------------------------------------------------------
+# arena attach / detach / checkpoint round-trips
+# ----------------------------------------------------------------------
+def test_fleet_member_checkpoint_bitwise_vs_unfused():
+    """A fleet member's checkpoint equals the never-fused detector's."""
+    spec = AlgorithmSpec("ae", "sw", "musigma")
+    values = [_series(k).values for k in range(3)]
+    fleet, fused_dets, ref_dets = _drain_both(spec, 3, 16, values, n_steps=96)
+    assert fleet._arena is not None and fleet._arena.synced()
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        # Arena row views must pickle to the same bytes as standalone
+        # arrays — a spilled fleet member is indistinguishable from one
+        # that never joined a fleet.
+        assert pickle.dumps(fused_det) == pickle.dumps(ref_det)
+
+
+def test_fleet_detach_reattach_round_trip(tmp_path):
+    """Detach → checkpoint → reload → rejoin stays bitwise."""
+    spec = AlgorithmSpec("usad", "sw", "musigma")
+    values = [_series(k).values for k in range(3)]
+    fleet, fused_dets, ref_dets = _drain_both(spec, 3, 16, values, n_steps=96)
+    arena = fleet._arena
+    assert arena is not None
+    # Detach one session: its parameters become standalone arrays with
+    # unchanged bits; the other rows keep their arena views.
+    member = fused_dets[1]
+    before = [
+        p.value.copy()
+        for m in member.model.fleet_modules()
+        for p in m.parameters()
+    ]
+    arena.detach_row(1)
+    after = [
+        p.value for m in member.model.fleet_modules() for p in m.parameters()
+    ]
+    for want, got in zip(before, after):
+        assert got.base is None
+        assert got.tobytes() == want.tobytes()
+    # Round-trip the detached member through a checkpoint file.
+    path = tmp_path / "member.ckpt"
+    save_detector(member, path)
+    fused_dets[1] = load_detector(path)
+    fleet.detectors[1] = fused_dets[1]
+    # The next drain rebuilds the arena (the reloaded member's params are
+    # rebound) and the fleet keeps matching the reference bitwise.
+    assert not arena.synced()
+    for start in range(WARMUP + 96, WARMUP + 192, 16):
+        blocks = [v[start : start + 16] for v in values]
+        fused = fleet.step_chunk(blocks)
+        for k in range(3):
+            want = ref_dets[k].step_chunk(blocks[k])
+            for got, expected in zip(fused[k], want):
+                assert got.tobytes() == expected.tobytes()
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
+    assert fleet._arena.synced()
+
+
+def test_arena_survives_in_place_finetunes():
+    """Optimizer updates mutate arena rows in place; no rebuild needed."""
+    spec = AlgorithmSpec("ae", "sw", "regular")
+    values = [_series(k).values for k in range(3)]
+    fleet, fused_dets, _ = _drain_both(spec, 3, 16, values, n_steps=96)
+    assert any(det.n_finetunes > 0 for det in fused_dets)
+    assert fleet._arena is not None and fleet._arena.synced()
+
+
+def test_arena_rejects_mismatched_shapes():
+    specs = [
+        build_detector(AlgorithmSpec("ae", "sw", "never"), 9, CONFIG),
+        build_detector(
+            AlgorithmSpec("ae", "sw", "never"),
+            9,
+            DetectorConfig(window=12, train_capacity=32, fit_epochs=1),
+        ),
+    ]
+    values = _series(0).values
+    for det in specs:
+        for t in range(WARMUP):
+            det.step(values[t])
+    with pytest.raises(FleetIncompatible):
+        ParameterArena([det.model.fleet_modules() for det in specs])
+
+
+# ----------------------------------------------------------------------
+# kernel probes: the bitwise substrate of the fused path
+# ----------------------------------------------------------------------
+def test_probe_tiled_forward_matches_plain_gemm():
+    rng = np.random.default_rng(7)
+    w = rng.normal(size=(144, 36))
+    rows = rng.normal(size=(13, 144))
+    tiled = tiled_forward(lambda x: x @ w, rows)
+    plain = np.stack([row[None] @ w for row in rows])[:, 0]
+    assert tiled.tobytes() == plain.tobytes()
+    assert BATCH_TILE == 1  # chunk-1 latency depends on zero padding waste
+
+
+def test_probe_session_axis_matmul_slices():
+    rng = np.random.default_rng(8)
+    stack = rng.normal(size=(5, 7, 1, 36))
+    w = rng.normal(size=(36, 17))
+    fused = stack @ w
+    for k in range(5):
+        assert fused[k].tobytes() == (stack[k] @ w).tobytes()
+        for t in range(7):
+            assert fused[k, t].tobytes() == (stack[k, t] @ w).tobytes()
+
+
+def test_probe_row_mean_matches_per_row():
+    rng = np.random.default_rng(9)
+    for dim in (1, 16, 17, 144):
+        block = rng.normal(size=(6, dim))
+        fused = block.mean(axis=1)
+        for i in range(6):
+            assert fused[i] == block[i].mean()
+        gathered = block[np.array([4, 1, 3])]
+        assert gathered.mean(axis=1).tobytes() == np.array(
+            [block[4].mean(), block[1].mean(), block[3].mean()]
+        ).tobytes()
+
+
+def test_probe_scatter_add_matches_per_row():
+    rng = np.random.default_rng(10)
+    base = rng.normal(size=(5, 12))
+    add = rng.normal(size=(3, 12))
+    idx = np.array([0, 2, 4])
+    scattered = base.copy()
+    scattered[idx] += add
+    looped = base.copy()
+    for j, k in enumerate(idx):
+        looped[k] += add[j]
+    assert scattered.tobytes() == looped.tobytes()
+
+
+def test_probe_zero_removed_row_replay():
+    """x + (a - 0.0) and x + (a² - 0.0²) are bit-identical to appends."""
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=72)
+    a = rng.normal(size=72)
+    assert (x + (a - 0.0)).tobytes() == (x + a).tobytes()
+    assert (x + (a**2 - 0.0**2)).tobytes() == (x + a**2).tobytes()
