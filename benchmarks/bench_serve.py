@@ -8,12 +8,21 @@ sequence bookkeeping, scheduling, result buffering).  A separate row
 measures the in-process wire client, which adds JSON encode/decode on
 top.
 
-Before any number is written, one served stream is asserted bitwise
-identical to the offline ``batch_size=1`` ``run_stream`` reference —
-throughput numbers for a service that changed the scores would be
-meaningless.  Results land in ``BENCH_serve.json`` at the repo root.
+A ``sharded`` section measures the multi-process fleet
+(:mod:`repro.serve.router`): aggregate points/s over real worker
+processes at 1/2/4 workers with concurrent per-stream drivers, plus the
+per-worker scaling curve.  ``cpu_count`` is recorded alongside — scaling
+past 1x needs cores to scale onto, and the >=2x-at-4-workers assertion
+only arms on a machine with at least 4.
 
-Run as a script (``python benchmarks/bench_serve.py [--fast]``).
+Before any number is written, one served stream is asserted bitwise
+identical to the offline ``batch_size=1`` ``run_stream`` reference (for
+the fleet: including a live mid-stream migration) — throughput numbers
+for a service that changed the scores would be meaningless.  Results
+land in ``BENCH_serve.json`` at the repo root.
+
+Run as a script (``python benchmarks/bench_serve.py [--fast]
+[--no-workers]``).
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import threading
 import time
 from pathlib import Path
 
@@ -29,7 +39,13 @@ import numpy as np
 from repro.core.config import DetectorConfig
 from repro.core.registry import AlgorithmSpec, build_detector
 from repro.core.types import TimeSeries
-from repro.serve import DetectionService, ServeClient, ServeConfig
+from repro.serve import (
+    DetectionService,
+    RouterConfig,
+    RouterService,
+    ServeClient,
+    ServeConfig,
+)
 from repro.streaming.runner import run_stream
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -125,6 +141,162 @@ def wire_rate(values, max_batch):
     return len(values) / elapsed
 
 
+def _router(n_workers):
+    # Workers run with their own drain threads (real deployment shape);
+    # a small flush delay keeps the drain loops from busy-spinning while
+    # the driver's score(flush=True) calls still force progress.
+    return RouterService(
+        RouterConfig(
+            n_workers=n_workers,
+            worker=ServeConfig(
+                default_spec="+".join(SPEC),
+                max_batch=64,
+                max_delay_ms=2.0,
+                queue_limit=1024,
+                result_limit=4096,
+                per_session_telemetry=False,
+                detector=DetectorConfig(**CONFIG),
+            ),
+        )
+    )
+
+
+def _drive(client, stream, values, start_seq=0, slice_size=256):
+    """Ingest a series and collect every score, honoring backpressure.
+
+    Returns scores indexed by absolute sequence number minus
+    ``start_seq`` (a migrated/resumed stream keeps counting)."""
+    n = len(values)
+    by_seq: dict[int, float] = {}
+    sent = 0
+    while len(by_seq) < n:
+        if sent < n:
+            reply = client.ingest(stream, values[sent : sent + slice_size])
+            if reply.get("ok"):
+                sent += reply["accepted"]
+            else:
+                error = reply.get("error", {})
+                if error.get("type") != "queue_full":
+                    raise RuntimeError(f"ingest failed: {error}")
+                time.sleep(float(error.get("retry_after", 0.005)))
+        reply = client.score(stream, flush=True)
+        if not reply.get("ok"):
+            raise RuntimeError(f"score failed: {reply.get('error')}")
+        for result in reply["results"]:
+            by_seq[result["seq"] - start_seq] = result["score"]
+    return np.array([by_seq[i] for i in range(n)])
+
+
+def assert_shard_equivalence(values):
+    """Routed scores — including a live mid-stream migration — must be
+    bitwise identical to the offline reference before any fleet
+    throughput number is recorded."""
+    router = _router(2)
+    try:
+        client = ServeClient(router)
+        reply = client.create("check", n_channels=N_CHANNELS)
+        assert reply.get("ok"), reply
+        cut = len(values) // 2
+        first = _drive(client, "check", values[:cut])
+        router.migrate("check", 1 - reply["worker"])
+        rest = _drive(client, "check", values[cut:], start_seq=cut)
+    finally:
+        router.shutdown()
+    served = np.concatenate([first, rest])
+    series = TimeSeries(values=values, labels=np.zeros(len(values), dtype=int))
+    offline = run_stream(_detector(), series, batch_size=1)
+    assert np.array_equal(served, offline.scores), (
+        "sharded served scores diverged from offline run_stream"
+    )
+    return True
+
+
+def shard_rate(values, n_streams, n_workers):
+    """Aggregate points/s through the router over real worker processes,
+    one concurrent driver thread per stream."""
+    router = _router(n_workers)
+    try:
+        client = ServeClient(router)
+        streams = [f"bench-{i}" for i in range(n_streams)]
+        for stream in streams:
+            reply = client.create(stream, n_channels=N_CHANNELS)
+            assert reply.get("ok"), reply
+        errors: list[BaseException] = []
+
+        def worker(stream):
+            try:
+                _drive(client, stream, values)
+            except BaseException as error:  # noqa: BLE001 — re-raised below
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=worker, args=(stream,)) for stream in streams
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        placement = {
+            stream: router.owner_of(stream) for stream in streams
+        }
+    finally:
+        router.shutdown()
+    return n_streams * len(values) / elapsed, placement
+
+
+def run_shard_benchmarks(fast: bool) -> dict:
+    n = 400 if fast else 1500
+    n_streams = 4 if fast else 8
+    worker_counts = (1, 2) if fast else (1, 2, 4)
+    values = make_values(n, seed=1)
+
+    identical = assert_shard_equivalence(values[: min(n, 500)])
+
+    rows = []
+    base_rate = None
+    for n_workers in worker_counts:
+        rate, placement = shard_rate(values, n_streams, n_workers)
+        if base_rate is None:
+            base_rate = rate
+        rows.append(
+            {
+                "workers": n_workers,
+                "streams": n_streams,
+                "points_per_second": rate,
+                "speedup_vs_1_worker": rate / base_rate,
+                "streams_per_worker": sorted(
+                    np.bincount(
+                        list(placement.values()), minlength=n_workers
+                    ).tolist()
+                ),
+            }
+        )
+    # Scaling is only demonstrable with cores to scale onto; on a 1-core
+    # box the honest result is ~1x and the assertion would be noise.
+    scaling_asserted = False
+    if not fast and (os.cpu_count() or 1) >= 4 and worker_counts[-1] >= 4:
+        four = next(r for r in rows if r["workers"] == 4)
+        assert four["speedup_vs_1_worker"] >= 2.0, (
+            f"expected >=2x at 4 workers on {os.cpu_count()} cores, got "
+            f"{four['speedup_vs_1_worker']:.2f}x"
+        )
+        scaling_asserted = True
+    return {
+        "n_points_per_stream": n,
+        "scaling": rows,
+        "equivalence": {
+            "bitwise_identical": identical,
+            "includes_live_migration": True,
+            "reference": "run_stream(batch_size=1)",
+        },
+        "scaling_asserted": scaling_asserted,
+    }
+
+
 def assert_equivalence(values, max_batch=32):
     """Served scores == offline run_stream (batch_size=1), bitwise."""
     service = _service(1, max_batch)
@@ -139,7 +311,7 @@ def assert_equivalence(values, max_batch=32):
     return True
 
 
-def run_benchmarks(fast: bool = False) -> dict:
+def run_benchmarks(fast: bool = False, workers: bool = True) -> dict:
     n = 800 if fast else 4000
     session_counts = (1, 4) if fast else (1, 4, 16)
     batch_sizes = (1, 64) if fast else (1, 16, 128)
@@ -178,6 +350,7 @@ def run_benchmarks(fast: bool = False) -> dict:
             "bitwise_identical": identical,
             "reference": "run_stream(batch_size=1)",
         },
+        "sharded": run_shard_benchmarks(fast) if workers else None,
     }
 
 
@@ -193,9 +366,14 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="smoke-test scale (used by the test-suite invocation)",
     )
+    parser.add_argument(
+        "--no-workers",
+        action="store_true",
+        help="skip the sharded multi-process scaling section",
+    )
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     args = parser.parse_args(argv)
-    payload = run_benchmarks(fast=args.fast)
+    payload = run_benchmarks(fast=args.fast, workers=not args.no_workers)
     out = write_results(payload, args.out)
     print(json.dumps(payload, indent=2))
     print(f"results written to {out}")

@@ -147,6 +147,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queue-limit", type=int, default=512,
                        dest="queue_limit",
                        help="per-session ingest queue bound (backpressure)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="shard the service over this many worker "
+                            "processes behind a consistent-hash router "
+                            "(0 = single in-process service)")
+    serve.add_argument("--rebalance-p99-ms", type=float, default=None,
+                       dest="rebalance_p99_ms",
+                       help="router only: migrate streams off a shard whose "
+                            "merged ingest-latency p99 exceeds this many ms")
+    serve.add_argument("--maintenance-interval", type=float, default=5.0,
+                       dest="maintenance_interval",
+                       help="router only: seconds between fleet health "
+                            "sweeps (worker respawn + rebalance check)")
     serve.add_argument("--idle-timeout", type=float, default=None,
                        dest="idle_timeout",
                        help="spill sessions idle this many seconds even "
@@ -183,14 +195,26 @@ def _write_manifest(
 
 
 def _run_serve(args: argparse.Namespace) -> int:
-    """Run the online detection service until shutdown (op or Ctrl-C)."""
-    from repro.serve import DetectionServer, DetectionService, ServeConfig
+    """Run the online detection service until shutdown (op or Ctrl-C).
+
+    ``--workers N`` (N >= 1) runs the sharded fleet instead: N worker
+    processes, each one a full :class:`DetectionService`, behind a
+    consistent-hash :class:`~repro.serve.router.RouterService` speaking
+    the same protocol on the same port.
+    """
+    from repro.serve import (
+        DetectionServer,
+        DetectionService,
+        RouterConfig,
+        RouterService,
+        ServeConfig,
+    )
 
     config = ServeConfig(
         default_spec=args.spec,
         scorer=args.scorer,
         max_sessions=args.max_sessions,
-        spill_dir=args.spill_dir,
+        spill_dir=None if args.workers > 0 else args.spill_dir,
         max_batch=args.max_batch,
         max_delay_ms=args.max_delay_ms,
         queue_limit=args.queue_limit,
@@ -202,12 +226,31 @@ def _run_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
         ),
     )
-    service = DetectionService(config)
+    if args.workers > 0:
+        service = RouterService(
+            RouterConfig(
+                n_workers=args.workers,
+                host=args.host,
+                spill_dir=args.spill_dir,
+                worker=config,
+                hot_p99_s=(
+                    args.rebalance_p99_ms / 1000.0
+                    if args.rebalance_p99_ms is not None
+                    else None
+                ),
+                maintenance_interval_s=args.maintenance_interval,
+            )
+        )
+        spill_dir = service.spill_root
+    else:
+        service = DetectionService(config)
+        spill_dir = service.spill_dir
     server = DetectionServer((args.host, args.port), service)
     host, port = server.server_address[:2]
+    workers = f", {args.workers} workers" if args.workers > 0 else ""
     print(
         f"serving on {host}:{port} (default spec {args.spec}, "
-        f"spill dir {service.spill_dir})",
+        f"spill dir {spill_dir}{workers})",
         flush=True,
     )
     started = time.perf_counter()

@@ -59,6 +59,15 @@ CORE_COUNTERS = (
     "batches_flushed",
     "ingest_rejected",
     "drain_blocked",
+    # repro.serve.router shard-fleet counters (consistent-hash routing,
+    # live migration, worker supervision).
+    "sessions_adopted",
+    "sessions_migrated",
+    "workers_respawned",
+    "streams_recovered",
+    "streams_restarted",
+    "rebalances",
+    "orphaned_spills",
 )
 
 #: Span keys recorded by the detector's per-step loop (the chunked engine

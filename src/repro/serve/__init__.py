@@ -18,10 +18,15 @@ Layers (zero new dependencies — stdlib + numpy):
   rehydration, bitwise-identical resume);
 - :mod:`repro.serve.protocol` / :mod:`repro.serve.server` — the
   JSON-lines wire protocol, the threading TCP server, and in-process /
-  socket clients.
+  socket clients;
+- :mod:`repro.serve.router` / :mod:`repro.serve.worker` — the sharded
+  fleet: N worker processes (one service each) behind a consistent-hash
+  router with live session migration, worker supervision and fleet-wide
+  stats rollups.
 
 CLI: ``python -m repro.experiments.cli serve --port 8765 --spec
-ae+sw+kswin``.  See ``docs/architecture.md`` ("Serving") and
+ae+sw+kswin`` (add ``--workers 4`` for the sharded fleet).  See
+``docs/architecture.md`` ("Serving" / "Sharded serving") and
 ``examples/live_service.py``.
 """
 
@@ -36,6 +41,13 @@ from repro.serve.protocol import (
     ok_reply,
     parse_request,
 )
+from repro.serve.router import (
+    HashRing,
+    RouterConfig,
+    RouterService,
+    WorkerDown,
+    WorkerHandle,
+)
 from repro.serve.scheduler import MicroBatchScheduler, QueueFull, SchedulerConfig
 from repro.serve.server import (
     BaseServeClient,
@@ -49,9 +61,11 @@ from repro.serve.session import DetectorSession
 from repro.serve.state import (
     DuplicateSessionError,
     SessionStore,
+    SpillCollisionError,
     UnknownSessionError,
     spill_filename,
 )
+from repro.serve.worker import serve_config_from_payload, serve_config_to_payload
 
 __all__ = [
     "ERROR_TYPES",
@@ -62,19 +76,27 @@ __all__ = [
     "DetectionService",
     "DetectorSession",
     "DuplicateSessionError",
+    "HashRing",
     "MicroBatchScheduler",
     "ProtocolError",
     "QueueFull",
+    "RouterConfig",
+    "RouterService",
     "SchedulerConfig",
     "ServeClient",
     "ServeConfig",
     "SessionStore",
     "SocketServeClient",
+    "SpillCollisionError",
     "UnknownSessionError",
+    "WorkerDown",
+    "WorkerHandle",
     "decode_line",
     "encode",
     "error_reply",
     "ok_reply",
     "parse_request",
+    "serve_config_from_payload",
+    "serve_config_to_payload",
     "spill_filename",
 ]

@@ -21,6 +21,10 @@ verbatim in the reply.  Verbs:
     as ``"ae+sw+kswin"``; optional when the server has a default),
     ``n_channels`` (required), optional ``config`` (a dict of
     :class:`~repro.core.config.DetectorConfig` fields) and ``scorer``.
+    Optional ``resume`` (``{"seq": N}``) opens the session from a spill
+    checkpoint already placed in the server's spill directory instead of
+    building a fresh detector — the receiving end of a live migration or
+    crash recovery; ``seq`` continues the source's sequence numbering.
 ``ingest``
     Append ``points`` (a ``[B][N]`` nested list) to the session's ingest
     queue.  All-or-nothing: if the bounded queue cannot take the whole
@@ -34,7 +38,9 @@ verbatim in the reply.  Verbs:
     drift, finetuned}`` dicts in sequence order.
 ``stats``
     Per-session state + telemetry and the fleet-wide merged rollup;
-    ``stream`` restricts the reply to one session.
+    ``stream`` restricts the reply to one session, and
+    ``latency_windows: true`` includes each session's raw retained
+    latency samples (so a router can merge reservoirs fleet-wide).
 ``evict``
     Operational verb: flush then spill one session to the checkpoint
     directory (the store also evicts idle sessions on its own when over
@@ -72,7 +78,9 @@ ERROR_TYPES = (
     "bad_points",
     "duplicate_stream",
     "unknown_stream",
+    "spill_collision",
     "queue_full",
+    "worker_down",
     "internal",
 )
 

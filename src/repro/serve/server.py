@@ -58,6 +58,7 @@ from repro.serve.session import DetectorSession
 from repro.serve.state import (
     DuplicateSessionError,
     SessionStore,
+    SpillCollisionError,
     UnknownSessionError,
 )
 
@@ -178,12 +179,20 @@ class DetectionService:
         config: dict[str, Any] | None = None,
         scorer: str | None = None,
         detector: Any = None,
+        resume: dict[str, Any] | None = None,
     ) -> DetectorSession:
         """Open a session from a registry spec (or a prebuilt detector).
 
         The ``detector`` escape hatch is in-process only — it is how
         ensembles and custom detectors become servable without a
         registry entry.
+
+        ``resume`` (``{"seq": N}``) opens the session from a spill
+        checkpoint already sitting in the spill directory instead of
+        building a fresh detector — the receiving end of a live
+        migration or a crash recovery.  ``seq`` must be the checkpoint's
+        stream clock, so sequence numbers continue where the previous
+        process stopped.
         """
         if detector is None:
             label = spec if spec is not None else self.config.default_spec
@@ -208,12 +217,6 @@ class DetectionService:
                 )
             except TypeError as error:
                 raise ConfigurationError(f"bad detector config: {error}") from None
-            detector = build_detector(
-                AlgorithmSpec(*parts),
-                n_channels=int(n_channels),
-                config=detector_config,
-                scorer=scorer if scorer is not None else self.config.scorer,
-            )
             spec_label = label
             # Same label + channel count + hyper-parameters + scorer ⇒
             # same-shaped detectors, safe to group for fused drains
@@ -230,23 +233,50 @@ class DetectionService:
                     }
                 ),
             )
+            if resume is None:
+                detector = build_detector(
+                    AlgorithmSpec(*parts),
+                    n_channels=int(n_channels),
+                    config=detector_config,
+                    scorer=scorer if scorer is not None else self.config.scorer,
+                )
         else:
             if n_channels is None:
                 raise ConfigurationError(
                     "custom-detector sessions need an explicit n_channels"
+                )
+            if resume is not None:
+                raise ConfigurationError(
+                    "resume and a prebuilt detector are mutually exclusive"
                 )
             spec_label = spec if spec is not None else "custom"
             fleet_key = None  # custom detectors stay on the per-session path
         session_telemetry = (
             Telemetry(max_events=64) if self.config.per_session_telemetry else None
         )
-        session = self.store.create(
-            stream,
-            detector,
-            n_channels=int(n_channels),
-            spec_label=spec_label,
-            telemetry=session_telemetry,
-        )
+        if resume is not None:
+            if not isinstance(resume, dict) or "seq" not in resume:
+                raise ConfigurationError(
+                    f"resume must be a dict with a 'seq' field, got {resume!r}"
+                )
+            seq = int(resume["seq"])
+            if seq < 0:
+                raise ConfigurationError(f"resume seq must be >= 0, got {seq}")
+            session = self.store.adopt(
+                stream,
+                n_channels=int(n_channels),
+                seq=seq,
+                spec_label=spec_label,
+                telemetry=session_telemetry,
+            )
+        else:
+            session = self.store.create(
+                stream,
+                detector,
+                n_channels=int(n_channels),
+                spec_label=spec_label,
+                telemetry=session_telemetry,
+            )
         session.fleet_key = fleet_key
         return session
 
@@ -303,13 +333,24 @@ class DetectionService:
             "uncollected_results": session.n_results,
         }
 
-    def stats_payload(self, stream: str | None = None) -> dict[str, Any]:
-        """Per-session blocks + fleet counters + the merged rollup."""
+    def stats_payload(
+        self, stream: str | None = None, latency_windows: bool = False
+    ) -> dict[str, Any]:
+        """Per-session blocks + fleet counters + the merged rollup.
+
+        ``latency_windows=True`` includes each session's raw retained
+        latency samples so a router can merge reservoirs fleet-wide.
+        """
         now = time.monotonic()
         sessions = (
             [self.store.get(stream)] if stream is not None else self.store.sessions()
         )
-        blocks = {session.stream_id: session.describe(now) for session in sessions}
+        blocks = {
+            session.stream_id: session.describe(
+                now, latency_window=latency_windows
+            )
+            for session in sessions
+        }
         fleet = self.telemetry.as_dict()
         rollup = merge_payloads(
             [fleet]
@@ -323,6 +364,9 @@ class DetectionService:
                 "rollup": rollup,
                 "n_sessions": len(self.store),
                 "n_hydrated": self.store.hydrated_count(),
+                "orphaned_spills": [
+                    path.name for path in self.store.orphaned_spills
+                ],
                 "max_sessions": self.config.max_sessions,
                 "uptime_seconds": round(now - self.started_at, 6),
             }
@@ -358,10 +402,11 @@ class DetectionService:
                     n_channels=request.get("n_channels"),
                     config=request.get("config"),
                     scorer=request.get("scorer"),
+                    resume=request.get("resume"),
                 )
                 return ok_reply(
                     op, request, stream=stream, spec=session.spec_label,
-                    n_channels=session.n_channels,
+                    n_channels=session.n_channels, seq=session.seq,
                 )
             if op == "ingest":
                 if "points" not in request:
@@ -380,7 +425,14 @@ class DetectionService:
                     ),
                 )
             if op == "stats":
-                return ok_reply(op, request, **self.stats_payload(stream))
+                return ok_reply(
+                    op,
+                    request,
+                    **self.stats_payload(
+                        stream,
+                        latency_windows=bool(request.get("latency_windows")),
+                    ),
+                )
             if op == "evict":
                 return ok_reply(op, request, **self.evict(stream))
             if op == "close":
@@ -402,6 +454,8 @@ class DetectionService:
             return error_reply(op, "unknown_stream", str(error), request)
         except DuplicateSessionError as error:
             return error_reply(op, "duplicate_stream", str(error), request)
+        except SpillCollisionError as error:
+            return error_reply(op, "spill_collision", str(error), request)
         except StreamError as error:
             return error_reply(op, "bad_points", str(error), request)
         except ConfigurationError as error:
@@ -472,14 +526,18 @@ class BaseServeClient:
         ingest_size: int = 100,
         evict_at: int | None = None,
         sleep: bool = False,
+        max_queue_retries: int = 1000,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Stream a whole ``(T, N)`` array and gather every score.
 
         The canonical client loop: ingest in slices, honor ``queue_full``
-        backpressure by collecting (and optionally sleeping
-        ``retry_after``), and poll ``score`` until all ``T`` results
-        arrived.  ``evict_at`` forces a spill once that many points have
-        been sent — the evict/rehydrate path the equivalence tests pin.
+        backpressure by collecting, backing off ``retry_after`` seconds
+        (when ``sleep`` is set) and retrying — bounded by
+        ``max_queue_retries`` *consecutive* rejections, so a server that
+        stops draining fails the loop with a clear error instead of
+        spinning forever.  ``evict_at`` forces a spill once that many
+        points have been sent — the evict/rehydrate path the equivalence
+        tests pin.
 
         Returns ``(scores, nonconformities)`` aligned with ``values``.
         """
@@ -488,6 +546,7 @@ class BaseServeClient:
         by_seq: dict[int, dict[str, Any]] = {}
         sent = 0
         evicted = False
+        rejections = 0
         while len(by_seq) < n:
             if evict_at is not None and not evicted and sent >= evict_at:
                 reply = self.evict(stream)
@@ -498,10 +557,19 @@ class BaseServeClient:
                 reply = self.ingest(stream, values[sent : sent + ingest_size])
                 if reply.get("ok"):
                     sent += reply["accepted"]
+                    rejections = 0
                     continue
                 error = reply.get("error", {})
                 if error.get("type") != "queue_full":
                     raise ReproError(f"ingest failed: {error}")
+                rejections += 1
+                if rejections > max_queue_retries:
+                    raise ReproError(
+                        f"stream {stream!r}: ingest rejected queue_full "
+                        f"{rejections} times in a row (retry_after "
+                        f"{error.get('retry_after')!r}s); the server has "
+                        "stopped draining"
+                    )
                 if sleep:
                     time.sleep(float(error.get("retry_after", 0.01)))
             reply = self.score(stream, flush=True)
@@ -579,10 +647,30 @@ class DetectionServer(socketserver.ThreadingTCPServer):
 
 
 class SocketServeClient(BaseServeClient):
-    """Blocking JSON-lines client for a :class:`DetectionServer`."""
+    """Blocking JSON-lines client for a :class:`DetectionServer`.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    Args:
+        host / port: server address.
+        timeout: per-request read timeout (seconds); a server that goes
+            silent mid-request raises ``socket.timeout`` (an
+            ``OSError``) instead of hanging the caller forever.  ``None``
+            blocks indefinitely.
+        connect_timeout: bound on establishing the connection; defaults
+            to ``timeout``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 30.0,
+        connect_timeout: float | None = None,
+    ) -> None:
+        self._sock = socket.create_connection(
+            (host, port),
+            timeout=connect_timeout if connect_timeout is not None else timeout,
+        )
+        self._sock.settimeout(timeout)
         self._rfile = self._sock.makefile("rb")
 
     def request(self, op: str, **fields: Any) -> dict[str, Any]:

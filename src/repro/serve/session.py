@@ -60,6 +60,7 @@ class DetectorSession:
         spec_label: str = "custom",
         telemetry: Telemetry | None = None,
         clock: Callable[[], float] = time.monotonic,
+        seq: int = 0,
     ) -> None:
         self.stream_id = stream_id
         self.detector = detector
@@ -72,9 +73,12 @@ class DetectorSession:
         self.lock = threading.RLock()
 
         #: next sequence number to assign (== points ingested so far).
-        self.seq = 0
+        #: Non-zero when the session resumes a stream another process
+        #: already served (migration / crash recovery): the checkpoint's
+        #: ``t`` carries over so result sequence numbers stay continuous.
+        self.seq = int(seq)
         #: points scored and moved to the result buffer so far.
-        self.scored = 0
+        self.scored = int(seq)
         self.queue: deque[tuple[int, np.ndarray]] = deque()
         self.enqueued_at: deque[float] = deque()
         self.results: deque[dict[str, Any]] = deque()
@@ -247,8 +251,17 @@ class DetectorSession:
             return out
 
     # ------------------------------------------------------------------
-    def describe(self, now: float | None = None) -> dict[str, Any]:
-        """JSON-safe session block for the ``stats`` verb."""
+    def describe(
+        self, now: float | None = None, latency_window: bool = False
+    ) -> dict[str, Any]:
+        """JSON-safe session block for the ``stats`` verb.
+
+        ``latency_window=True`` additionally includes the raw retained
+        latency samples (``latency_window``), so a router can rebuild the
+        reservoir and compute *fleet-level* percentiles with
+        :func:`~repro.obs.merge_summaries` instead of averaging
+        per-worker percentiles.
+        """
         with self.lock:
             detector = self.detector
             info: dict[str, Any] = {
@@ -265,6 +278,8 @@ class DetectorSession:
                 "idle_seconds": round(self.idle_seconds(now), 6),
                 "ingest_latency": self.latency.summary(),
             }
+            if latency_window:
+                info["latency_window"] = self.latency.values().tolist()
             if detector is not None and hasattr(detector, "events"):
                 info["n_finetunes"] = count_finetunes(detector.events)
             if self.telemetry is not None:

@@ -45,6 +45,16 @@ class DuplicateSessionError(ReproError):
     """A ``create`` reused a stream id that is still open."""
 
 
+class SpillCollisionError(ReproError):
+    """Two distinct stream ids hashed to the same spill filename.
+
+    A 10-byte blake2b digest makes this astronomically unlikely, but a
+    silent collision would let one stream's eviction overwrite another's
+    checkpoint — cross-stream state corruption that surfaces as bitwise
+    divergence much later.  The store refuses the second stream instead.
+    """
+
+
 def spill_filename(stream_id: str) -> str:
     """Deterministic, filesystem-safe checkpoint name for a stream id."""
     digest = hashlib.blake2b(stream_id.encode("utf-8"), digest_size=10).hexdigest()
@@ -79,6 +89,49 @@ class SessionStore:
         self._clock = clock
         self._lock = RLock()
         self._sessions: dict[str, DetectorSession] = {}
+        #: spill filename -> owning stream id (the collision guard).
+        self._spill_claims: dict[str, str] = {}
+        #: spill files found at startup that no live session owns — left
+        #: by a crashed process.  Reported, never deleted: a router
+        #: re-homing streams after a worker death adopts exactly these.
+        self.orphaned_spills: list[Path] = self.startup_sweep()
+
+    def startup_sweep(self) -> list[Path]:
+        """Detect spill files no open session owns (crash leftovers).
+
+        Returns the orphaned paths sorted by name and counts them into
+        the fleet telemetry (``orphaned_spills``).  Files are *kept*:
+        they may be adopted via :meth:`adopt` (crash recovery), and
+        deleting state is the operator's call, not the store's.
+        """
+        with self._lock:
+            owned = {
+                spill_filename(stream_id) for stream_id in self._sessions
+            }
+            orphans = sorted(
+                path
+                for path in self.spill_dir.glob("session-*.ckpt")
+                if path.name not in owned
+            )
+        if orphans:
+            self.telemetry.count("orphaned_spills", len(orphans))
+            self.telemetry.event(
+                "orphaned_spills",
+                n=len(orphans),
+                files=[path.name for path in orphans[:16]],
+            )
+        return orphans
+
+    def _claim_spill(self, stream_id: str) -> None:
+        """Reserve the stream's spill filename; must hold the lock."""
+        name = spill_filename(stream_id)
+        owner = self._spill_claims.get(name)
+        if owner is not None and owner != stream_id:
+            raise SpillCollisionError(
+                f"streams {owner!r} and {stream_id!r} both hash to spill "
+                f"file {name!r}; refusing to share a checkpoint slot"
+            )
+        self._spill_claims[name] = stream_id
 
     # ------------------------------------------------------------------
     def create(
@@ -103,9 +156,58 @@ class SessionStore:
                 raise DuplicateSessionError(
                     f"stream {stream_id!r} already has an open session"
                 )
+            self._claim_spill(stream_id)
             self._sessions[stream_id] = session
         self.telemetry.count("sessions_created")
         self.enforce_capacity(protect=session)
+        return session
+
+    def adopt(
+        self,
+        stream_id: str,
+        n_channels: int,
+        seq: int,
+        spec_label: str = "custom",
+        telemetry: Telemetry | None = None,
+    ) -> DetectorSession:
+        """Register a session resuming from a pre-placed spill file.
+
+        The migration / crash-recovery entry point: the detector is
+        *not* built — the session starts evicted, pointing at the spill
+        checkpoint already sitting in this store's directory (placed by
+        :func:`~repro.streaming.checkpoint.transfer_checkpoint`, or left
+        by this worker's previous incarnation), and rehydrates on its
+        first flush.  ``seq`` must be one past the checkpoint's last
+        processed index (meta ``t + 1``) so result sequence numbers
+        continue without a gap.
+        """
+        path = self.spill_path_for(stream_id)
+        if not path.exists():
+            raise UnknownSessionError(
+                f"no spill checkpoint at {path} to resume stream "
+                f"{stream_id!r} from"
+            )
+        session = DetectorSession(
+            stream_id,
+            None,
+            n_channels=n_channels,
+            spec_label=spec_label,
+            telemetry=telemetry,
+            clock=self._clock,
+            seq=seq,
+        )
+        session.spill_path = path
+        with self._lock:
+            if stream_id in self._sessions:
+                raise DuplicateSessionError(
+                    f"stream {stream_id!r} already has an open session"
+                )
+            self._claim_spill(stream_id)
+            self._sessions[stream_id] = session
+            self.orphaned_spills = [
+                orphan for orphan in self.orphaned_spills if orphan != path
+            ]
+        self.telemetry.count("sessions_adopted")
         return session
 
     def get(self, stream_id: str) -> DetectorSession:
@@ -254,6 +356,7 @@ class SessionStore:
         """Remove a session and its spill file; return it for a summary."""
         with self._lock:
             session = self._sessions.pop(stream_id, None)
+            self._spill_claims.pop(spill_filename(stream_id), None)
         if session is None:
             raise UnknownSessionError(f"no open session for stream {stream_id!r}")
         with session.lock:

@@ -1,0 +1,91 @@
+"""Shard worker: one :class:`DetectionService` behind its own process.
+
+The sharded fleet (:mod:`repro.serve.router`) runs N of these, each a
+separate OS process with its own GIL, scheduler, session store and spill
+directory — the existing single-process service, unchanged, just
+multiplied.  The router spawns workers with ``python -m
+repro.serve.worker`` and learns the bound port from a single JSON
+"ready" line on stdout (workers bind port 0, so N workers never fight
+over addresses).
+
+The worker is also a plain standalone server: everything it speaks is
+protocol v1, so ``SocketServeClient`` (and the router, which uses it for
+the worker leg) needs nothing worker-specific.
+
+Configuration crosses the process boundary as JSON
+(:func:`serve_config_to_payload` / :func:`serve_config_from_payload`) —
+the same :class:`~repro.serve.server.ServeConfig` the in-process service
+takes, with the nested :class:`~repro.core.config.DetectorConfig`
+flattened to a dict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import os
+import sys
+from typing import Any
+
+from repro.core.config import DetectorConfig
+from repro.serve.server import DetectionServer, DetectionService, ServeConfig
+
+
+def serve_config_to_payload(config: ServeConfig) -> dict[str, Any]:
+    """Flatten a :class:`ServeConfig` to a JSON-safe dict."""
+    return dataclasses.asdict(config)
+
+
+def serve_config_from_payload(payload: dict[str, Any]) -> ServeConfig:
+    """Rebuild a :class:`ServeConfig` from its JSON form."""
+    fields = dict(payload)
+    detector = fields.get("detector")
+    if isinstance(detector, dict):
+        fields["detector"] = DetectorConfig(**detector)
+    return ServeConfig(**fields)
+
+
+def ready_line(host: str, port: int) -> str:
+    """The single stdout line a worker prints once it is accepting."""
+    return json.dumps(
+        {"ready": True, "host": host, "port": int(port), "pid": os.getpid()}
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.worker",
+        description="One detection-service shard (spawned by the router).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 = OS-assigned, reported on stdout)")
+    parser.add_argument("--spill-dir", required=True, dest="spill_dir",
+                        help="this shard's eviction-checkpoint directory "
+                             "(the router reads/writes it for migration "
+                             "and crash recovery)")
+    parser.add_argument("--config", default=None,
+                        help="ServeConfig as a JSON object (detector "
+                             "hyper-parameters nested as a dict)")
+    args = parser.parse_args(argv)
+
+    payload = json.loads(args.config) if args.config else {}
+    payload["spill_dir"] = args.spill_dir
+    config = serve_config_from_payload(payload)
+    service = DetectionService(config)
+    server = DetectionServer((args.host, args.port), service)
+    host, port = server.server_address[:2]
+    print(ready_line(host, port), flush=True)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+        server.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

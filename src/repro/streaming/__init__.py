@@ -3,7 +3,9 @@
 from repro.streaming.checkpoint import (
     CHECKPOINT_VERSION,
     load_detector,
+    peek_checkpoint,
     save_detector,
+    transfer_checkpoint,
 )
 from repro.streaming.corpus import CorpusResult, run_corpus
 from repro.streaming.ensemble import EnsembleDetector
@@ -31,7 +33,9 @@ __all__ = [
     "build_cells",
     "derive_cell_seed",
     "load_detector",
+    "peek_checkpoint",
     "run_corpus",
     "run_stream",
     "save_detector",
+    "transfer_checkpoint",
 ]

@@ -90,6 +90,63 @@ def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
     return path
 
 
+def peek_checkpoint(path: str | Path) -> dict:
+    """Read a checkpoint's metadata block without keeping the detector.
+
+    The ``meta`` block (library/numpy versions, stream clock ``t``, model
+    name, scorer/nonconformity descriptions) identifies a checkpoint
+    cheaply enough for fleet-level decisions — a router re-homing a
+    stream from a spill file needs ``t`` (the resume sequence number)
+    before it issues the ``create``.
+
+    Raises:
+        ValueError: if the file is not a checkpoint or its version is
+            incompatible (same contract as :func:`load_detector`).
+    """
+    with open(Path(path), "rb") as handle:
+        payload = pickle.load(handle)
+    if not isinstance(payload, dict) or "detector" not in payload:
+        raise ValueError(f"{path} is not a detector checkpoint")
+    if payload.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint version {payload.get('version')} is incompatible "
+            f"with library version {CHECKPOINT_VERSION}"
+        )
+    return dict(payload.get("meta", {}))
+
+
+def transfer_checkpoint(src: str | Path, dst: str | Path) -> dict:
+    """Copy a checkpoint's bytes to a new location, atomically.
+
+    The spill-bytes leg of a live session migration: the source worker
+    spilled the detector with :func:`save_detector`; the router moves the
+    file into the target worker's spill directory byte-for-byte, so the
+    rehydrated detector is bitwise the one that was evicted.  The source
+    file is validated first (version check via :func:`peek_checkpoint`)
+    and the destination write is tempfile + ``os.replace``, the same
+    crash-safety contract as :func:`save_detector`.
+
+    Returns the checkpoint's ``meta`` block (the caller needs ``t`` for
+    seq-number continuity).
+    """
+    src, dst = Path(src), Path(dst)
+    meta = peek_checkpoint(src)
+    data = src.read_bytes()
+    dst.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=dst.parent, prefix=dst.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, dst)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+    return meta
+
+
 def load_detector(path: str | Path) -> StreamingAnomalyDetector:
     """Load a checkpoint written by :func:`save_detector`.
 

@@ -11,12 +11,22 @@ which exercises the chunked engine's rolling buffers, mirrored score
 rings and nonconformity snapshots across the pickle boundary.
 """
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.core.config import DetectorConfig
 from repro.core.registry import AlgorithmSpec, build_detector
-from repro.streaming import load_detector, save_detector
+from repro.streaming import (
+    load_detector,
+    peek_checkpoint,
+    save_detector,
+    transfer_checkpoint,
+)
 
 #: A registry slice spanning the model families and both Task-2 drift
 #: detectors (the full 26-spec grid runs in the experiment harness; this
@@ -118,3 +128,68 @@ def test_resume_across_engine_modes(tmp_path, batch_size):
     resumed = load_detector(save_detector(detector, tmp_path / "cross.pkl"))
     rest_scores, _ = run_chunked(resumed, values[cut:], 1)
     assert np.array_equal(full_scores[cut:], rest_scores)
+
+
+_CHILD_RESUME = """\
+import sys
+
+import numpy as np
+
+from repro.streaming import load_detector
+
+checkpoint, values_path, out = sys.argv[1:4]
+detector = load_detector(checkpoint)
+values = np.load(values_path)
+scores = []
+for start in range(len(values)):
+    _, f, _, _ = detector.step_chunk(values[start : start + 1])
+    scores.append(f)
+np.save(out, np.concatenate(scores))
+"""
+
+
+def test_resume_in_a_fresh_process_is_bitwise_identical(tmp_path):
+    """Checkpoint pickled here, loaded and resumed in a freshly spawned
+    interpreter — the boundary live migration and crash recovery cross.
+
+    Same-process round-trips can hide state that leaks through module
+    globals or interned objects; a child process shares nothing but the
+    checkpoint bytes, so whatever resumes there is exactly what the file
+    carries.
+    """
+    values = make_stream()
+    cut = 380
+    reference = build_detector(
+        AlgorithmSpec("ae", "sw", "kswin"), n_channels=2, config=CONFIG
+    )
+    full_scores, _ = run_chunked(reference, values, 1)
+
+    detector = build_detector(
+        AlgorithmSpec("ae", "sw", "kswin"), n_channels=2, config=CONFIG
+    )
+    run_chunked(detector, values[:cut], 1)
+    checkpoint = save_detector(detector, tmp_path / "parent.pkl")
+
+    # Ship the spill bytes the way the router does, and sanity-check the
+    # meta block a router reads to compute the resume sequence number.
+    shipped = tmp_path / "target" / "parent.pkl"
+    meta = transfer_checkpoint(checkpoint, shipped)
+    assert meta == peek_checkpoint(shipped)
+    assert meta["t"] == cut - 1, "meta t must be the last processed index"
+
+    values_path = tmp_path / "rest.npy"
+    out = tmp_path / "child-scores.npy"
+    np.save(values_path, values[cut:])
+    src_dir = Path(__file__).resolve().parents[1] / "src"
+    subprocess.run(
+        [sys.executable, "-c", _CHILD_RESUME, str(shipped), str(values_path),
+         str(out)],
+        check=True,
+        env={**os.environ, "PYTHONPATH": str(src_dir)},
+        cwd=tmp_path,
+        timeout=300,
+    )
+    child_scores = np.load(out)
+    assert np.array_equal(full_scores[cut:], child_scores), (
+        "scores resumed in a fresh process diverge from the parent run"
+    )
