@@ -85,15 +85,16 @@ class TwoLayerAutoencoder(StreamModel):
 
     def _train(self, windows: FloatArray, epochs: int) -> float:
         flat = self.scaler.transform(windows).reshape(len(windows), -1)
+        starts = range(0, len(flat), self.batch_size)
+        epoch_losses = np.empty(len(starts))
         last_loss = float("nan")
         for _ in range(max(epochs, 1)):
             order = self._rng.permutation(len(flat))
-            epoch_losses = []
-            for start in range(0, len(flat), self.batch_size):
+            for b, start in enumerate(starts):
                 batch = flat[order[start : start + self.batch_size]]
                 self._optimizer.zero_grad()
                 output = self.network(batch)
-                epoch_losses.append(nn.mse_loss(output, batch))
+                epoch_losses[b] = nn.mse_loss(output, batch)
                 self.network.backward(nn.mse_loss_grad(output, batch))
                 self._optimizer.step()
             last_loss = float(np.mean(epoch_losses))
@@ -151,3 +152,63 @@ class TwoLayerAutoencoder(StreamModel):
             )
             for model, rows, X in zip(models, outputs, windows_list)
         ]
+
+    @classmethod
+    def fleet_finetune(
+        cls, models: list, windows_list: list, epochs: int
+    ) -> tuple[list[float], list[float]] | None:
+        """Session-axis fused :meth:`finetune` of K autoencoders.
+
+        Replays the exact `_train` minibatch sequence on ``(K, B, F)``
+        stacks: one RNG permutation per session per epoch (drawn from the
+        session's own generator), fancy-gathered minibatches, one fused
+        forward/backward per minibatch and an :class:`~repro.nn.AdamLane`
+        step.  All state flows back through scratch-arena/lane writeback
+        only after the full loop, so a ``None`` (unfusable) return leaves
+        every model untouched.
+        """
+        first = models[0]
+        n = len(windows_list[0])
+        if (
+            n == 0
+            or any(len(w) != n for w in windows_list)
+            or any(not m.scaler.is_fitted for m in models)
+            or any(m.batch_size != first.batch_size for m in models)
+        ):
+            return None
+        try:
+            windows_list = [m._check(w) for m, w in zip(models, windows_list)]
+            arena = nn.ParameterArena(
+                [m.fleet_modules() for m in models], attach=False
+            )
+            lane = nn.AdamLane([m._optimizer for m in models], arena)
+        except (ConfigurationError, ValueError, KeyError):
+            return None
+        loss_before = cls._fleet_loss(models, arena.mirror, windows_list)
+
+        (network,) = arena.mirror
+        flat = np.stack(
+            [
+                m.scaler.transform(w).reshape(n, -1)
+                for m, w in zip(models, windows_list)
+            ]
+        )
+        rows = np.arange(len(models))[:, None]
+        starts = range(0, n, first.batch_size)
+        epoch_losses = np.empty((len(models), len(starts)))
+        for _ in range(max(epochs, 1)):
+            orders = np.stack([m._rng.permutation(n) for m in models])
+            for b, start in enumerate(starts):
+                batch = flat[rows, orders[:, start : start + first.batch_size]]
+                lane.zero_grad()
+                output = network(batch)
+                for k in range(len(models)):
+                    epoch_losses[k, b] = nn.mse_loss(output[k], batch[k])
+                network.backward(nn.fleet_mse_loss_grad(output, batch))
+                lane.step()
+            last = epoch_losses.mean(axis=1)
+        arena.writeback()
+        lane.writeback()
+        for model in models:
+            model._fitted = True
+        return loss_before, [float(x) for x in last]

@@ -279,6 +279,38 @@ class StreamModel:
         """
         raise NotImplementedError
 
+    @classmethod
+    def fleet_finetune(
+        cls, models: list, windows_list: list, epochs: int
+    ) -> tuple[list[float], list[float]] | None:
+        """Fused fine-tune of K same-spec sessions on their train sets.
+
+        One session-axis training loop replaces K sequential
+        ``model.loss`` + ``model.finetune`` calls: the implementation must
+        leave every model (weights, gradients, optimizer state, RNG,
+        ``_fitted``) bitwise identical to the per-session sequence and
+        return ``(loss_before, loss_after)`` lists matching the
+        per-session return values bit for bit.  Implementations validate
+        *before* mutating anything and return ``None`` when the group is
+        not fusable (the caller then fine-tunes per session); the default
+        has no fused trainer at all.
+        """
+        return None
+
+    @classmethod
+    def _fleet_loss(cls, models: list, mirror: tuple, windows_list: list) -> list:
+        """Per-session :meth:`loss` from one fused prediction pass."""
+        windows_list = [_as_windows(w) for w in windows_list]
+        predictions = cls.fleet_predict_batch(models, mirror, windows_list)
+        losses = []
+        for model, windows, preds in zip(models, windows_list, predictions):
+            if model.prediction_kind == "reconstruction":
+                errors = np.mean((preds - windows) ** 2, axis=(1, 2))
+            else:
+                errors = np.mean((preds - windows[:, -1]) ** 2, axis=1)
+            losses.append(float(np.mean(errors)))
+        return losses
+
 
 def _as_windows(windows: FloatArray) -> FloatArray:
     """Validate and coerce a training set to ``(n, w, N)``."""

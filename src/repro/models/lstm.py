@@ -177,17 +177,18 @@ class LSTMForecaster(StreamModel):
         scaled = self.scaler.transform(windows)
         inputs = scaled[:, :-1, :]
         targets = scaled[:, -1, :]
+        starts = range(0, len(inputs), self.batch_size)
+        losses = np.empty(len(starts))
         last_loss = float("nan")
         for _ in range(max(epochs, 1)):
             order = self._rng.permutation(len(inputs))
-            losses = []
-            for start in range(0, len(inputs), self.batch_size):
+            for b, start in enumerate(starts):
                 idx = order[start : start + self.batch_size]
                 batch_in, batch_target = inputs[idx], targets[idx]
                 for param in self._parameters:
                     param.zero_grad()
                 forecast, state = self._forward(batch_in)
-                losses.append(nn.mse_loss(forecast, batch_target))
+                losses[b] = nn.mse_loss(forecast, batch_target)
                 self._backward(nn.mse_loss_grad(forecast, batch_target), state)
                 self._clip_gradients()
                 self._optimizer.step()

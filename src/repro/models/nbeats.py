@@ -114,6 +114,22 @@ def _nbeats_forward(
     return forecast
 
 
+def _nbeats_backward(
+    blocks: list, grad_forecast: FloatArray, backcast_dim: int
+) -> None:
+    """Backprop through the residual wiring, shape-agnostic over leading axes.
+
+    With ``u_{l+1} = u_l - b_l`` and ``y = sum_l f_l``:
+    ``dL/db_l = -dL/du_{l+1}`` and ``dL/du_l = dL/du_{l+1} +
+    block_backward``.  The gradient w.r.t. the residual after the last
+    block is zero because nothing consumes it.
+    """
+    grad_residual = np.zeros(grad_forecast.shape[:-1] + (backcast_dim,))
+    for block in reversed(blocks):
+        grad_input = block.backward_both(-grad_residual, grad_forecast)
+        grad_residual = grad_residual + grad_input
+
+
 class NBeatsBlock(nn.Module):
     """One N-BEATS block producing a backcast and a forecast."""
 
@@ -254,17 +270,8 @@ class NBeats(StreamModel):
         return _nbeats_forward(self.blocks, inputs, self.forecast_dim)
 
     def _backward(self, grad_forecast: FloatArray) -> None:
-        """Backprop through the residual wiring.
-
-        With ``u_{l+1} = u_l - b_l`` and ``y = sum_l f_l``:
-        ``dL/db_l = -dL/du_{l+1}`` and ``dL/du_l = dL/du_{l+1} +
-        block_backward``.  The gradient w.r.t. the residual after the last
-        block is zero because nothing consumes it.
-        """
-        grad_residual = np.zeros((grad_forecast.shape[0], self.backcast_dim))
-        for block in reversed(self.blocks):
-            grad_input = block.backward_both(-grad_residual, grad_forecast)
-            grad_residual = grad_residual + grad_input
+        """Backprop through the residual wiring (see :func:`_nbeats_backward`)."""
+        _nbeats_backward(self.blocks, grad_forecast, self.backcast_dim)
 
     # ------------------------------------------------------------------
     def fit(self, windows: FloatArray, epochs: int | None = None) -> float:
@@ -282,17 +289,18 @@ class NBeats(StreamModel):
         scaled = self.scaler.transform(windows)
         inputs = scaled[:, :-1, :].reshape(len(scaled), -1)
         targets = scaled[:, -1, :]
+        starts = range(0, len(inputs), self.batch_size)
+        losses = np.empty(len(starts))
         last_loss = float("nan")
         for _ in range(max(epochs, 1)):
             order = self._rng.permutation(len(inputs))
-            losses = []
-            for start in range(0, len(inputs), self.batch_size):
+            for b, start in enumerate(starts):
                 idx = order[start : start + self.batch_size]
                 batch_in, batch_target = inputs[idx], targets[idx]
                 for block in self.blocks:
                     block.zero_grad()
                 forecast = self._forward(batch_in)
-                losses.append(nn.mse_loss(forecast, batch_target))
+                losses[b] = nn.mse_loss(forecast, batch_target)
                 self._backward(nn.mse_loss_grad(forecast, batch_target))
                 self._optimizer.step()
             last_loss = float(np.mean(losses))
@@ -351,3 +359,68 @@ class NBeats(StreamModel):
             model.scaler.inverse(rows)
             for model, rows in zip(models, forecasts)
         ]
+
+    @classmethod
+    def fleet_finetune(
+        cls, models: list, windows_list: list, epochs: int
+    ) -> tuple[list[float], list[float]] | None:
+        """Session-axis fused :meth:`finetune` of K N-BEATS models.
+
+        The residual forward/backward wiring is shape-agnostic over
+        leading axes, so the per-session minibatch loop runs unchanged on
+        ``(K, B, F)`` stacks through the arena mirror blocks; fixed basis
+        matrices are shared 2-D constants that broadcast over the session
+        axis.
+        """
+        first = models[0]
+        n = len(windows_list[0])
+        if (
+            n == 0
+            or any(len(w) != n for w in windows_list)
+            or any(not m.scaler.is_fitted for m in models)
+            or any(m.batch_size != first.batch_size for m in models)
+            or any(
+                m.forecast_dim != first.forecast_dim
+                or m.backcast_dim != first.backcast_dim
+                for m in models
+            )
+        ):
+            return None
+        try:
+            windows_list = [m._check(w) for m, w in zip(models, windows_list)]
+            arena = nn.ParameterArena(
+                [m.fleet_modules() for m in models], attach=False
+            )
+            lane = nn.AdamLane([m._optimizer for m in models], arena)
+        except (ConfigurationError, ValueError, KeyError):
+            return None
+        loss_before = cls._fleet_loss(models, arena.mirror, windows_list)
+
+        blocks = list(arena.mirror)
+        scaled = [m.scaler.transform(w) for m, w in zip(models, windows_list)]
+        inputs = np.stack([s[:, :-1, :].reshape(n, -1) for s in scaled])
+        targets = np.stack([s[:, -1, :] for s in scaled])
+        rows = np.arange(len(models))[:, None]
+        starts = range(0, n, first.batch_size)
+        losses = np.empty((len(models), len(starts)))
+        for _ in range(max(epochs, 1)):
+            orders = np.stack([m._rng.permutation(n) for m in models])
+            for b, start in enumerate(starts):
+                idx = orders[:, start : start + first.batch_size]
+                batch_in, batch_target = inputs[rows, idx], targets[rows, idx]
+                arena.zero_grad()
+                forecast = _nbeats_forward(blocks, batch_in, first.forecast_dim)
+                for k in range(len(models)):
+                    losses[k, b] = nn.mse_loss(forecast[k], batch_target[k])
+                _nbeats_backward(
+                    blocks,
+                    nn.fleet_mse_loss_grad(forecast, batch_target),
+                    first.backcast_dim,
+                )
+                lane.step()
+            last = losses.mean(axis=1)
+        arena.writeback()
+        lane.writeback()
+        for model in models:
+            model._fitted = True
+        return loss_before, [float(x) for x in last]

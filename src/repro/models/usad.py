@@ -151,6 +151,8 @@ class USAD(StreamModel):
 
     def _train(self, windows: FloatArray, epochs: int) -> float:
         flat = self.scaler.transform(windows).reshape(len(windows), -1)
+        starts = range(0, len(flat), self.batch_size)
+        losses = np.empty(len(starts))
         last_loss = float("nan")
         for _ in range(max(epochs, 1)):
             self._lifetime_epoch += 1
@@ -158,10 +160,9 @@ class USAD(StreamModel):
             alpha = 1.0 / n
             beta = 1.0 - alpha
             order = self._rng.permutation(len(flat))
-            losses = []
-            for start in range(0, len(flat), self.batch_size):
+            for b, start in enumerate(starts):
                 batch = flat[order[start : start + self.batch_size]]
-                losses.append(self._train_batch(batch, alpha, beta))
+                losses[b] = self._train_batch(batch, alpha, beta)
             last_loss = float(np.mean(losses))
         self._fitted = True
         return last_loss
@@ -293,3 +294,103 @@ class USAD(StreamModel):
             r3 = model.scaler.inverse(w3.reshape(shape))
             results.append((1.0 - model.blend) * r1 + model.blend * r3)
         return results
+
+    @classmethod
+    def fleet_finetune(
+        cls, models: list, windows_list: list, epochs: int
+    ) -> tuple[list[float], list[float]] | None:
+        """Session-axis fused :meth:`finetune` of K USAD models.
+
+        The two-phase adversarial batch sequence of ``_train_batch`` is
+        replayed verbatim on ``(K, B, F)`` stacks through the arena
+        mirror; the per-session phase weights ``alpha = 1/n`` (sessions
+        may be at different lifetime epochs) broadcast as ``(K, 1, 1)``
+        columns, and each phase steps its own :class:`~repro.nn.AdamLane`.
+        """
+        first = models[0]
+        n = len(windows_list[0])
+        if (
+            n == 0
+            or any(len(w) != n for w in windows_list)
+            or any(not m.scaler.is_fitted for m in models)
+            or any(m.batch_size != first.batch_size for m in models)
+        ):
+            return None
+        try:
+            windows_list = [m._check(w) for m, w in zip(models, windows_list)]
+            arena = nn.ParameterArena(
+                [m.fleet_modules() for m in models], attach=False
+            )
+            lane1 = nn.AdamLane([m._opt1 for m in models], arena)
+            lane2 = nn.AdamLane([m._opt2 for m in models], arena)
+        except (ConfigurationError, ValueError, KeyError):
+            return None
+        loss_before = cls._fleet_loss(models, arena.mirror, windows_list)
+
+        encoder, decoder1, decoder2, encoder_b, decoder2_b = arena.mirror
+        n_models = len(models)
+        flat = np.stack(
+            [
+                m.scaler.transform(w).reshape(n, -1)
+                for m, w in zip(models, windows_list)
+            ]
+        )
+        rows = np.arange(n_models)[:, None]
+        starts = range(0, n, first.batch_size)
+        losses = np.empty((n_models, len(starts)))
+        loss1 = [0.0] * n_models
+        for _ in range(max(epochs, 1)):
+            alpha = []
+            for m in models:
+                m._lifetime_epoch += 1
+                alpha.append(1.0 / m._lifetime_epoch)
+            beta = [1.0 - a for a in alpha]
+            a3 = np.array(alpha)[:, None, None]
+            b3 = np.array(beta)[:, None, None]
+            orders = np.stack([m._rng.permutation(n) for m in models])
+            for b, start in enumerate(starts):
+                batch = flat[rows, orders[:, start : start + first.batch_size]]
+                # ------------- phase 1: train AE1 = D1 o E ---------------
+                arena.zero_grad()
+                latent = encoder(batch)
+                w1 = decoder1(latent)
+                w3 = decoder2_b(encoder_b(w1))
+                for k in range(n_models):
+                    loss1[k] = alpha[k] * nn.mse_loss(w1[k], batch[k]) + beta[
+                        k
+                    ] * nn.mse_loss(w3[k], batch[k])
+                grad_w1 = a3 * nn.fleet_mse_loss_grad(w1, batch)
+                grad_w1 += encoder_b.backward(
+                    decoder2_b.backward(b3 * nn.fleet_mse_loss_grad(w3, batch))
+                )
+                encoder.backward(decoder1.backward(grad_w1))
+                lane1.step()
+
+                # ------------- phase 2: train AE2 = D2 o E ---------------
+                arena.zero_grad()
+                w1_detached = decoder1(encoder(batch))
+                arena.zero_grad()
+                latent2 = encoder(batch)
+                w2 = decoder2(latent2)
+                w3b = decoder2_b(encoder_b(w1_detached))
+                encoder.backward(
+                    decoder2.backward(a3 * nn.fleet_mse_loss_grad(w2, batch))
+                )
+                encoder_b.backward(
+                    decoder2_b.backward(
+                        (-b3) * nn.fleet_mse_loss_grad(w3b, batch)
+                    )
+                )
+                lane2.step()
+                for k in range(n_models):
+                    loss2 = alpha[k] * nn.mse_loss(w2[k], batch[k]) - beta[
+                        k
+                    ] * nn.mse_loss(w3b[k], batch[k])
+                    losses[k, b] = float(loss1[k] + loss2)
+            last = losses.mean(axis=1)
+        arena.writeback()
+        lane1.writeback()
+        lane2.writeback()
+        for model in models:
+            model._fitted = True
+        return loss_before, [float(x) for x in last]

@@ -28,12 +28,13 @@ from repro.nn.layers import (
     Sigmoid,
     Tanh,
 )
-from repro.nn.losses import mse_loss, mse_loss_grad
+from repro.nn.losses import fleet_mse_loss_grad, mse_loss, mse_loss_grad
 from repro.nn.module import Module, Parameter
-from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.optim import SGD, Adam, AdamLane, Optimizer
 
 __all__ = [
     "Adam",
+    "AdamLane",
     "Dropout",
     "FleetIncompatible",
     "ParameterArena",
@@ -47,6 +48,7 @@ __all__ = [
     "Sequential",
     "Sigmoid",
     "Tanh",
+    "fleet_mse_loss_grad",
     "glorot_uniform",
     "mse_loss",
     "mse_loss_grad",

@@ -44,6 +44,13 @@ class ParameterArena:
             fuse (``model.fleet_modules()``).  All sessions must have
             structurally identical trees (same classes, shapes and
             non-parameter attributes).
+        attach: when True (the default), each session parameter's value is
+            rebound to a row view of its stack so in-place updates write
+            through.  ``attach=False`` builds a *scratch* arena over
+            copies: the members keep their own storage and the stacks only
+            flow back through an explicit :meth:`writeback` — the mode the
+            fused training kernels use so a failed/aborted fused fine-tune
+            leaves every member untouched.
 
     Raises:
         FleetIncompatible: when the trees differ structurally, contain
@@ -51,16 +58,21 @@ class ParameterArena:
             constant arrays whose values diverged between sessions.
     """
 
-    def __init__(self, roots_per_session: list[tuple]) -> None:
+    def __init__(self, roots_per_session: list[tuple], attach: bool = True) -> None:
         if not roots_per_session:
             raise FleetIncompatible("arena needs at least one session")
         n_roots = len(roots_per_session[0])
         if any(len(roots) != n_roots for roots in roots_per_session):
             raise FleetIncompatible("sessions expose different root counts")
         self.n_sessions = len(roots_per_session)
+        self.attached = attach
         #: aligned (source Parameters, stacked tensor) pairs, one per
         #: distinct Parameter position (shared Parameters appear once).
         self._bindings: list[tuple[list[Parameter], np.ndarray]] = []
+        #: fused Parameter per binding (same order as ``_bindings``).
+        self._fused: list[Parameter] = []
+        #: id(member Parameter) -> (fused Parameter, session row).
+        self._by_member: dict[int, tuple[Parameter, int]] = {}
         self._memo: dict[tuple[int, ...], Parameter] = {}
         self.mirror: tuple = tuple(
             self._mirror_module([roots[i] for roots in roots_per_session])
@@ -136,13 +148,17 @@ class ParameterArena:
                 f"parameter shape mismatch for {params[0].name!r}"
             )
         stack = np.stack([p.value for p in params])
-        # Attach: each session's value becomes a view of its arena row,
-        # so in-place optimizer updates keep the stack current.
-        for k, param in enumerate(params):
-            param.value = stack[k]
+        if self.attached:
+            # Attach: each session's value becomes a view of its arena row,
+            # so in-place optimizer updates keep the stack current.
+            for k, param in enumerate(params):
+                param.value = stack[k]
         fused = Parameter(stack, name=f"arena.{params[0].name}")
         self._memo[key] = fused
         self._bindings.append((list(params), stack))
+        self._fused.append(fused)
+        for k, param in enumerate(params):
+            self._by_member[id(param)] = (fused, k)
         return fused
 
     # ------------------------------------------------------------------
@@ -168,6 +184,41 @@ class ParameterArena:
         """Detach every session (the arena keeps only stale copies)."""
         for k in range(self.n_sessions):
             self.detach_row(k)
+
+    # ------------------------------------------------------------------
+    # training support (scratch arenas)
+    # ------------------------------------------------------------------
+    def fused_row(self, param: Parameter) -> tuple[Parameter, int]:
+        """Map a member Parameter to its ``(fused Parameter, session row)``.
+
+        The fused optimizer lanes use this to align each session
+        optimizer's parameter list with the stacked tensors.
+        """
+        entry = self._by_member.get(id(param))
+        if entry is None:
+            raise KeyError(f"parameter {param.name!r} is not bound in this arena")
+        return entry
+
+    def zero_grad(self) -> None:
+        """Reset the gradients of every fused (stacked) Parameter."""
+        for fused in self._fused:
+            fused.zero_grad()
+
+    def writeback(self) -> None:
+        """Copy stacked values *and gradients* back into the members.
+
+        For a scratch arena (``attach=False``) this is the only point at
+        which a fused fine-tune mutates the member models; both arrays are
+        copied in place (``[...]``), so members whose values are row views
+        of a live inference arena keep writing through it.  Gradients are
+        copied too: the member's post-training ``param.grad`` is part of
+        its checkpoint bytes, and bitwise equality with the per-session
+        path requires the final accumulated gradient to match.
+        """
+        for (params, stack), fused in zip(self._bindings, self._fused):
+            for k, param in enumerate(params):
+                param.value[...] = stack[k]
+                param.grad[...] = fused.grad[k]
 
 
 _MISSING = object()

@@ -28,3 +28,24 @@ def mse_loss_grad(prediction: FloatArray, target: FloatArray) -> FloatArray:
             f"prediction shape {prediction.shape} != target shape {target.shape}"
         )
     return 2.0 * (prediction - target) / prediction.size
+
+
+def fleet_mse_loss_grad(prediction: FloatArray, target: FloatArray) -> FloatArray:
+    """Per-session :func:`mse_loss_grad` over a ``(K, ...)`` session stack.
+
+    Each session slice is normalized by its *own* element count
+    ``prediction[0].size``, so slice ``k`` of the result is bitwise
+    ``mse_loss_grad(prediction[k], target[k])`` — the contract the fused
+    training kernels rely on.
+    """
+    prediction = np.asarray(prediction, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if prediction.shape != target.shape:
+        raise ValueError(
+            f"prediction shape {prediction.shape} != target shape {target.shape}"
+        )
+    if prediction.ndim < 2:
+        raise ValueError(
+            f"expected a (K, ...) session stack, got shape {prediction.shape}"
+        )
+    return 2.0 * (prediction - target) / prediction[0].size

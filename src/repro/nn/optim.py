@@ -86,3 +86,98 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdamLane:
+    """Session-axis fused execution of K :class:`Adam` optimizers.
+
+    Stacks the per-session first/second-moment buffers into ``(K, ...)``
+    tensors aligned with a :class:`~repro.nn.arena.ParameterArena`'s fused
+    Parameters, and replays Adam's exact update order on the stacks.  Every
+    operation is elementwise over the session axis, and the bias
+    corrections are computed per session with Python-float ``beta**count``
+    (sessions may have taken different numbers of steps), so slice ``k``
+    of every update is bitwise what session ``k``'s own ``Adam.step``
+    would have produced.
+
+    The lane works on stacked *copies* of the moment buffers; the member
+    optimizers are only mutated by :meth:`writeback`.
+
+    Args:
+        optimizers: one plain :class:`Adam` per session, in arena session
+            order, with identical hyperparameters and aligned parameter
+            lists.
+        arena: the (scratch) arena whose fused Parameters the lane
+            updates; each ``optimizers[k].parameters[i]`` must resolve to
+            row ``k`` of one fused Parameter.
+
+    Raises:
+        ValueError: when the optimizers are not fusable (not plain Adam,
+            differing hyperparameters, or misaligned parameter lists).
+    """
+
+    def __init__(self, optimizers: list, arena) -> None:
+        if not optimizers:
+            raise ValueError("lane needs at least one optimizer")
+        first = optimizers[0]
+        if any(type(opt) is not Adam for opt in optimizers):
+            raise ValueError("lane optimizers must be plain Adam instances")
+        hyper = (first.lr, first.beta1, first.beta2, first.eps)
+        if any(
+            (opt.lr, opt.beta1, opt.beta2, opt.eps) != hyper for opt in optimizers
+        ):
+            raise ValueError("lane optimizers must share hyperparameters")
+        n_params = len(first.parameters)
+        if any(len(opt.parameters) != n_params for opt in optimizers):
+            raise ValueError("lane optimizers must hold equal parameter counts")
+        self.optimizers = list(optimizers)
+        self.lr, self.beta1, self.beta2, self.eps = hyper
+        self.fused = []
+        for i in range(n_params):
+            fused, row = arena.fused_row(first.parameters[i])
+            if row != 0:
+                raise ValueError("optimizer order does not match arena rows")
+            for k, opt in enumerate(optimizers[1:], start=1):
+                other, other_row = arena.fused_row(opt.parameters[i])
+                if other is not fused or other_row != k:
+                    raise ValueError(
+                        "optimizer parameter lists are misaligned across sessions"
+                    )
+            self.fused.append(fused)
+        self._m = [
+            np.stack([opt._m[i] for opt in optimizers]) for i in range(n_params)
+        ]
+        self._v = [
+            np.stack([opt._v[i] for opt in optimizers]) for i in range(n_params)
+        ]
+        self._counts = [opt._step_count for opt in optimizers]
+
+    def zero_grad(self) -> None:
+        for fused in self.fused:
+            fused.zero_grad()
+
+    def step(self) -> None:
+        for k in range(len(self._counts)):
+            self._counts[k] += 1
+        # Per-session bias corrections via Python-float pow: numpy's
+        # vectorized integer pow rounds differently and would break the
+        # bitwise contract against per-session Adam.
+        bias1 = np.array([1.0 - self.beta1**count for count in self._counts])
+        bias2 = np.array([1.0 - self.beta2**count for count in self._counts])
+        for fused, m, v in zip(self.fused, self._m, self._v):
+            shape = (len(self._counts),) + (1,) * (m.ndim - 1)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * fused.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * fused.grad**2
+            m_hat = m / bias1.reshape(shape)
+            v_hat = v / bias2.reshape(shape)
+            fused.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def writeback(self) -> None:
+        """Copy stacked moments and step counts back into the members."""
+        for k, opt in enumerate(self.optimizers):
+            opt._step_count = self._counts[k]
+            for i in range(len(self.fused)):
+                opt._m[i][...] = self._m[i][k]
+                opt._v[i][...] = self._v[i][k]

@@ -68,6 +68,12 @@ CORE_COUNTERS = (
     "streams_restarted",
     "rebalances",
     "orphaned_spills",
+    # repro.serve.scheduler fused-drain counters (session-axis fleet
+    # scoring and fused cross-session fine-tuning).
+    "fused_drains",
+    "points_fused",
+    "finetunes_fused",
+    "points_fused_training",
 )
 
 #: Span keys recorded by the detector's per-step loop (the chunked engine

@@ -308,6 +308,71 @@ class AnomalyLikelihood(AnomalyScorer):
             self._ring.append_block(rest)
         return out
 
+    @classmethod
+    def fleet_update_batch(
+        cls, scorers: list["AnomalyScorer"], values_list: list[FloatArray]
+    ) -> list[FloatArray]:
+        """Session-axis batched scorer update for a fleet drain.
+
+        Bitwise identical to ``[s.update_batch(v) for s, v in zip(...)]``
+        but the windowed means/stds of every eligible session run as one
+        stacked ``(K, B, k)`` reduction instead of K separate numpy
+        dispatches — the window math reduces over the last axis only, so
+        leading dimensions cannot change the summation order.  Sessions
+        of a different scorer type, with a still-warming ring (the
+        scalar-path region of :meth:`update_batch`), with an empty block
+        or with mismatched window parameters fall back to their own
+        :meth:`update_batch`, which is the same math one session at a
+        time.
+        """
+        out: list[FloatArray | None] = [None] * len(scorers)
+        arrays = [np.asarray(v, dtype=np.float64) for v in values_list]
+        lane: list[int] = []
+        ref: AnomalyLikelihood | None = None
+        for i, scorer in enumerate(scorers):
+            if (
+                type(scorer) is cls
+                and len(arrays[i])
+                and len(scorer._ring) >= scorer.k - 1
+            ):
+                if ref is None:
+                    ref = scorer
+                if (scorer.k, scorer.k_short, scorer.min_sigma) == (
+                    ref.k,
+                    ref.k_short,
+                    ref.min_sigma,
+                ):
+                    lane.append(i)
+                    continue
+            out[i] = scorer.update_batch(arrays[i])
+        if len(lane) < 2:
+            for i in lane:
+                out[i] = scorers[i].update_batch(arrays[i])
+            return out  # type: ignore[return-value]
+        k, k_short, min_sigma = ref.k, ref.k_short, ref.min_sigma
+        lengths = [len(arrays[i]) for i in lane]
+        b_max = max(lengths)
+        # Row r = session lane[r]'s ring tail followed by its pending
+        # values (zero-padded; padded windows are computed and dropped).
+        stacked = np.zeros((len(lane), k - 1 + b_max), dtype=np.float64)
+        for row, i in enumerate(lane):
+            view = scorers[i]._ring.view()
+            stacked[row, : k - 1] = view[len(view) - (k - 1) :]
+            stacked[row, k - 1 : k - 1 + lengths[row]] = arrays[i]
+        windows = sliding_window_view(stacked, k, axis=1)
+        long_means = windows.mean(axis=2)
+        short_means = windows[:, :, k - k_short :].mean(axis=2)
+        sigmas = np.maximum(windows.std(axis=2), min_sigma)
+        z = (short_means - long_means) / sigmas
+        for row, i in enumerate(lane):
+            scores = np.empty(lengths[row], dtype=np.float64)
+            # erfc per value so the bits match the scalar path.
+            for j in range(lengths[row]):
+                scores[j] = 1.0 - gaussian_tail(float(z[row, j]))
+            scorers[i]._ring.append_block(arrays[i])
+            out[i] = scores
+        return out  # type: ignore[return-value]
+
     def snapshot(self) -> object:
         return self._ring.snapshot()
 

@@ -26,7 +26,10 @@ unbounded latency or memory:
   call — K same-spec micro-batches become a handful of session-axis
   batched kernels instead of K small ones.  The engine (and its weight
   arena) is cached per group and reused while the membership is stable,
-  so steady-state drains pay no re-stacking cost.
+  so steady-state drains pay no re-stacking cost.  Sessions whose
+  drift strategy fires mid-drain stay grouped: the engine runs their
+  fine-tunes fused (session-axis training kernels) and resumes fused
+  scoring, so drift-heavy fleets keep a high ``fused_fraction``.
 
 All scheduling decisions change only *when* points are scored, never
 *what* is computed — the chunked engine's bitwise invariance to block
@@ -226,7 +229,11 @@ class MicroBatchScheduler:
         cached = self._fleets.get(key)
         if cached is not None and cached[0] == ids:
             return cached[1]
-        engine = FleetEngine([session.detector for session in sessions])
+        engine = FleetEngine(
+            [session.detector for session in sessions],
+            min_fleet=self.config.min_fleet,
+            telemetry=self.telemetry,
+        )
         self._fleets[key] = (ids, engine, list(sessions))
         return engine
 
@@ -273,6 +280,8 @@ class MicroBatchScheduler:
             else:
                 engine = self._fleet_engine(key, [s for s, _ in prepared])
                 fused_before = engine.fused_steps
+                finetunes_before = engine.finetunes_fused
+                points_training_before = engine.points_fused_training
                 results = engine.step_chunk(
                     [batch[2] for _, batch in prepared]
                 )
@@ -283,6 +292,13 @@ class MicroBatchScheduler:
                 self.telemetry.count(
                     "points_fused", engine.fused_steps - fused_before
                 )
+                finetunes = engine.finetunes_fused - finetunes_before
+                if finetunes:
+                    self.telemetry.count("finetunes_fused", finetunes)
+                    self.telemetry.count(
+                        "points_fused_training",
+                        engine.points_fused_training - points_training_before,
+                    )
         if scored:
             self.telemetry.count("points_scored", scored)
         return scored

@@ -16,10 +16,24 @@ per-step cost in Python/numpy dispatch overhead repeated K times.  The
   anomaly scores, so a :class:`~repro.learning.drift.MuSigmaLane`
   replays observe/should-finetune over ``(K, D)`` state *copies* before
   anything is committed;
-- sessions whose preview fires (or that fail an eligibility check) fall
-  out of the fused call and run the stock per-session engine — their
-  state was never touched, so no rollback is needed — and rejoin the
-  fleet at the next drain automatically.
+- sessions whose preview fires *stay on the fused path*: the round-based
+  drain scores fused up to each session's previewed fire offset, groups
+  the co-firing sessions and runs one session-axis fused fine-tune per
+  group (``model.fleet_finetune`` — stacked minibatch forward/backward
+  with per-session loss reduction and an :class:`~repro.nn.AdamLane`
+  step), then resumes fused scoring on the remaining rows under the new
+  parameters;
+- the anomaly scorer runs session-axis too: each round folds every
+  session's nonconformity span through one stacked
+  :meth:`~repro.scoring.anomaly_score.AnomalyLikelihood.fleet_update_batch`
+  window reduction instead of K separate scorer dispatches;
+- sessions that fail an eligibility check (or whose group has no fused
+  trainer) run the stock per-session engine — their state was never
+  touched, so no rollback is needed — and rejoin the fleet at the next
+  drain automatically;
+- fleets below ``min_fleet`` sessions bypass the fused machinery
+  entirely: with nothing to batch over, the session-axis stacking only
+  adds overhead, so the drain routes straight to the per-session engine.
 
 Everything is gated on bitwise equivalence: a fused drain produces
 exactly the scores, events, counters and checkpoint state that K
@@ -32,6 +46,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.detector import StreamingAnomalyDetector
+from repro.core.types import FineTuneEvent
 from repro.learning.drift import (
     MuSigmaChange,
     MuSigmaLane,
@@ -40,6 +55,8 @@ from repro.learning.drift import (
 )
 from repro.learning.sliding_window import SlidingWindow
 from repro.nn.arena import FleetIncompatible, ParameterArena
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.scoring.anomaly_score import AnomalyLikelihood
 
 #: Block results as returned by ``step_chunk``: (nonconformities,
 #: scores, drift flags, fine-tune flags), each aligned with the block.
@@ -56,6 +73,12 @@ class FleetEngine:
             spec; members that do not (or that are in a non-fusable
             state) are transparently stepped through their own
             per-session engine.
+        min_fleet: fleets smaller than this bypass the fused machinery
+            and drain per session (BENCH_fleet.json showed the fused
+            path ~0.7x at K=1: stacking overhead with nothing to batch).
+        telemetry: engine-level sink; only used for the
+            ``stage:finetune_fused`` span (member detectors must run
+            untraced to join the fused path at all).
 
     The engine owns no session state: detectors can be stepped outside
     the fleet between drains, checkpointed, or removed at any time.  The
@@ -64,10 +87,17 @@ class FleetEngine:
     member's parameters are rebound (e.g. ``load_state``).
     """
 
-    def __init__(self, detectors: list[StreamingAnomalyDetector]) -> None:
+    def __init__(
+        self,
+        detectors: list[StreamingAnomalyDetector],
+        min_fleet: int = 2,
+        telemetry: Telemetry | None = None,
+    ) -> None:
         if not detectors:
             raise ValueError("fleet needs at least one detector")
         self.detectors = list(detectors)
+        self.min_fleet = max(1, int(min_fleet))
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._arena: ParameterArena | None = None
         self._arena_unfusable = False
         #: cumulative step counters by lane, for manifests/stats.
@@ -75,6 +105,11 @@ class FleetEngine:
         self.dirty_steps = 0
         self.stock_steps = 0
         self.drains = 0
+        self.bypassed_drains = 0
+        #: fused training counters (sessions fine-tuned through
+        #: ``fleet_finetune`` and the training points they consumed).
+        self.finetunes_fused = 0
+        self.points_fused_training = 0
         #: per-drain breakdown of the last :meth:`step_chunk` call.
         self.last_drain: dict = {"fused": [], "dirty": [], "stock": []}
 
@@ -93,6 +128,17 @@ class FleetEngine:
         self.drains += 1
         results: list[BlockResult | None] = [None] * len(self.detectors)
         self.last_drain = {"fused": [], "dirty": [], "stock": []}
+
+        if len(self.detectors) < self.min_fleet:
+            # Below break-even fleet size the session-axis stacking only
+            # adds overhead; drain straight through the per-session engine.
+            self.bypassed_drains += 1
+            for k, raw in enumerate(blocks):
+                block = np.atleast_2d(np.asarray(raw, dtype=np.float64))
+                self.last_drain["stock"].append(k)
+                self.stock_steps += len(block)
+                results[k] = self.detectors[k].step_chunk(raw)
+            return results  # type: ignore[return-value]
 
         # Pass 1: static eligibility + fleet uniformity (no state touched).
         candidates: list[tuple[int, np.ndarray]] = []
@@ -113,45 +159,83 @@ class FleetEngine:
         if not candidates:
             return results  # type: ignore[return-value]
 
-        # Pass 2: push windows (shared with the stock path) and preview
-        # the drift decisions on state copies.
-        pushed: list[tuple[int, np.ndarray, np.ndarray]] = []
+        # Pass 2: push windows once (shared with the stock path) and
+        # preallocate each candidate's output arrays.
+        active: list[list] = []  # mutable [k, windows, pos] per session
         for k, block in candidates:
             windows, n_cold = self.detectors[k].buffer.push_block(block)
             assert n_cold == 0  # guaranteed by the warm-buffer check
-            pushed.append((k, block, windows))
-        fired_at = self._preview_drift(pushed)
+            n = len(windows)
+            results[k] = (
+                np.zeros(n, dtype=np.float64),
+                np.zeros(n, dtype=np.float64),
+                np.zeros(n, dtype=bool),
+                np.zeros(n, dtype=bool),
+            )
+            active.append([k, windows, 0])
 
-        clean: list[tuple[int, np.ndarray]] = []
-        for i, (k, block, windows) in enumerate(pushed):
-            if fired_at[i] >= 0:
-                # Divergent session: windows are pushed, state untouched —
-                # run the exact per-session segment machinery.
-                self.last_drain["dirty"].append(k)
-                self.dirty_steps += len(windows)
-                results[k] = self._run_stock(k, windows)
-            else:
-                clean.append((i, k))
-        if not clean:
-            return results  # type: ignore[return-value]
+        # Pass 3: fused rounds.  Each round previews the next fine-tune
+        # offset per session on state copies, scores fused up to it,
+        # commits, runs the co-firing sessions' fine-tunes (fused when
+        # the group allows), and re-enters with the remaining rows under
+        # the new parameters — so fired sessions never leave the fused
+        # path.  Every session advances by at least one row per round.
+        while active:
+            remaining = [(k, windows[pos:]) for k, windows, pos in active]
+            fired_at = self._preview_drift(remaining)
+            spans = [
+                int(fired_at[i]) + 1 if fired_at[i] >= 0 else len(w)
+                for i, (_, w) in enumerate(remaining)
+            ]
+            predictions = self._fused_predictions(
+                {k: w[:span] for (k, w), span in zip(remaining, spans)}
+            )
+            if predictions is None:
+                # Arena unavailable: finish every session on the stock
+                # segment loop (their windows are pushed, state current).
+                for (k, w), entry in zip(remaining, active):
+                    pos = entry[2]
+                    if pos == 0:
+                        self.last_drain["stock"].append(k)
+                        self.stock_steps += len(w)
+                    else:
+                        self.last_drain["dirty"].append(k)
+                        self.dirty_steps += len(w)
+                    self._finish_stock(k, w, results[k], pos)
+                return results  # type: ignore[return-value]
 
-        # Pass 3: one fused forward for every clean session, then commit.
-        predictions = self._fused_predictions(
-            {k: pushed[i][2] for i, k in clean}
-        )
-        if predictions is None:
-            # Arena unavailable: fall back to the stock segment loop.
-            for i, k in clean:
-                windows = pushed[i][2]
-                self.last_drain["stock"].append(k)
-                self.stock_steps += len(windows)
-                results[k] = self._run_stock(k, windows)
-            return results  # type: ignore[return-value]
-        for i, k in clean:
-            windows = pushed[i][2]
-            self.last_drain["fused"].append(k)
-            self.fused_steps += len(windows)
-            results[k] = self._commit_clean(k, windows, predictions[k])
+            # Nonconformity per session, then one session-axis scorer
+            # update over the whole round (sessions are independent, so
+            # hoisting the scorer out of the per-session loop commutes).
+            a_outs = [
+                self._span_nonconformity(k, w[:span], predictions[k])
+                for (k, w), span in zip(remaining, spans)
+            ]
+            f_outs = AnomalyLikelihood.fleet_update_batch(
+                [self.detectors[k].scorer for k, _ in remaining], a_outs
+            )
+            fired: list[int] = []
+            for i, ((k, w), span, entry) in enumerate(
+                zip(remaining, spans, active)
+            ):
+                if entry[2] == 0:
+                    self.last_drain["fused"].append(k)
+                did_fire = fired_at[i] >= 0
+                self._commit_span(
+                    k, i, w[:span], a_outs[i], f_outs[i],
+                    results[k], entry[2], did_fire,
+                )
+                self.fused_steps += span
+                if did_fire:
+                    fired.append(k)
+            if fired:
+                self._finetune_fired(fired)
+            still: list[list] = []
+            for entry, span in zip(active, spans):
+                entry[2] += span
+                if entry[2] < len(entry[1]):
+                    still.append(entry)
+            active = still
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -202,23 +286,26 @@ class FleetEngine:
 
     # ------------------------------------------------------------------
     def _preview_drift(
-        self, pushed: list[tuple[int, np.ndarray, np.ndarray]]
+        self, remaining: list[tuple[int, np.ndarray]]
     ) -> np.ndarray:
-        """First previewed fine-tune step per session, -1 when none.
+        """First previewed fine-tune offset per session, -1 when none.
 
         For the fusable Task-2 strategies the decision sequence is a
         function of the training-set updates (never the scores), so it
-        can be computed before any scoring — on copies, so divergent
-        sessions keep their state untouched.
+        can be computed before any scoring — on copies, so the members'
+        state stays untouched until the span is committed.  ``remaining``
+        carries each session's not-yet-scored windows; the preview is
+        rebuilt per round so a fine-tune's ``notify_finetuned`` reference
+        reset is picked up by the next round automatically.
         """
-        n = len(pushed)
+        n = len(remaining)
         fired_at = np.full(n, -1, dtype=np.int64)
-        drift0 = self.detectors[pushed[0][0]].drift_detector
+        drift0 = self.detectors[remaining[0][0]].drift_detector
         if isinstance(drift0, NeverFineTune):
             return fired_at
         if isinstance(drift0, RegularFineTuning):
             interval = drift0.interval
-            for i, (k, _, windows) in enumerate(pushed):
+            for i, (k, windows) in enumerate(remaining):
                 t0 = self.detectors[k].t
                 t_next = (t0 // interval + 1) * interval
                 if t_next <= t0 + len(windows):
@@ -226,22 +313,22 @@ class FleetEngine:
             return fired_at
 
         # μ/σ-Change: vectorized (K, D) replay over state copies.
-        lengths = np.array([len(w) for _, _, w in pushed])
+        lengths = np.array([len(w) for _, w in remaining])
         b_max = int(lengths.max())
-        dim = pushed[0][2][0].size
+        dim = remaining[0][1][0].size
         added = np.zeros((n, b_max, dim), dtype=np.float64)
         removed = np.zeros_like(added)
         replaced = np.zeros((n, b_max), dtype=bool)
-        for i, (k, _, windows) in enumerate(pushed):
+        for i, (k, windows) in enumerate(remaining):
             b = len(windows)
             added[i, :b] = windows.reshape(b, -1)
             rep, rem = self.detectors[k].train_strategy.preview_block(windows)
             replaced[i, :b] = rep
             removed[i, :b] = rem.reshape(b, -1)
         lane = MuSigmaLane(
-            [self.detectors[k].drift_detector for k, _, _ in pushed]
+            [self.detectors[k].drift_detector for k, _ in remaining]
         )
-        self._lane = lane  # kept for the clean-session commit
+        self._lane = lane  # kept for the span commit
         alive = np.ones(n, dtype=bool)
         for j in range(b_max):
             active = alive & (j < lengths)
@@ -254,8 +341,7 @@ class FleetEngine:
             newly = idx[fired]
             fired_at[newly] = j
             alive[newly] = False
-        self._replaced_counts = replaced.sum(axis=1)
-        self._preview_index = {k: i for i, (k, _, _) in enumerate(pushed)}
+        self._replaced = replaced  # per-row flags for the span commit
         return fired_at
 
     # ------------------------------------------------------------------
@@ -309,44 +395,121 @@ class FleetEngine:
         det._process_windows(windows, 0, n, a_out, f_out, drift_out, fine_out)
         return a_out, f_out, drift_out, fine_out
 
-    def _commit_clean(
-        self, k: int, windows: np.ndarray, predictions: np.ndarray
-    ) -> BlockResult:
-        """Score and commit a session whose preview showed no fine-tune.
+    def _finish_stock(
+        self, k: int, windows: np.ndarray, result: BlockResult, pos: int
+    ) -> None:
+        """Drain a session's remaining windows through the stock loop."""
+        a_out, f_out, drift_out, fine_out = self._run_stock(k, windows)
+        a_res, f_res, d_res, fi_res = result
+        a_res[pos:] = a_out
+        f_res[pos:] = f_out
+        d_res[pos:] = drift_out
+        fi_res[pos:] = fine_out
 
-        Replays exactly what the stock segment loop would have done for a
-        fire-free block: fold the precursors through the measure, batch
-        the scorer, extend the training set, advance the drift state and
-        the clock.  Output drift/fine flags are all False by construction.
-        """
+    def _span_nonconformity(
+        self, k: int, windows: np.ndarray, predictions: np.ndarray
+    ) -> np.ndarray:
+        """Fold one session's span of predictions through the measure."""
         det = self.detectors[k]
-        n = len(windows)
         measure = det.nonconformity
         precursors = measure.from_predictions(windows, predictions, det.model)
         if measure.stateless_consume:
-            a_out = np.asarray(precursors, dtype=np.float64)
-        else:
-            a_out = np.empty(n, dtype=np.float64)
-            for j in range(n):
-                a_out[j] = measure.consume(precursors, j, windows[j], det.model)
-        f_out = np.asarray(det.scorer.update_batch(a_out), dtype=np.float64)
+            return np.asarray(precursors, dtype=np.float64)
+        a_out = np.empty(len(windows), dtype=np.float64)
+        for j in range(len(windows)):
+            a_out[j] = measure.consume(precursors, j, windows[j], det.model)
+        return a_out
+
+    def _commit_span(
+        self,
+        k: int,
+        i: int,
+        windows: np.ndarray,
+        a_out: np.ndarray,
+        f_out: np.ndarray,
+        result: BlockResult,
+        pos: int,
+        fired: bool,
+    ) -> None:
+        """Commit one session's scored fused span into its result.
+
+        Replays exactly what the stock segment loop does for the rows up
+        to (and including) a previewed fire: extend the training set,
+        advance the drift state and the clock.  The nonconformities and
+        scores were already computed (the scorer session-axis across the
+        round); the fine-tune itself (when ``fired``) runs afterwards in
+        :meth:`_finetune_fired`, grouped with the round's co-firing
+        sessions.
+        """
+        det = self.detectors[k]
+        n = len(windows)
+        f_out = np.asarray(f_out, dtype=np.float64)
         if det.first_scored_step is None:
             det.first_scored_step = det.t + 1
         det.train_strategy.commit_block(windows)
         drift = det.drift_detector
         if isinstance(drift, MuSigmaChange):
-            i = self._preview_index[k]
-            n_replaced = int(self._replaced_counts[i])
+            n_replaced = int(self._replaced[i, :n].sum())
             self._lane.commit(i, drift, n - n_replaced, n_replaced, n)
         elif isinstance(drift, RegularFineTuning):
             drift.ops.comparisons += n
         det.t += n
-        return (
-            a_out,
-            f_out,
-            np.zeros(n, dtype=bool),
-            np.zeros(n, dtype=bool),
-        )
+        a_res, f_res, d_res, fi_res = result
+        a_res[pos : pos + n] = a_out
+        f_res[pos : pos + n] = f_out
+        if fired:
+            d_res[pos + n - 1] = True
+            fi_res[pos + n - 1] = True
+
+    def _finetune_fired(self, fired: list[int]) -> None:
+        """Fine-tune the round's fired sessions, fused where groupable.
+
+        Sessions are grouped by ``(finetune_epochs, train-set size)`` —
+        the only two quantities the training loop's structure depends on
+        (spec uniformity is already guaranteed by pass 1).  Each group of
+        two or more runs one session-axis ``fleet_finetune``; singletons
+        and groups the model declines (``None``) take the per-session
+        :meth:`~repro.core.detector.StreamingAnomalyDetector._finetune`,
+        which is bitwise the same.
+        """
+        train_sets = {
+            k: self.detectors[k].train_strategy.training_set() for k in fired
+        }
+        groups: dict[tuple[int, int], list[int]] = {}
+        for k in fired:
+            det = self.detectors[k]
+            key = (det.finetune_epochs, len(train_sets[k]))
+            groups.setdefault(key, []).append(k)
+        for (epochs, _), members in groups.items():
+            fused = None
+            if len(members) >= 2:
+                models = [self.detectors[k].model for k in members]
+                with self.telemetry.span("stage:finetune_fused"):
+                    fused = type(models[0]).fleet_finetune(
+                        models, [train_sets[k] for k in members], epochs
+                    )
+            if fused is None:
+                for k in members:
+                    self.detectors[k]._finetune(train_sets[k])
+                continue
+            loss_before, loss_after = fused
+            for k, before, after in zip(members, loss_before, loss_after):
+                det = self.detectors[k]
+                train_set = train_sets[k]
+                det.drift_detector.notify_finetuned(det.t, train_set)
+                det.events.append(
+                    FineTuneEvent(
+                        t=det.t,
+                        reason=det.drift_detector.name,
+                        train_set_size=len(train_set),
+                        loss_before=before,
+                        loss_after=after,
+                    )
+                )
+            self.finetunes_fused += len(members)
+            self.points_fused_training += sum(
+                len(train_sets[k]) for k in members
+            )
 
     # ------------------------------------------------------------------
     def manifest(self) -> dict:
@@ -364,11 +527,15 @@ class FleetEngine:
         total = self.fused_steps + self.dirty_steps + self.stock_steps
         return {
             "sessions": len(self.detectors),
+            "min_fleet": self.min_fleet,
             "drains": self.drains,
+            "bypassed_drains": self.bypassed_drains,
             "fused_steps": self.fused_steps,
             "dirty_steps": self.dirty_steps,
             "stock_steps": self.stock_steps,
             "fused_fraction": (self.fused_steps / total) if total else 0.0,
+            "finetunes_fused": self.finetunes_fused,
+            "points_fused_training": self.points_fused_training,
             "arena": arena_info,
             "last_drain": self.last_drain,
         }

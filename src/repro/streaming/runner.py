@@ -141,3 +141,89 @@ def run_stream(
         runtime_seconds=runtime,
         telemetry=tel.as_dict() if tel.enabled else None,
     )
+
+
+def run_fleet(
+    detectors: list[StreamingAnomalyDetector],
+    series_list: list[TimeSeries],
+    batch_size: int = 64,
+    min_fleet: int = 2,
+    engine: "FleetEngine | None" = None,
+) -> list[StreamResult]:
+    """Drive a fleet of detectors over equal-length series, fused.
+
+    The offline counterpart of the serving fused drain: detector ``k``
+    consumes ``series_list[k]`` in blocks of ``batch_size`` through one
+    shared :class:`~repro.streaming.fleet.FleetEngine`, so same-spec
+    sessions score (and fine-tune) through session-axis kernels.  The
+    results are bitwise identical to ``[run_stream(d, s,
+    batch_size=batch_size) for d, s in zip(detectors, series_list)]``.
+
+    Args:
+        detectors: one freshly built detector per series.
+        series_list: the labelled streams; all must share ``n_steps``.
+        batch_size: per-drain block length (>= 1).
+        min_fleet: forwarded to the engine — fleets below it drain per
+            session.
+        engine: optionally a pre-built engine over ``detectors`` (e.g.
+            to inspect its manifest afterwards); built fresh otherwise.
+
+    Returns:
+        One :class:`StreamResult` per detector, series-aligned.
+    """
+    from repro.streaming.fleet import FleetEngine
+
+    if len(detectors) != len(series_list):
+        raise ValueError(
+            f"expected one series per detector, got {len(detectors)} "
+            f"detectors and {len(series_list)} series"
+        )
+    if not detectors:
+        return []
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n_steps = series_list[0].n_steps
+    if any(series.n_steps != n_steps for series in series_list):
+        raise ValueError("fleet series must share the same length")
+    if engine is None:
+        engine = FleetEngine(detectors, min_fleet=min_fleet)
+    elif engine.detectors != list(detectors):
+        raise ValueError("engine must be built over the same detectors")
+    k = len(detectors)
+    scores = [np.zeros(n_steps, dtype=np.float64) for _ in range(k)]
+    nonconformities = [np.zeros(n_steps, dtype=np.float64) for _ in range(k)]
+    drift_steps: list[list[int]] = [[] for _ in range(k)]
+    started = time.perf_counter()
+    for start in range(0, n_steps, batch_size):
+        blocks = [
+            series.values[start : start + batch_size]
+            for series in series_list
+        ]
+        results = engine.step_chunk(blocks)
+        stop = start + len(blocks[0])
+        for i, (a_block, f_block, drift_block, _) in enumerate(results):
+            scores[i][start:stop] = f_block
+            nonconformities[i][start:stop] = a_block
+            if drift_block.any():
+                drift_steps[i].extend(
+                    (start + np.flatnonzero(drift_block)).tolist()
+                )
+    runtime = time.perf_counter() - started
+    return [
+        StreamResult(
+            series_name=series.name,
+            algorithm=type(det.model).name,
+            scores=scores[i],
+            nonconformities=nonconformities[i],
+            labels=series.labels.copy(),
+            first_scored=(
+                det.first_scored_step
+                if det.first_scored_step is not None
+                else n_steps
+            ),
+            events=list(det.events),
+            drift_steps=drift_steps[i],
+            runtime_seconds=runtime,
+        )
+        for i, (det, series) in enumerate(zip(detectors, series_list))
+    ]

@@ -199,25 +199,40 @@ def test_bench_fleet_smoke(tmp_path):
         "max_batch",
         "n_points_per_session",
         "fleet",
+        "fleet_drift",
         "serve",
         "equivalence",
     ):
         assert key in payload
     assert len(payload["fleet"]) == 2  # fast mode: K in {1, 4}
-    for row in payload["fleet"]:
+    assert len(payload["fleet_drift"]) == 2  # fast: one interval x K in {1, 4}
+    for row in payload["fleet"] + payload["fleet_drift"]:
         for key in (
             "sessions",
             "per_session_points_per_second",
             "fused_points_per_second",
             "speedup_fused_vs_per_session",
             "fused_fraction",
+            "bypassed",
+            "finetunes_fused",
         ):
             assert key in row
         # Correctness claim (fused == per-session step_chunk, bitwise)
-        # holds even at smoke scale; the 2x throughput claim is asserted
+        # holds even at smoke scale; the throughput claims are asserted
         # only by the full run that writes the committed numbers.
         assert row["equivalence_bitwise"] is True
-        assert row["fused_fraction"] > 0
+        if row["sessions"] == 1:
+            # Below min_fleet the engine bypasses: all-stock, by design.
+            assert row["bypassed"] is True and row["fused_fraction"] == 0
+        else:
+            assert row["fused_fraction"] > 0
+    for row in payload["fleet_drift"]:
+        assert row["drift_interval"] == 32  # fast-mode default axis
+        if row["sessions"] > 1:
+            # Drift-heavy fleets must fine-tune *fused*, keeping the
+            # whole drain on the fused path.
+            assert row["finetunes_fused"] > 0
+            assert row["fused_fraction"] == 1.0
     assert payload["equivalence"]["bitwise_identical"] is True
     for key in ("fused_points_per_second", "per_session_points_per_second"):
         assert payload["serve"][key] > 0

@@ -95,15 +95,21 @@ def state_fingerprint(det) -> bytes:
     )
 
 
-def _drain_both(spec, k_sessions, chunk, values_by_k, n_steps, shift=None):
-    """Run fused vs per-session over identical streams; return both fleets."""
+def _drain_both(
+    spec, k_sessions, chunk, values_by_k, n_steps, shift=None, min_fleet=1
+):
+    """Run fused vs per-session over identical streams; return both fleets.
+
+    ``min_fleet=1`` keeps K=1 shapes on the true fused path (the engine
+    defaults to bypassing below 2 sessions — pinned separately).
+    """
     values = [v.copy() for v in values_by_k]
     if shift is not None:
         for k, start, delta in shift:
             values[k][start:] += delta
     fused_dets = _build_fleet(spec, k_sessions, values)
     ref_dets = _build_fleet(spec, k_sessions, values)
-    fleet = FleetEngine(fused_dets)
+    fleet = FleetEngine(fused_dets, min_fleet=min_fleet)
     for start in range(WARMUP, WARMUP + n_steps, chunk):
         end = min(start + chunk, WARMUP + n_steps)
         blocks = [v[start:end] for v in values]
@@ -138,7 +144,7 @@ def test_fleet_matches_per_session_bitwise(spec, k_sessions, chunk):
 
 
 def test_fleet_divergence_and_rejoin_bitwise():
-    """Sessions that fire mid-fleet drop to the dirty lane and rejoin."""
+    """Sessions that fire mid-fleet now *stay fused* through the fire."""
     spec = AlgorithmSpec("ae", "sw", "musigma")
     values = [_series(k).values for k in range(4)]
     fleet, fused_dets, ref_dets = _drain_both(
@@ -151,12 +157,164 @@ def test_fleet_divergence_and_rejoin_bitwise():
     )
     for fused_det, ref_det in zip(fused_dets, ref_dets):
         assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
-    # The shifted sessions must actually have diverged (fine-tuned) and
-    # the fleet must still have fused the quiet majority.
+    # The shifted sessions must actually have fired (fine-tuned) — and
+    # with the round-based drain that no longer costs the fused lane:
+    # every step of every session stays fused.
     assert fused_dets[1].n_finetunes > 0 and fused_dets[3].n_finetunes > 0
     manifest = fleet.manifest()
-    assert manifest["dirty_steps"] > 0
-    assert manifest["fused_steps"] > manifest["dirty_steps"]
+    assert manifest["dirty_steps"] == 0
+    assert manifest["stock_steps"] == 0
+    assert manifest["fused_fraction"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# drift storms: fused fine-tuning keeps firing fleets on the fused path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("k_sessions,chunk", ((1, 16), (3, 5), (3, 64), (16, 16)))
+def test_fleet_drift_storm_regular_bitwise(k_sessions, chunk):
+    """RegularFineTuning at interval 32 under μ/σ-shift storms.
+
+    Every session fires every 32 steps — the drift-heavy worst case for
+    the old drain (which dropped every fire to the stock lane).  The
+    round-based drain must keep 100% of the steps fused, run the
+    co-firing sessions' fine-tunes through ``fleet_finetune`` (K >= 2),
+    and still match per-session ``step_chunk`` bitwise.
+    """
+    spec = AlgorithmSpec("ae", "sw", "regular")
+    values = [_series(k).values for k in range(k_sessions)]
+    shift = [(k, 220 + 10 * k, 4.0) for k in range(k_sessions)]
+    shift += [(k, 300 + 5 * k, -3.0) for k in range(k_sessions)]
+    fleet, fused_dets, ref_dets = _drain_both(
+        spec, k_sessions, chunk, values, n_steps=160, shift=shift
+    )
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
+    assert all(det.n_finetunes >= 4 for det in fused_dets)
+    manifest = fleet.manifest()
+    assert manifest["fused_fraction"] == 1.0
+    assert manifest["dirty_steps"] == 0 and manifest["stock_steps"] == 0
+    drain_fires = sum(
+        1 for det in fused_dets for e in det.events if e.t > WARMUP
+    )
+    if k_sessions >= 2:
+        # All sessions fire in lock-step, so every drain-phase
+        # fine-tune runs fused (warm-up fires happen per step).
+        assert manifest["finetunes_fused"] == drain_fires > 0
+        assert manifest["points_fused_training"] > 0
+    else:
+        assert manifest["finetunes_fused"] == 0
+
+
+@pytest.mark.parametrize("spec_tuple", (("usad", "sw", "regular"), ("nbeats", "sw", "regular")))
+def test_fleet_drift_storm_other_models_bitwise(spec_tuple):
+    """The fused training kernels hold for USAD (two optimizers, shared
+    encoder copies) and N-BEATS (residual block stack) too."""
+    spec = AlgorithmSpec(*spec_tuple)
+    values = [_series(k).values for k in range(3)]
+    fleet, fused_dets, ref_dets = _drain_both(
+        spec, 3, 16, values, n_steps=96,
+        shift=[(k, 230, 5.0) for k in range(3)],
+    )
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
+    manifest = fleet.manifest()
+    assert manifest["fused_fraction"] == 1.0
+    assert manifest["finetunes_fused"] > 0
+
+
+def test_fleet_drift_storm_musigma_co_firing_bitwise():
+    """μ/σ-Change storms hitting all sessions at once fuse the fine-tunes."""
+    spec = AlgorithmSpec("ae", "sw", "musigma")
+    values = [_series(k).values for k in range(4)]
+    shift = [(k, 240, 6.0) for k in range(4)]
+    shift += [(k, 330, -5.0) for k in range(4)]
+    fleet, fused_dets, ref_dets = _drain_both(
+        spec, 4, 16, values, n_steps=256, shift=shift
+    )
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
+    assert all(det.n_finetunes > 0 for det in fused_dets)
+    manifest = fleet.manifest()
+    assert manifest["fused_fraction"] == 1.0
+    assert manifest["finetunes_fused"] > 0
+
+
+def test_fleet_staggered_fire_offsets_same_chunk_bitwise():
+    """Sessions firing at *different* offsets inside one chunk stay fused.
+
+    Staggered warm-ups desynchronize the sessions' clocks, so Regular
+    fine-tunes land at different rows of the same drain — each round
+    commits each session's own span, fine-tunes the firing subset, and
+    re-enters with the rest.  Singleton fire groups take the per-session
+    fine-tune (bitwise the same); mid-chunk divergence must still rejoin
+    the fused rounds, never the stock lane.
+    """
+    spec = AlgorithmSpec("ae", "sw", "regular")
+    k_sessions, chunk, n_steps = 3, 24, 120
+    values = [_series(k).values.copy() for k in range(k_sessions)]
+    for k in range(k_sessions):
+        values[k][220:] += 3.0
+    offsets = [0, 7, 19]  # per-session warm-up stagger, inside one chunk
+    fused_dets, ref_dets = [], []
+    for build in (fused_dets, ref_dets):
+        for k in range(k_sessions):
+            det = build_detector(spec, _series(k).n_channels, CONFIG)
+            for t in range(WARMUP + offsets[k]):
+                det.step(values[k][t])
+            build.append(det)
+    fleet = FleetEngine(fused_dets, min_fleet=1)
+    for start in range(0, n_steps, chunk):
+        blocks = [
+            values[k][WARMUP + offsets[k] + start :][: min(chunk, n_steps - start)]
+            for k in range(k_sessions)
+        ]
+        fused = fleet.step_chunk(blocks)
+        for k in range(k_sessions):
+            want = ref_dets[k].step_chunk(blocks[k])
+            for got, expected in zip(fused[k], want):
+                assert got.tobytes() == expected.tobytes()
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        assert state_fingerprint(fused_det) == state_fingerprint(ref_det)
+    # Clocks differ mod 32, so fires hit different rows of each drain.
+    assert len({det.t % 32 for det in fused_dets}) == 3
+    assert all(det.n_finetunes > 0 for det in fused_dets)
+    manifest = fleet.manifest()
+    assert manifest["fused_fraction"] == 1.0
+    assert manifest["dirty_steps"] == 0 and manifest["stock_steps"] == 0
+
+
+def test_fleet_checkpoint_bitwise_through_fused_finetunes():
+    """Full-detector pickles match after fused fine-tunes: weights,
+    gradients, Adam moments and step counts, RNG streams, events."""
+    spec = AlgorithmSpec("ae", "sw", "regular")
+    values = [_series(k).values for k in range(3)]
+    fleet, fused_dets, ref_dets = _drain_both(
+        spec, 3, 16, values, n_steps=96,
+        shift=[(k, 230, 4.0) for k in range(3)],
+    )
+    assert fleet.manifest()["finetunes_fused"] > 0
+    for fused_det, ref_det in zip(fused_dets, ref_dets):
+        assert pickle.dumps(fused_det) == pickle.dumps(ref_det)
+
+
+def test_fleet_k1_default_bypass():
+    """K=1 drains bypass the fused machinery by default (min_fleet=2)."""
+    spec = AlgorithmSpec("ae", "sw", "musigma")
+    values = [_series(0).values]
+    dets = _build_fleet(spec, 1, values)
+    ref = _build_fleet(spec, 1, values)
+    fleet = FleetEngine(dets)  # default min_fleet=2
+    for start in range(WARMUP, WARMUP + 96, 16):
+        blocks = [values[0][start : start + 16]]
+        fused = fleet.step_chunk(blocks)
+        want = ref[0].step_chunk(blocks[0])
+        for got, expected in zip(fused[0], want):
+            assert got.tobytes() == expected.tobytes()
+    manifest = fleet.manifest()
+    assert manifest["min_fleet"] == 2
+    assert manifest["bypassed_drains"] == manifest["drains"] == 6
+    assert manifest["fused_steps"] == 0 and manifest["stock_steps"] == 96
+    assert state_fingerprint(dets[0]) == state_fingerprint(ref[0])
 
 
 def test_fleet_mixed_specs_fall_back_to_stock():
@@ -330,3 +488,118 @@ def test_probe_zero_removed_row_replay():
     a = rng.normal(size=72)
     assert (x + (a - 0.0)).tobytes() == (x + a).tobytes()
     assert (x + (a**2 - 0.0**2)).tobytes() == (x + a**2).tobytes()
+
+
+def test_probe_session_axis_training_grads():
+    """The fused backward's stacked matmuls slice to per-session grads."""
+    rng = np.random.default_rng(12)
+    x = rng.normal(size=(4, 9, 36))
+    w = rng.normal(size=(4, 36, 17))
+    g = rng.normal(size=(4, 9, 17))
+    fwd = np.matmul(x, w)
+    w_grad = np.matmul(x.transpose(0, 2, 1), g)
+    b_grad = g.sum(axis=1)
+    x_grad = np.matmul(g, w.transpose(0, 2, 1))
+    for k in range(4):
+        assert fwd[k].tobytes() == (x[k] @ w[k]).tobytes()
+        assert w_grad[k].tobytes() == (x[k].T @ g[k]).tobytes()
+        assert b_grad[k].tobytes() == g[k].sum(axis=0).tobytes()
+        assert x_grad[k].tobytes() == (g[k] @ w[k].T).tobytes()
+
+
+def test_probe_adam_lane_bias_broadcast():
+    """Per-session bias corrections broadcast over (K, 1, ...) columns
+    exactly as the scalar per-session Adam expressions."""
+    rng = np.random.default_rng(13)
+    counts = [3, 7, 11]
+    beta1, beta2, lr, eps = 0.9, 0.999, 3e-3, 1e-8
+    m = rng.normal(size=(3, 36, 17))
+    v = rng.normal(size=(3, 36, 17)) ** 2
+    bias1 = np.array([1.0 - beta1**c for c in counts])
+    bias2 = np.array([1.0 - beta2**c for c in counts])
+    shape = (3,) + (1,) * (m.ndim - 1)
+    fused = lr * (m / bias1.reshape(shape)) / (
+        np.sqrt(v / bias2.reshape(shape)) + eps
+    )
+    for k, count in enumerate(counts):
+        solo = lr * (m[k] / (1.0 - beta1**count)) / (
+            np.sqrt(v[k] / (1.0 - beta2**count)) + eps
+        )
+        assert fused[k].tobytes() == solo.tobytes()
+
+
+def test_probe_fancy_gather_minibatch():
+    """(K, B)-indexed minibatch gather slices to per-session takes,
+    including the ragged final batch."""
+    rng = np.random.default_rng(14)
+    flat = rng.normal(size=(3, 32, 20))
+    orders = np.stack([rng.permutation(32) for _ in range(3)])
+    rows = np.arange(3)[:, None]
+    for start in (0, 24):  # 24 → final partial batch of 8
+        idx = orders[:, start : start + 12]
+        batch = flat[rows, idx]
+        for k in range(3):
+            assert batch[k].tobytes() == flat[k][idx[k]].tobytes()
+
+
+def test_probe_fleet_scorer_lane_bitwise():
+    """`AnomalyLikelihood.fleet_update_batch` equals per-scorer
+    `update_batch` bitwise — ragged spans, warm-ring fallback, mixed
+    parameters — and leaves identical ring state behind."""
+    import pickle
+
+    from repro.scoring.anomaly_score import AnomalyLikelihood
+
+    rng = np.random.default_rng(16)
+
+    def warmed(seed, k=64, n_warm=200):
+        scorer = AnomalyLikelihood(k=k)
+        scorer.update_batch(np.random.default_rng(seed).normal(size=n_warm))
+        return scorer
+
+    # Ragged spans across a 4-session lane, plus a still-warming ring
+    # (scalar-path region) and a mismatched-k session that must fall
+    # back — the lane result must not depend on who shares the stack.
+    scorers = [warmed(s) for s in range(4)]
+    scorers.append(warmed(4, n_warm=10))  # ring below k-1: scalar path
+    scorers.append(warmed(5, k=32))  # different window length
+    values = [rng.normal(size=b) for b in (16, 1, 7, 16, 5, 16)]
+    reference = [pickle.loads(pickle.dumps(s)) for s in scorers]
+
+    fused = AnomalyLikelihood.fleet_update_batch(scorers, values)
+    for scorer, ref, vals, out in zip(scorers, reference, values, fused):
+        want = ref.update_batch(vals)
+        assert out.tobytes() == want.tobytes()
+        assert pickle.dumps(scorer.snapshot()) == pickle.dumps(ref.snapshot())
+
+
+def test_train_micro_fix_identity():
+    """The preallocated/hoisted `_train` loop equals the naive one."""
+    from repro import nn
+    from repro.models.autoencoder import TwoLayerAutoencoder
+
+    rng = np.random.default_rng(15)
+    windows = rng.normal(size=(50, 8, 6))
+    current = TwoLayerAutoencoder(window=8, n_channels=6, seed=3)
+    naive = TwoLayerAutoencoder(window=8, n_channels=6, seed=3)
+    loss_current = current.fit(windows, epochs=3)
+
+    naive.scaler.fit(windows)
+    flat = naive.scaler.transform(windows).reshape(len(windows), -1)
+    loss_naive = float("nan")
+    for _ in range(3):
+        order = naive._rng.permutation(len(flat))
+        losses = []
+        for start in range(0, len(flat), naive.batch_size):
+            batch = flat[order[start : start + naive.batch_size]]
+            naive._optimizer.zero_grad()
+            output = naive.network(batch)
+            losses.append(nn.mse_loss(output, batch))
+            naive.network.backward(nn.mse_loss_grad(output, batch))
+            naive._optimizer.step()
+        loss_naive = float(np.mean(losses))
+    naive._fitted = True
+
+    assert loss_current == loss_naive
+    for p_cur, p_old in zip(current.network.parameters(), naive.network.parameters()):
+        assert p_cur.value.tobytes() == p_old.value.tobytes()
