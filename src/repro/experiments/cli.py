@@ -163,6 +163,28 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="idle_timeout",
                        help="spill sessions idle this many seconds even "
                             "below the capacity bound")
+    serve.add_argument("--wal-dir", default=None, dest="wal_dir",
+                       help="enable the per-session write-ahead ingest "
+                            "log in this directory: every accepted "
+                            "ingest is logged before acknowledgement and "
+                            "orphaned logs are replayed at startup "
+                            "(with --workers, each worker logs under its "
+                            "own spill subdirectory)")
+    serve.add_argument("--wal-fsync", default="barrier",
+                       choices=("always", "barrier", "never"),
+                       dest="wal_fsync",
+                       help="WAL durability policy: fsync every append "
+                            "(always), only checkpoint barriers "
+                            "(barrier, default), or never")
+    serve.add_argument("--wal-barrier-interval", type=int, default=256,
+                       dest="wal_barrier_interval",
+                       help="scored points between WAL checkpoint "
+                            "barriers — the bound on replay cost after "
+                            "a crash")
+    serve.add_argument("--run-log", default=None, dest="run_log",
+                       help="write the deterministic JSON-lines run log "
+                            "(session lifecycle audit) to this path; "
+                            "summarized into the --trace manifest")
     serve.add_argument("--window", type=int, default=24,
                        help="data representation length w for built detectors")
     serve.add_argument("--capacity", type=int, default=64,
@@ -219,6 +241,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_delay_ms=args.max_delay_ms,
         queue_limit=args.queue_limit,
         idle_timeout_s=args.idle_timeout,
+        wal_dir=args.wal_dir,
+        wal_fsync=args.wal_fsync,
+        wal_barrier_interval=args.wal_barrier_interval,
+        run_log=args.run_log,
         detector=DetectorConfig(
             window=args.window,
             train_capacity=args.capacity,
@@ -264,12 +290,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         if args.trace:
             rollup = Telemetry()
             rollup.merge_payload(service.stats_payload()["rollup"])
+            run_log = getattr(service, "run_log", None)
             manifest = build_manifest(
                 command="serve",
                 config=config,
                 telemetry=rollup,
                 wall_time_seconds=time.perf_counter() - started,
                 seeds=[args.seed],
+                artifacts=(
+                    {"run_log": run_log.summary()} if run_log is not None else None
+                ),
             )
             out = args.trace_out or "RunManifest_serve.json"
             print(f"run manifest written to {manifest.write(out)}", flush=True)

@@ -94,6 +94,13 @@ class MuSigmaChange(DriftDetector):
         self.aggregate = aggregate
         self.std_factor = std_factor
         self._count = 0
+        #: the running sums are kept relative to the first observed
+        #: vector — the textbook shifted-data form.  Raw sums of squares
+        #: cancel catastrophically when the data sits far from zero
+        #: (E[x²] − E[x]² loses ~all significant digits for x ≈ 100 with
+        #: tiny spread, reporting σ ~1e-6 where the truth is 0), while
+        #: the shifted sums keep the same O(Nw) incremental update.
+        self._shift: FloatArray | None = None
         self._sum: FloatArray | None = None
         self._sumsq: FloatArray | None = None
         self._ref_mean: FloatArray | None = None
@@ -107,18 +114,23 @@ class MuSigmaChange(DriftDetector):
             return
         added = np.asarray(update.added, dtype=np.float64).ravel()
         if self._sum is None:
+            self._shift = added.copy()
             self._sum = np.zeros_like(added)
             self._sumsq = np.zeros_like(added)
+        shifted = added - self._shift
         if update.kind is UpdateKind.ADDED:
-            self._sum += added
-            self._sumsq += added**2
+            self._sum += shifted
+            self._sumsq += shifted**2
             self._count += 1
             self.ops.additions += 2 * added.size
             self.ops.multiplications += added.size
         else:  # REPLACED: sum += x_t - x*, an O(Nw) incremental update
-            removed = np.asarray(update.removed, dtype=np.float64).ravel()
-            self._sum += added - removed
-            self._sumsq += added**2 - removed**2
+            removed = (
+                np.asarray(update.removed, dtype=np.float64).ravel()
+                - self._shift
+            )
+            self._sum += shifted - removed
+            self._sumsq += shifted**2 - removed**2
             self.ops.additions += 4 * added.size
             self.ops.multiplications += 2 * added.size
 
@@ -127,7 +139,7 @@ class MuSigmaChange(DriftDetector):
         """Current running mean over the training set (flattened features)."""
         if self._sum is None or self._count == 0:
             return None
-        return self._sum / self._count
+        return self._shift + self._sum / self._count
 
     @property
     def std(self) -> FloatArray | None:
@@ -177,6 +189,7 @@ class MuSigmaChange(DriftDetector):
     def reset(self) -> None:
         super().reset()
         self._count = 0
+        self._shift = None
         self._sum = None
         self._sumsq = None
         self._ref_mean = None
@@ -211,10 +224,10 @@ class MuSigmaLane:
     by :meth:`commit`, so a session whose preview fires can simply be
     handed back to the stock per-session path with its state untouched.
 
-    An append update is replayed as a replace with an all-zero removed
-    row (``x + (a - 0.0)`` and ``x + (a*a - 0.0)`` are bit-identical to
-    ``x + a`` / ``x + a*a``), which keeps mixed append/replace steps in
-    one vectorized update.
+    An append update is replayed as a replace whose removed-side shifted
+    delta is forced to ``0.0`` (``x + (a - 0.0)`` and ``x + (a*a - 0.0)``
+    are bit-identical to ``x + a`` / ``x + a*a``), which keeps mixed
+    append/replace steps in one vectorized update over the shifted sums.
     """
 
     def __init__(self, detectors: list[MuSigmaChange]) -> None:
@@ -228,6 +241,7 @@ class MuSigmaLane:
             raise ValueError("lane detectors must be fuse_ready")
         self.aggregate = first.aggregate
         self.std_factor = first.std_factor
+        self._shift = np.stack([d._shift for d in detectors])
         self._sum = np.stack([d._sum for d in detectors])
         self._sumsq = np.stack([d._sumsq for d in detectors])
         self._count = np.array(
@@ -253,12 +267,16 @@ class MuSigmaLane:
                 update appends.
             replaced: ``(n,)`` bool, True where the update replaces.
         """
-        self._sum[idx] += added - removed
-        self._sumsq[idx] += added**2 - removed**2
+        shift = self._shift[idx]
+        shifted = added - shift
+        removed = np.where(replaced[:, None], removed - shift, 0.0)
+        self._sum[idx] += shifted - removed
+        self._sumsq[idx] += shifted**2 - removed**2
         self._count[idx] += np.where(replaced, 0.0, 1.0)
         count = self._count[idx, None]
-        mean = self._sum[idx] / count
-        variance = self._sumsq[idx] / count - mean**2
+        shifted_mean = self._sum[idx] / count
+        mean = shift + shifted_mean
+        variance = self._sumsq[idx] / count - shifted_mean**2
         std = np.sqrt(np.maximum(variance, 0.0))
         ref_mean = self._ref_mean[idx]
         ref_std = self._ref_std[idx]

@@ -14,6 +14,7 @@ from repro.obs.manifest import (
     fingerprint_config,
     library_versions,
 )
+from repro.obs.runlog import RunLog
 from repro.obs.streamlog import STREAM_LOGGER_NAME, get_stream_logger
 from repro.obs.telemetry import (
     CORE_COUNTERS,
@@ -34,6 +35,7 @@ __all__ = [
     "STAGE_PREFIX",
     "STREAM_LOGGER_NAME",
     "NullTelemetry",
+    "RunLog",
     "RunManifest",
     "Telemetry",
     "build_manifest",

@@ -98,6 +98,9 @@ class RunManifest:
     n_events_dropped: int = 0
     schema: str = MANIFEST_SCHEMA
     created_unix: float = 0.0
+    #: companion artifacts the run left behind (e.g. the serve layer's
+    #: deterministic run log: path, entry count, per-kind breakdown).
+    artifacts: dict[str, Any] = dataclasses.field(default_factory=dict)
 
     @property
     def stage_seconds(self) -> float:
@@ -119,6 +122,7 @@ def build_manifest(
     telemetry: Telemetry,
     wall_time_seconds: float,
     seeds: list[int] | None = None,
+    artifacts: dict[str, Any] | None = None,
 ) -> RunManifest:
     """Assemble a :class:`RunManifest` from a finished traced run.
 
@@ -153,4 +157,5 @@ def build_manifest(
         events=snapshot["events"],
         n_events_dropped=snapshot["n_events_dropped"],
         created_unix=time.time(),
+        artifacts=canonicalize(artifacts) if artifacts else {},
     )

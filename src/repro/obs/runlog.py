@@ -1,0 +1,85 @@
+"""Deterministic per-run run logs: the serve layer's audit artifact.
+
+A :class:`RunLog` is an append-only JSON-lines record of the lifecycle
+decisions a serving run made — sessions created, recovered, barriered,
+migrated, closed — written as it happens (each line flushed, so a crash
+keeps everything up to the last complete event) and summarized into the
+run's :class:`~repro.obs.RunManifest` under ``artifacts``.
+
+Unlike telemetry (wall-clock spans, bounded event rings), a run log is
+**deterministic**: entries carry only logical state — stream ids,
+sequence numbers, stream clocks, counts — never timestamps or latencies,
+so two runs that made the same decisions produce byte-identical logs.
+That makes the artifact diffable across runs and machines: a recovery
+that replays the same WAL produces the same log as the run it resumed,
+which is how an operator audits that a crash changed nothing
+(``tests/test_wal.py`` pins this).
+
+Each line is one JSON object with sorted keys and an ``n`` sequence
+number:
+
+.. code-block:: text
+
+    {"kind": "session_created", "n": 0, "seq": 0, "stream": "machine-1"}
+    {"kind": "wal_barrier", "n": 1, "stream": "machine-1", "t": 255, "truncated": 256}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.manifest import canonicalize
+
+
+class RunLog:
+    """Append-only deterministic JSON-lines event log.
+
+    Args:
+        path: file to stream entries into (parent directories are
+            created; the file is truncated).  ``None`` keeps the log
+            in memory only — :meth:`entries` still works, nothing is
+            written.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._entries: list[dict[str, Any]] = []
+        self._handle = None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "w")
+
+    def log(self, kind: str, **fields: Any) -> dict[str, Any]:
+        """Record one event; returns the entry as written."""
+        entry = {"kind": kind, "n": len(self._entries)}
+        entry.update(canonicalize(fields))
+        self._entries.append(entry)
+        if self._handle is not None:
+            self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            self._handle.flush()
+        return entry
+
+    def entries(self) -> list[dict[str, Any]]:
+        """Snapshot of every entry logged so far."""
+        return [dict(entry) for entry in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def summary(self) -> dict[str, Any]:
+        """The manifest-side description of this artifact."""
+        kinds: dict[str, int] = {}
+        for entry in self._entries:
+            kinds[entry["kind"]] = kinds.get(entry["kind"], 0) + 1
+        return {
+            "path": str(self.path) if self.path is not None else None,
+            "n_entries": len(self._entries),
+            "kinds": dict(sorted(kinds.items())),
+        }
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -74,6 +74,14 @@ CORE_COUNTERS = (
     "points_fused",
     "finetunes_fused",
     "points_fused_training",
+    # repro.serve.wal durability counters (write-ahead ingest log,
+    # barrier checkpoints, crash recovery + bounded replay).
+    "wal_appends",
+    "wal_barriers",
+    "wal_truncated",
+    "wal_replayed",
+    "wal_recovered",
+    "wal_torn_tails",
 )
 
 #: Span keys recorded by the detector's per-step loop (the chunked engine

@@ -16,6 +16,9 @@ Layers (zero new dependencies — stdlib + numpy):
 - :mod:`repro.serve.state` — LRU session store with checkpoint-backed
   eviction (spill to ``CHECKPOINT_VERSION`` 3 files, transparent
   rehydration, bitwise-identical resume);
+- :mod:`repro.serve.wal` — per-session write-ahead ingest logs with
+  checkpoint barriers: crash-safe durability, bounded replay, and
+  bitwise-identical recovery of in-flight state;
 - :mod:`repro.serve.protocol` / :mod:`repro.serve.server` — the
   JSON-lines wire protocol, the threading TCP server, and in-process /
   socket clients;
@@ -65,10 +68,24 @@ from repro.serve.state import (
     UnknownSessionError,
     spill_filename,
 )
+from repro.serve.wal import (
+    COMPACT_MIN_BYTES,
+    FSYNC_POLICIES,
+    SessionWal,
+    WalConfig,
+    WalCorruption,
+    WalError,
+    barrier_filename,
+    plan_replay,
+    read_records,
+    wal_filename,
+)
 from repro.serve.worker import serve_config_from_payload, serve_config_to_payload
 
 __all__ = [
+    "COMPACT_MIN_BYTES",
     "ERROR_TYPES",
+    "FSYNC_POLICIES",
     "OPS",
     "PROTOCOL_VERSION",
     "BaseServeClient",
@@ -86,17 +103,25 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "SessionStore",
+    "SessionWal",
     "SocketServeClient",
     "SpillCollisionError",
     "UnknownSessionError",
+    "WalConfig",
+    "WalCorruption",
+    "WalError",
     "WorkerDown",
     "WorkerHandle",
+    "barrier_filename",
     "decode_line",
     "encode",
     "error_reply",
     "ok_reply",
     "parse_request",
+    "plan_replay",
+    "read_records",
     "serve_config_from_payload",
     "serve_config_to_payload",
     "spill_filename",
+    "wal_filename",
 ]

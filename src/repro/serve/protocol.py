@@ -29,7 +29,14 @@ verbatim in the reply.  Verbs:
     Append ``points`` (a ``[B][N]`` nested list) to the session's ingest
     queue.  All-or-nothing: if the bounded queue cannot take the whole
     batch, the reply is a ``queue_full`` error carrying ``retry_after``
-    seconds and nothing is enqueued.
+    seconds and nothing is enqueued.  Optional ``expect`` (the client's
+    next expected sequence number) makes the verb **idempotent**: a
+    block the session already assigned — a retry of an acknowledged
+    request whose reply was lost — is re-acknowledged with
+    ``duplicate: true`` instead of scored twice, and an ``expect``
+    ahead of the session is rejected (``bad_points``).  When the server
+    runs a write-ahead log, the block is logged durably *before* the
+    acknowledgement.
 ``score``
     Collect scored results: ``max`` bounds the reply size, ``flush``
     (default true) synchronously drains the session's queue first so a
@@ -46,7 +53,10 @@ verbatim in the reply.  Verbs:
     directory (the store also evicts idle sessions on its own when over
     capacity).  The next ``ingest``/``score`` rehydrates transparently.
 ``close``
-    Finalize a session, remove its spill file, return a summary.
+    Finalize a session: flush, drain — the reply carries any results
+    the client had not collected yet (``results``) — then remove its
+    on-disk state (spill, write-ahead log, barrier checkpoint) as the
+    very last step, so a crash mid-close never loses scored data.
 ``ping`` / ``shutdown``
     Liveness probe / stop the server loop (the reply is sent first).
 

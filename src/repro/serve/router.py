@@ -27,7 +27,12 @@ unchanged, behind one front door that
   identical to one that never moved;
 - **supervises workers** — a dead connection triggers a respawn and
   re-homes the worker's streams from their spill files (streams that
-  never spilled are restarted fresh and counted, not silently rewound);
+  never spilled are restarted fresh and counted, not silently rewound).
+  With the write-ahead log enabled (``worker.wal_dir``), a respawned
+  worker replays its own logs before accepting traffic — in-flight
+  points included — so every stream comes back bitwise-identical and
+  the router counts ``streams_recovered`` instead of
+  ``streams_restarted``;
 - **admits fleet-wide** — ``queue_full`` + ``retry_after`` from the
   owning shard passes through to the client verbatim, and
   :meth:`RouterService.check_rebalance` moves streams off a shard whose
@@ -215,6 +220,15 @@ class WorkerHandle:
             for key, value in serve_config_to_payload(self.config.worker).items()
             if key != "spill_dir"
         }
+        # Per-worker durability paths: any truthy wal_dir in the shared
+        # worker config acts as the on-switch; every worker keeps its
+        # write-ahead logs (and deterministic run log) under its own
+        # spill directory so a respawned process finds exactly its own
+        # streams to self-recover.
+        if worker_config.get("wal_dir") is not None:
+            worker_config["wal_dir"] = str(self.spill_dir / "wal")
+        if worker_config.get("run_log") is not None:
+            worker_config["run_log"] = str(self.spill_dir / "run_log.jsonl")
         # -c instead of -m: the package __init__ already imports
         # repro.serve.worker, and runpy warns when it re-executes a
         # module that is in sys.modules.
@@ -681,6 +695,7 @@ class RouterService:
                     "n_sessions": reply.get("n_sessions"),
                     "n_hydrated": reply.get("n_hydrated"),
                     "orphaned_spills": reply.get("orphaned_spills", []),
+                    "orphaned_wals": reply.get("orphaned_wals", []),
                     "pending_points": pending,
                     "uptime_seconds": reply.get("uptime_seconds"),
                 }
@@ -839,6 +854,17 @@ class RouterService:
                     worker=worker.index,
                     from_spill=recovered,
                     seq=reply.get("seq", 0),
+                )
+            elif (
+                (reply.get("error") or {}).get("type") == "duplicate_stream"
+                and self.config.worker.wal_dir is not None
+            ):
+                # The respawned worker replayed this stream from its
+                # write-ahead log before accepting traffic — in-flight
+                # state included, nothing to re-home and nothing lost.
+                self.telemetry.count("streams_recovered")
+                self.telemetry.event(
+                    "rehome", stream=stream, worker=worker.index, from_wal=True
                 )
             else:
                 self.telemetry.event(

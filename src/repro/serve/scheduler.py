@@ -49,7 +49,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro.core.exceptions import ConfigurationError, ReproError
+from repro.core.exceptions import ConfigurationError, ReproError, StreamError
 from repro.obs import NULL_TELEMETRY, Telemetry, merge_summaries
 from repro.serve.session import DetectorSession
 from repro.streaming.fleet import FleetEngine
@@ -169,13 +169,45 @@ class MicroBatchScheduler:
     # ------------------------------------------------------------------
     # admission
     # ------------------------------------------------------------------
-    def submit(self, session: DetectorSession, block: np.ndarray) -> tuple[int, int]:
-        """Enqueue a validated block, or raise :class:`QueueFull`.
+    def submit(
+        self,
+        session: DetectorSession,
+        block: np.ndarray,
+        expect: int | None = None,
+    ) -> tuple[int, int, bool]:
+        """Enqueue a validated block; returns ``(seq_from, seq_to, dup)``.
 
         All-or-nothing: partial accepts would force clients to track
         split batches; rejecting whole keeps the retry loop trivial.
+        Raises :class:`QueueFull` when the block does not fit.
+
+        ``expect`` is the client's claimed next sequence number, making
+        ingest **idempotent**: a block whose span the session has already
+        assigned (``expect + len < seq``) is an exact replay of an
+        acknowledged request whose reply was lost — it is dropped and
+        re-acknowledged with ``dup=True`` instead of double-scored.  An
+        ``expect`` *ahead* of the session is a protocol violation (the
+        client skipped data) and is rejected.
+
+        When the session carries a WAL, the block is appended to the log
+        *before* it enters the queue — an exception from the append
+        (disk full, torn directory) means nothing was accepted and the
+        client is never acknowledged for data that could not be made
+        durable.
         """
         with session.lock:
+            if expect is not None:
+                expect = int(expect)
+                if expect != session.seq:
+                    if expect >= 0 and expect + len(block) <= session.seq:
+                        self.telemetry.count("ingest_deduped")
+                        return expect, expect + len(block) - 1, True
+                    raise StreamError(
+                        f"stream {session.stream_id!r} is at seq "
+                        f"{session.seq} but the ingest expected "
+                        f"{expect}; refusing a gapped or partially "
+                        "overlapping replay"
+                    )
             depth = session.queue_depth
             if depth + len(block) > self.config.queue_limit:
                 self.telemetry.count("ingest_rejected")
@@ -185,10 +217,12 @@ class MicroBatchScheduler:
                     self.config.queue_limit,
                     retry_after=self.retry_after(),
                 )
+            if session.wal is not None:
+                session.wal.append(session.seq, block)
             span = session.enqueue(block)
         self.telemetry.count("points_ingested", len(block))
         self._work.set()
-        return span
+        return span[0], span[1], False
 
     def retry_after(self) -> float:
         """Backoff hint for rejected ingests: one micro-batch delay."""
@@ -215,6 +249,7 @@ class MicroBatchScheduler:
             if not session.hydrated:
                 self.store.rehydrate(session)
             scored = session.flush_once(min(self.config.max_batch, room))
+            self._maybe_barrier(session)
         if scored:
             self.telemetry.count("points_scored", scored)
             self.telemetry.count("batches_flushed")
@@ -299,9 +334,24 @@ class MicroBatchScheduler:
                         "points_fused_training",
                         engine.points_fused_training - points_training_before,
                     )
+            for session, _ in prepared:
+                self._maybe_barrier(session)
         if scored:
             self.telemetry.count("points_scored", scored)
         return scored
+
+    def _maybe_barrier(self, session: DetectorSession) -> None:
+        """Barrier the session's WAL once a full interval has been scored.
+
+        Caller holds the session lock with the detector hydrated (it
+        just flushed through it), so the checkpoint captures exactly the
+        state the next replay must resume from.
+        """
+        wal = session.wal
+        if wal is None or not session.hydrated:
+            return
+        if wal.due_for_barrier(session.scored):
+            wal.barrier(session.detector)
 
     def fleet_manifests(self) -> dict[str, dict]:
         """Per-group fleet summaries for the ``stats`` verb.

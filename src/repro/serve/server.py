@@ -25,6 +25,7 @@ micro-batch size and across evict/rehydrate cycles
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import socketserver
 import tempfile
@@ -43,7 +44,7 @@ from repro.core.exceptions import (
     StreamError,
 )
 from repro.core.registry import AlgorithmSpec, build_detector
-from repro.obs import Telemetry, fingerprint_config, merge_payloads
+from repro.obs import RunLog, Telemetry, fingerprint_config, merge_payloads
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -60,6 +61,18 @@ from repro.serve.state import (
     SessionStore,
     SpillCollisionError,
     UnknownSessionError,
+)
+from repro.serve.wal import (
+    SessionWal,
+    WalConfig,
+    WalCorruption,
+    plan_replay,
+    read_records,
+)
+from repro.streaming.checkpoint import (
+    load_detector,
+    peek_checkpoint,
+    transfer_checkpoint,
 )
 
 
@@ -87,6 +100,18 @@ class ServeConfig:
             every session's detector (bitwise-neutral; feeds ``stats``).
         detector: hyper-parameters for detectors built from specs;
             ``create`` requests may override with a ``config`` dict.
+        wal_dir: when set, every registry-built session carries a
+            write-ahead ingest log in this directory and the service
+            replays orphaned logs at startup (crash recovery) — see
+            :mod:`repro.serve.wal`.  ``None`` disables durability.
+        wal_fsync: WAL fsync policy, ``always`` / ``barrier`` /
+            ``never`` (the durability/throughput trade).
+        wal_barrier_interval: scored points between barrier
+            checkpoints — the replay-cost bound.
+        run_log: path for the deterministic JSON-lines run log
+            (:class:`~repro.obs.RunLog`); ``None`` keeps it in memory
+            only (still inspectable via ``service.run_log``) unless the
+            WAL is off entirely, in which case no log is kept.
     """
 
     default_spec: str | None = None
@@ -102,6 +127,10 @@ class ServeConfig:
     idle_timeout_s: float | None = None
     per_session_telemetry: bool = True
     detector: DetectorConfig = field(default_factory=DetectorConfig)
+    wal_dir: str | None = None
+    wal_fsync: str = "barrier"
+    wal_barrier_interval: int = 256
+    run_log: str | None = None
 
 
 def _json_safe(obj: Any) -> Any:
@@ -143,10 +172,27 @@ class DetectionService:
             if self.config.spill_dir is not None
             else tempfile.mkdtemp(prefix="repro-serve-spill-")
         )
+        self.wal_config = (
+            WalConfig(
+                dir=self.config.wal_dir,
+                fsync=self.config.wal_fsync,
+                barrier_interval=self.config.wal_barrier_interval,
+            )
+            if self.config.wal_dir is not None
+            else None
+        )
+        #: deterministic lifecycle audit log (always kept when the WAL
+        #: is on — recovery equivalence is audited through it).
+        self.run_log: RunLog | None = (
+            RunLog(self.config.run_log)
+            if self.config.run_log is not None or self.wal_config is not None
+            else None
+        )
         self.store = SessionStore(
             self.spill_dir,
             max_live=self.config.max_sessions,
             telemetry=self.telemetry,
+            wal_config=self.wal_config,
         )
         self.scheduler = MicroBatchScheduler(
             self.store,
@@ -165,6 +211,11 @@ class DetectionService:
             self.scheduler.on_idle = lambda: self.store.evict_idle(timeout)
         self.started_at = time.monotonic()
         self._shutdown = threading.Event()
+        if self.wal_config is not None:
+            # Recover crash leftovers *before* traffic: every orphaned
+            # log becomes a live session again, with its surviving
+            # entries replayed through the normal step_chunk path.
+            self.recover_sessions()
         if autostart:
             self.scheduler.start()
 
@@ -251,6 +302,7 @@ class DetectionService:
                 )
             spec_label = spec if spec is not None else "custom"
             fleet_key = None  # custom detectors stay on the per-session path
+            detector_config = None  # not rebuildable: no WAL for this session
         session_telemetry = (
             Telemetry(max_events=64) if self.config.per_session_telemetry else None
         )
@@ -278,10 +330,214 @@ class DetectionService:
                 telemetry=session_telemetry,
             )
         session.fleet_key = fleet_key
+        if self.wal_config is not None and detector_config is not None:
+            wal = SessionWal(self.wal_config, stream, telemetry=self.telemetry)
+            meta = {
+                "spec": spec_label,
+                "n_channels": int(n_channels),
+                "config": dataclasses.asdict(detector_config),
+                "scorer": scorer if scorer is not None else self.config.scorer,
+            }
+            if resume is not None:
+                meta["resume_seq"] = seq
+            try:
+                wal.open(meta)
+                if resume is not None:
+                    # Rehydration deletes the adopted spill file; copy it
+                    # to the barrier slot first so recovery always has a
+                    # durable anchor for the log's starting clock.
+                    transfer_checkpoint(
+                        session.spill_path, wal.barrier_path, durable=True
+                    )
+                    wal.barrier_t = seq - 1
+            except ReproError:
+                session.spill_path = None  # keep an adopted checkpoint on disk
+                self.store.close(stream)
+                raise
+            session.wal = wal
+        if self.run_log is not None:
+            self.run_log.log(
+                "session_created",
+                stream=stream,
+                spec=spec_label,
+                seq=session.seq,
+                resumed=resume is not None,
+            )
         return session
 
-    def ingest(self, stream: str, points: Any) -> dict[str, Any]:
-        """Validate + enqueue one batch; the reply payload of ``ingest``."""
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+    def recover_sessions(self) -> list[str]:
+        """Replay every orphaned write-ahead log into a live session.
+
+        Runs at construction (before the drain thread starts) when the
+        WAL is enabled.  Each orphaned log left by a crashed incarnation
+        becomes a live session again: the newest durable checkpoint
+        (barrier or eviction spill) is adopted, the log entries past its
+        stream clock are replayed through the ordinary ``step_chunk``
+        engine, and the results land in the session's buffer exactly as
+        if the crash never happened — unacknowledged ``score`` replies
+        are re-emitted, and clients dedup by sequence number.
+
+        A log the service cannot recover honestly (corruption, a missing
+        acknowledged record) is left on disk for the operator and
+        reported via telemetry; the service still starts.
+
+        Returns the recovered stream ids.
+        """
+        recovered: list[str] = []
+        for path in list(self.store.orphaned_wals):
+            try:
+                stream = self._recover_stream(path)
+            except (ReproError, ValueError) as error:
+                self.telemetry.count("wal_recovery_failed")
+                self.telemetry.event(
+                    "wal_recovery_failed", file=path.name, error=str(error)
+                )
+                if self.run_log is not None:
+                    self.run_log.log(
+                        "wal_recovery_failed", file=path.name, error=str(error)
+                    )
+                continue
+            self.store.orphaned_wals.remove(path)
+            recovered.append(stream)
+        return recovered
+
+    def _recover_stream(self, path: Path) -> str:
+        """Recover one orphaned log; returns its stream id."""
+        records, good_bytes, torn = read_records(path)
+        if torn:
+            # A crash mid-append tore the tail record.  It was never
+            # acknowledged (append happens before the ack), so dropping
+            # it is correct — the client still holds the data.
+            with open(path, "rb+") as handle:
+                handle.truncate(good_bytes)
+            self.telemetry.count("wal_torn_tails")
+        if not records:
+            raise WalCorruption(f"log {path.name} has no complete records")
+        stream = records[0].get("stream")
+        if not isinstance(stream, str):
+            raise WalCorruption(f"log {path.name} names no stream id")
+        wal = SessionWal(self.wal_config, stream, telemetry=self.telemetry)
+        if wal.path != path:
+            raise WalCorruption(
+                f"log {path.name} claims stream {stream!r}, which hashes "
+                f"to {wal.path.name}"
+            )
+        # Newest durable checkpoint wins: a barrier checkpoint and an
+        # eviction spill can both exist (e.g. a crash right after an
+        # evict); their stream clocks decide, and replay resumes at the
+        # winner's ``t + 1``.
+        ckpt_t, ckpt_path = -1, None
+        for candidate in (wal.barrier_path, self.store.spill_path_for(stream)):
+            if not candidate.exists():
+                continue
+            meta = peek_checkpoint(candidate)
+            if int(meta["t"]) > ckpt_t:
+                ckpt_t, ckpt_path = int(meta["t"]), candidate
+        open_meta, blocks, dropped = plan_replay(records, ckpt_t)
+        if blocks and blocks[0][0] != ckpt_t + 1:
+            raise WalCorruption(
+                f"log {path.name} resumes at seq {blocks[0][0]} but the "
+                f"newest checkpoint stops at t={ckpt_t}; acknowledged "
+                "entries between them are gone"
+            )
+        n_channels = int(open_meta["n_channels"])
+        spec_label = str(open_meta.get("spec", "custom"))
+        scorer = open_meta.get("scorer")
+        try:
+            detector_config = DetectorConfig(**(open_meta.get("config") or {}))
+        except TypeError as error:
+            raise WalCorruption(
+                f"log {path.name} carries an unbuildable detector config: "
+                f"{error}"
+            ) from None
+        if ckpt_path is not None:
+            detector = load_detector(ckpt_path)
+        else:
+            # No checkpoint yet (crash before the first barrier): the
+            # open record carries everything needed to rebuild the
+            # detector from scratch, and the log holds the full history.
+            parts = spec_label.split("+")
+            if len(parts) != 3:
+                raise WalCorruption(
+                    f"log {path.name} has no checkpoint and an "
+                    f"unbuildable spec {spec_label!r}"
+                )
+            detector = build_detector(
+                AlgorithmSpec(*parts),
+                n_channels=n_channels,
+                config=detector_config,
+                scorer=scorer,
+            )
+        session = self.store.create(
+            stream,
+            detector,
+            n_channels=n_channels,
+            spec_label=spec_label,
+            telemetry=(
+                Telemetry(max_events=64)
+                if self.config.per_session_telemetry
+                else None
+            ),
+            seq=ckpt_t + 1,
+        )
+        # The eviction spill (if any) is adopted, not orphaned — keep the
+        # file (a stale checkpoint is harmless and never deleted here)
+        # but stop reporting it.
+        spill = self.store.spill_path_for(stream)
+        self.store.orphaned_spills = [
+            orphan for orphan in self.store.orphaned_spills if orphan != spill
+        ]
+        session.fleet_key = (
+            spec_label,
+            n_channels,
+            fingerprint_config({"detector": detector_config, "scorer": scorer}),
+        )
+        # Replay through the normal scoring path: the chunked engine's
+        # bitwise invariance to block boundaries makes the recovered
+        # sequence identical to the uninterrupted run.
+        replayed = 0
+        for seq_from, rows in blocks:
+            if seq_from != session.seq:
+                raise WalCorruption(
+                    f"replay for {stream!r} expected seq {session.seq}, "
+                    f"log provides {seq_from}"
+                )
+            session.enqueue(rows)
+            replayed += len(rows)
+        while session.flush_once(self.config.max_batch):
+            pass
+        wal.resume_at(ckpt_t)
+        session.wal = wal
+        if wal.due_for_barrier(session.scored):
+            wal.barrier(session.detector)
+        self.telemetry.count("wal_recovered")
+        if replayed:
+            self.telemetry.count("wal_replayed", replayed)
+        if self.run_log is not None:
+            self.run_log.log(
+                "session_recovered",
+                stream=stream,
+                spec=spec_label,
+                barrier_t=ckpt_t,
+                replayed=replayed,
+                dropped=dropped,
+                torn=torn,
+            )
+        return stream
+
+    def ingest(
+        self, stream: str, points: Any, expect: int | None = None
+    ) -> dict[str, Any]:
+        """Validate + enqueue one batch; the reply payload of ``ingest``.
+
+        ``expect`` (the client's next expected sequence number) makes
+        the verb idempotent: an exact replay of an already-accepted
+        block — a retry after a lost reply — is re-acknowledged with
+        ``duplicate: true`` instead of scored twice.
+        """
         session = self.store.get(stream)
         block = session.validate_points(points)
         if len(block) == 0:
@@ -291,13 +547,18 @@ class DetectionService:
                 "seq_to": None,
                 "pending": session.queue_depth,
             }
-        seq_from, seq_to = self.scheduler.submit(session, block)
-        return {
+        seq_from, seq_to, duplicate = self.scheduler.submit(
+            session, block, expect=expect
+        )
+        reply = {
             "accepted": len(block),
             "seq_from": seq_from,
             "seq_to": seq_to,
             "pending": session.queue_depth,
         }
+        if duplicate:
+            reply["duplicate"] = True
+        return reply
 
     def collect(
         self, stream: str, max_results: int | None = None, flush: bool = True
@@ -321,16 +582,32 @@ class DetectionService:
         return {"stream": stream, "spilled": str(path), "hydrated": session.hydrated}
 
     def close_session(self, stream: str) -> dict[str, Any]:
-        """Flush, then remove the session and its spill file."""
+        """Flush and drain, then remove the session and its files.
+
+        The drain happens *before* anything is deleted and the drained
+        results ride back in the close reply — closing a session can no
+        longer lose scored-but-uncollected results, and the store's
+        final-barrier-then-delete ordering keeps the stream recoverable
+        up to the last instant (see :meth:`SessionStore.close`).
+        """
         session = self.store.get(stream)
         if session.hydrated or session.spill_path is not None:
             self.scheduler.flush_session(session)
+        results = session.collect()
         session = self.store.close(stream)
+        if self.run_log is not None:
+            self.run_log.log(
+                "session_closed",
+                stream=stream,
+                n_points=session.seq,
+                scored=session.scored,
+            )
         return {
             "stream": stream,
             "n_points": session.seq,
             "scored": session.scored,
-            "uncollected_results": session.n_results,
+            "uncollected_results": len(results),
+            "results": results,
         }
 
     def stats_payload(
@@ -367,6 +644,21 @@ class DetectionService:
                 "orphaned_spills": [
                     path.name for path in self.store.orphaned_spills
                 ],
+                "orphaned_wals": [
+                    path.name for path in self.store.orphaned_wals
+                ],
+                "wal": (
+                    {
+                        "dir": str(self.wal_config.dir),
+                        "fsync": self.wal_config.fsync,
+                        "barrier_interval": self.wal_config.barrier_interval,
+                    }
+                    if self.wal_config is not None
+                    else None
+                ),
+                "run_log": (
+                    self.run_log.summary() if self.run_log is not None else None
+                ),
                 "max_sessions": self.config.max_sessions,
                 "uptime_seconds": round(now - self.started_at, 6),
             }
@@ -413,7 +705,9 @@ class DetectionService:
                     raise ProtocolError("ingest requires 'points'")
                 return ok_reply(
                     op, request, stream=stream,
-                    **self.ingest(stream, request["points"]),
+                    **self.ingest(
+                        stream, request["points"], expect=request.get("expect")
+                    ),
                 )
             if op == "score":
                 return ok_reply(
@@ -493,10 +787,22 @@ class BaseServeClient:
             config=config, scorer=scorer,
         )
 
-    def ingest(self, stream: str, points: Any) -> dict[str, Any]:
+    def ingest(
+        self, stream: str, points: Any, expect: int | None = None
+    ) -> dict[str, Any]:
         if isinstance(points, np.ndarray):
             points = points.tolist()
-        return self._request("ingest", stream=stream, points=points)
+        return self._request(
+            "ingest", stream=stream, points=points, expect=expect
+        )
+
+    def reconnect(self) -> bool:
+        """Re-establish the transport after an I/O failure.
+
+        Transport-less clients have nothing to do; the socket client
+        overrides this.  Returns whether a retry is worth attempting.
+        """
+        return False
 
     def score(
         self, stream: str, max_results: int | None = None, flush: bool = True
@@ -527,6 +833,7 @@ class BaseServeClient:
         evict_at: int | None = None,
         sleep: bool = False,
         max_queue_retries: int = 1000,
+        max_io_retries: int = 1,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Stream a whole ``(T, N)`` array and gather every score.
 
@@ -539,6 +846,12 @@ class BaseServeClient:
         points have been sent — the evict/rehydrate path the equivalence
         tests pin.
 
+        Every ingest carries ``expect`` (the client's send cursor), so a
+        request replayed after a lost reply — a timeout, a reconnect, a
+        router retry — is deduplicated server-side instead of scored
+        twice.  That idempotence is what makes the ``max_io_retries``
+        transport-failure retry (via :meth:`reconnect`) safe.
+
         Returns ``(scores, nonconformities)`` aligned with ``values``.
         """
         values = np.atleast_2d(np.asarray(values, dtype=np.float64))
@@ -547,6 +860,7 @@ class BaseServeClient:
         sent = 0
         evicted = False
         rejections = 0
+        io_failures = 0
         while len(by_seq) < n:
             if evict_at is not None and not evicted and sent >= evict_at:
                 reply = self.evict(stream)
@@ -554,7 +868,19 @@ class BaseServeClient:
                     raise ReproError(f"evict failed: {reply.get('error')}")
                 evicted = True
             if sent < n:
-                reply = self.ingest(stream, values[sent : sent + ingest_size])
+                try:
+                    reply = self.ingest(
+                        stream, values[sent : sent + ingest_size], expect=sent
+                    )
+                except (OSError, ConnectionError):
+                    # The server may or may not have accepted the block;
+                    # resend with the same ``expect`` — the server drops
+                    # it as a duplicate if the first attempt landed.
+                    io_failures += 1
+                    if io_failures > max_io_retries or not self.reconnect():
+                        raise
+                    continue
+                io_failures = 0
                 if reply.get("ok"):
                     sent += reply["accepted"]
                     rejections = 0
@@ -666,12 +992,31 @@ class SocketServeClient(BaseServeClient):
         timeout: float | None = 30.0,
         connect_timeout: float | None = None,
     ) -> None:
-        self._sock = socket.create_connection(
-            (host, port),
-            timeout=connect_timeout if connect_timeout is not None else timeout,
+        self._address = (host, port)
+        self._timeout = timeout
+        self._connect_timeout = (
+            connect_timeout if connect_timeout is not None else timeout
         )
-        self._sock.settimeout(timeout)
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            self._address, timeout=self._connect_timeout
+        )
+        self._sock.settimeout(self._timeout)
         self._rfile = self._sock.makefile("rb")
+
+    def reconnect(self) -> bool:
+        """Drop the (possibly poisoned) connection and dial again.
+
+        After a timeout the old socket may still deliver the stale
+        reply; a fresh connection guarantees request/reply alignment.
+        Combined with idempotent ingest (``expect``), this makes
+        :meth:`score_series` safe to resume over a flaky transport.
+        """
+        self.disconnect()
+        self._connect()
+        return True
 
     def request(self, op: str, **fields: Any) -> dict[str, Any]:
         self._sock.sendall(encode({"v": PROTOCOL_VERSION, "op": op, **fields}))
@@ -681,7 +1026,10 @@ class SocketServeClient(BaseServeClient):
         return decode_line(line)
 
     def disconnect(self) -> None:
-        self._rfile.close()
+        try:
+            self._rfile.close()
+        except OSError:  # already broken — closing is best-effort
+            pass
         self._sock.close()
 
     def __enter__(self) -> "SocketServeClient":

@@ -97,6 +97,13 @@ class DetectorSession:
         self.n_evictions = 0
         self.n_rehydrations = 0
 
+        #: per-session write-ahead ingest log
+        #: (:class:`~repro.serve.wal.SessionWal`); ``None`` runs the
+        #: session without durability.  Appended under this session's
+        #: lock by the scheduler *before* an ingest is acknowledged;
+        #: barriered after flushes and on evict/close.
+        self.wal = None
+
     # ------------------------------------------------------------------
     @property
     def hydrated(self) -> bool:
@@ -280,6 +287,12 @@ class DetectorSession:
             }
             if latency_window:
                 info["latency_window"] = self.latency.values().tolist()
+            if self.wal is not None:
+                info["wal"] = {
+                    "appends": self.wal.n_appends,
+                    "barrier_t": self.wal.barrier_t,
+                    "fsync": self.wal.config.fsync,
+                }
             if detector is not None and hasattr(detector, "events"):
                 info["n_finetunes"] = count_finetunes(detector.events)
             if self.telemetry is not None:

@@ -34,6 +34,7 @@ from typing import Callable
 from repro.core.exceptions import ConfigurationError, ReproError
 from repro.obs import NULL_TELEMETRY, Telemetry
 from repro.serve.session import DetectorSession
+from repro.serve.wal import WalConfig, wal_filename
 from repro.streaming.checkpoint import load_detector, save_detector
 
 
@@ -79,6 +80,7 @@ class SessionStore:
         max_live: int = 64,
         telemetry: Telemetry | None = None,
         clock: Callable[[], float] = time.monotonic,
+        wal_config: WalConfig | None = None,
     ) -> None:
         if max_live < 1:
             raise ConfigurationError(f"max_live must be >= 1, got {max_live}")
@@ -87,10 +89,18 @@ class SessionStore:
         self.max_live = max_live
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._clock = clock
+        #: when set, sessions may carry a write-ahead log; spills become
+        #: durable (fsync) so an eviction checkpoint survives power loss
+        #: the same way a barrier checkpoint does.
+        self.wal_config = wal_config
         self._lock = RLock()
         self._sessions: dict[str, DetectorSession] = {}
         #: spill filename -> owning stream id (the collision guard).
         self._spill_claims: dict[str, str] = {}
+        #: write-ahead logs found at startup that no live session owns —
+        #: populated by the sweep, consumed by the service's recovery
+        #: pass before it accepts traffic.
+        self.orphaned_wals: list[Path] = []
         #: spill files found at startup that no live session owns — left
         #: by a crashed process.  Reported, never deleted: a router
         #: re-homing streams after a worker death adopts exactly these.
@@ -120,6 +130,24 @@ class SessionStore:
                 n=len(orphans),
                 files=[path.name for path in orphans[:16]],
             )
+        if self.wal_config is not None:
+            wal_dir = Path(self.wal_config.dir)
+            wal_dir.mkdir(parents=True, exist_ok=True)
+            with self._lock:
+                owned_wals = {
+                    wal_filename(stream_id) for stream_id in self._sessions
+                }
+                self.orphaned_wals = sorted(
+                    path
+                    for path in wal_dir.glob("session-*.wal")
+                    if path.name not in owned_wals
+                )
+            if self.orphaned_wals:
+                self.telemetry.event(
+                    "orphaned_wals",
+                    n=len(self.orphaned_wals),
+                    files=[path.name for path in self.orphaned_wals[:16]],
+                )
         return orphans
 
     def _claim_spill(self, stream_id: str) -> None:
@@ -141,8 +169,14 @@ class SessionStore:
         n_channels: int,
         spec_label: str = "custom",
         telemetry: Telemetry | None = None,
+        seq: int = 0,
     ) -> DetectorSession:
-        """Register a new session and enforce the residency bound."""
+        """Register a new session and enforce the residency bound.
+
+        ``seq`` is non-zero only for crash recovery: the session resumes
+        a stream mid-sequence with a detector already rebuilt to that
+        point (WAL replay), so result sequence numbers stay continuous.
+        """
         session = DetectorSession(
             stream_id,
             detector,
@@ -150,6 +184,7 @@ class SessionStore:
             spec_label=spec_label,
             telemetry=telemetry,
             clock=self._clock,
+            seq=seq,
         )
         with self._lock:
             if stream_id in self._sessions:
@@ -252,7 +287,13 @@ class SessionStore:
                     "cannot checkpoint; it must stay resident"
                 )
             path = self.spill_path_for(session.stream_id)
-            save_detector(session.detector, path)
+            if session.wal is not None:
+                # Barrier first: the log shrinks to the in-flight tail
+                # and the barrier checkpoint becomes a durable anchor
+                # that outlives the spill file (rehydrate deletes the
+                # spill; the barrier stays until the next one).
+                session.wal.barrier(session.detector)
+            save_detector(session.detector, path, durable=session.wal is not None)
             session.detector = None
             session.spill_path = path
             session.n_evictions += 1
@@ -353,17 +394,41 @@ class SessionStore:
 
     # ------------------------------------------------------------------
     def close(self, stream_id: str) -> DetectorSession:
-        """Remove a session and its spill file; return it for a summary."""
+        """Remove a session and its on-disk state; return it for a summary.
+
+        Ordering matters for crash safety: the caller drains buffered
+        results *first* (see ``DetectionService.close_session``), then a
+        final WAL barrier persists the detector's last state, and only
+        then — as the very last step — are the spill, log and barrier
+        checkpoint deleted.  A crash anywhere before the deletions
+        leaves a fully recoverable stream on disk; the old order
+        (delete, then drain) lost both the files and the undrained
+        results in that window.
+        """
         with self._lock:
-            session = self._sessions.pop(stream_id, None)
-            self._spill_claims.pop(spill_filename(stream_id), None)
+            session = self._sessions.get(stream_id)
         if session is None:
             raise UnknownSessionError(f"no open session for stream {stream_id!r}")
         with session.lock:
+            if session.wal is not None and session.hydrated:
+                session.wal.barrier(session.detector)
             session.closed = True
             session.detector = None
-            if session.spill_path is not None:
-                session.spill_path.unlink(missing_ok=True)
-                session.spill_path = None
+            with self._lock:
+                self._sessions.pop(stream_id, None)
+                self._spill_claims.pop(spill_filename(stream_id), None)
+            self._delete_session_files(session)
         self.telemetry.count("sessions_closed")
         return session
+
+    def _delete_session_files(self, session: DetectorSession) -> None:
+        """Remove a closed session's spill + WAL files (the final step).
+
+        Split out so tests can inject a crash between bookkeeping and
+        deletion and assert the stream is still recoverable.
+        """
+        if session.spill_path is not None:
+            session.spill_path.unlink(missing_ok=True)
+            session.spill_path = None
+        if session.wal is not None:
+            session.wal.close(delete=True)

@@ -1,0 +1,425 @@
+"""Per-session write-ahead ingest log: crash-safe durability and replay.
+
+A SIGKILL (or power loss) between an ``ingest`` acknowledgement and the
+drain that scores the point silently violates the streaming contract —
+the paper's protocol scores every point exactly once, in order, and the
+serve layer promised the client the point was accepted.  The WAL closes
+that gap:
+
+- **Append before acknowledge.**  Every accepted ingest block is
+  appended to the session's log *before* the ``ingest`` reply is sent.
+  A crash after the ack can therefore always be replayed; a crash before
+  the append leaves the client holding the data (the request was never
+  acknowledged), which is the client's retry case, not data loss.
+- **Checkpoint barriers bound replay.**  Every ``barrier_interval``
+  scored points the session's detector is spilled to a *barrier
+  checkpoint* (the existing atomic
+  :func:`~repro.streaming.checkpoint.save_detector`, with
+  ``durable=True`` fsync) and the log is compacted down to the entries
+  past the barrier's stream clock ``t`` — recovery never replays more
+  than one barrier interval plus whatever was in flight.
+- **Replay is the normal path.**  Recovery loads the barrier checkpoint
+  and feeds the surviving log entries through the detector's ordinary
+  ``step_chunk`` engine; the chunked engine's bitwise invariance to
+  block boundaries makes the recovered score sequence identical to an
+  uninterrupted run (``tests/test_wal.py``).
+
+File format: one log per stream (named like spill files, by a hash of
+the stream id), a sequence of length-prefixed CRC-framed pickle records
+
+.. code-block:: text
+
+    <u32 payload length> <u32 crc32(payload)> <payload bytes>
+
+starting with one ``open`` record (stream id, spec, channel count,
+detector config — everything recovery needs to rebuild the session
+without an external registry) followed by ``ingest`` records
+(``seq_from`` + the raw float64 rows).  Torn tails — a crash mid-append
+— are detected by the length/CRC frame and truncated back to the last
+complete record; everything before the tear is intact by construction
+(records are appended, never rewritten in place).  Compaction rewrites
+the whole file via tempfile + ``os.replace``, the same atomicity
+contract as checkpoints.
+
+fsync policy (the durability/throughput trade, per
+``BENCH_serve.json``):
+
+- ``always`` — fsync after every append: no acknowledged point is ever
+  lost, even to power loss.
+- ``barrier`` (default) — appends are flushed to the OS (surviving a
+  process crash, the common failure) but only barriers fsync; a power
+  loss can lose points acknowledged since the last OS write-back.
+- ``never`` — no fsync anywhere; durability against process crashes
+  only, minimal overhead.
+
+Replay dedup policy: entries are validated in log order — each record
+must continue exactly where the previous ended; records that fall
+entirely before the replay cursor are duplicate replays (a retried
+append whose first attempt did land) and are dropped; records that
+*overlap* the cursor are trimmed to the unseen rows; a record that
+jumps *past* the cursor means an acknowledged record was lost and is a
+hard :class:`WalCorruption` error — recovery must not silently skip
+points the client believes were scored.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import pickle
+import struct
+import tempfile
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError, ReproError
+from repro.obs import NULL_TELEMETRY, Telemetry
+from repro.streaming.checkpoint import fsync_dir, save_detector
+
+#: valid values of :attr:`WalConfig.fsync`.
+FSYNC_POLICIES = ("always", "barrier", "never")
+
+#: Log size below which a barrier skips compaction.  The stale prefix
+#: costs only disk and a little replay-time reading — never replay
+#: *work* (``plan_replay`` drops entries at or before the barrier's
+#: clock) — so rewriting the log on every barrier buys nothing.
+COMPACT_MIN_BYTES = 256 * 1024
+
+#: record frame: little-endian payload length + crc32 of the payload.
+_FRAME = struct.Struct("<II")
+
+
+class WalError(ReproError):
+    """A write-ahead-log operation failed."""
+
+
+class WalCorruption(WalError):
+    """The log's entries are inconsistent (gap / reordered records).
+
+    Raised only for damage replay cannot repair honestly: a missing
+    acknowledged record.  Torn tails and duplicate replays are expected
+    crash artifacts and are repaired/dropped silently.
+    """
+
+
+@dataclass(frozen=True)
+class WalConfig:
+    """Write-ahead-log knobs.
+
+    Attributes:
+        dir: directory holding the per-session logs and their barrier
+            checkpoints (created eagerly).
+        fsync: ``always`` / ``barrier`` / ``never`` — see the module
+            docstring for the durability trade.
+        barrier_interval: scored points between barrier checkpoints;
+            the replay-cost bound.
+    """
+
+    dir: str | Path
+    fsync: str = "barrier"
+    barrier_interval: int = 256
+
+    def __post_init__(self) -> None:
+        if self.fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"wal fsync must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+        if self.barrier_interval < 1:
+            raise ConfigurationError(
+                f"wal barrier_interval must be >= 1, got {self.barrier_interval}"
+            )
+
+
+def _digest(stream_id: str) -> str:
+    return hashlib.blake2b(stream_id.encode("utf-8"), digest_size=10).hexdigest()
+
+
+def wal_filename(stream_id: str) -> str:
+    """Deterministic, filesystem-safe log name for a stream id."""
+    return f"session-{_digest(stream_id)}.wal"
+
+
+def barrier_filename(stream_id: str) -> str:
+    """The stream's barrier-checkpoint name (lives next to its log)."""
+    return f"session-{_digest(stream_id)}.barrier.ckpt"
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_records(path: str | Path) -> tuple[list[dict[str, Any]], int, bool]:
+    """Read every complete record of a log file.
+
+    Returns ``(records, good_bytes, torn)``: the decoded records, the
+    byte offset of the last complete record's end, and whether a torn
+    tail (incomplete or CRC-failing trailing record) was found after it.
+    A torn tail is the expected artifact of a crash mid-append — the
+    caller truncates to ``good_bytes`` and loses only the unacknowledged
+    write.
+    """
+    data = Path(path).read_bytes()
+    records: list[dict[str, Any]] = []
+    offset = 0
+    torn = False
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            torn = True
+            break
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > len(data):
+            torn = True
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            torn = True
+            break
+        try:
+            record = pickle.loads(payload)
+        except Exception:  # noqa: BLE001 — a mangled payload is a torn tail
+            torn = True
+            break
+        if not isinstance(record, dict) or "kind" not in record:
+            torn = True
+            break
+        records.append(record)
+        offset = end
+    return records, offset, torn
+
+
+def plan_replay(
+    records: list[dict[str, Any]], barrier_t: int
+) -> tuple[dict[str, Any], list[tuple[int, np.ndarray]], int]:
+    """Validate a log's records and compute what replay must score.
+
+    Returns ``(open_meta, blocks, dropped)`` where ``blocks`` is the
+    ordered list of ``(seq_from, rows)`` to feed through ``step_chunk``
+    (already trimmed past ``barrier_t`` — the checkpoint's stream clock,
+    i.e. the last *already scored* index) and ``dropped`` counts rows
+    discarded as duplicates or already-scored.
+
+    Raises:
+        WalCorruption: on a missing ``open`` record or a sequence gap
+            (an acknowledged record that is simply absent).
+    """
+    if not records or records[0].get("kind") != "open":
+        raise WalCorruption("log does not start with an 'open' record")
+    open_meta = dict(records[0])
+    expected: int | None = None
+    dropped = 0
+    blocks: list[tuple[int, np.ndarray]] = []
+    for record in records[1:]:
+        if record.get("kind") != "ingest":
+            raise WalCorruption(
+                f"unexpected record kind {record.get('kind')!r} in log body"
+            )
+        seq_from = int(record["seq_from"])
+        rows = np.asarray(record["rows"], dtype=np.float64)
+        seq_to = seq_from + len(rows) - 1
+        if expected is not None:
+            if seq_to < expected:
+                dropped += len(rows)  # duplicate replay of an acked block
+                continue
+            if seq_from > expected:
+                raise WalCorruption(
+                    f"log gap: expected seq {expected}, found record "
+                    f"starting at {seq_from} — an acknowledged record "
+                    "is missing"
+                )
+            if seq_from < expected:  # overlap: trim the already-seen rows
+                dropped += expected - seq_from
+                rows = rows[expected - seq_from :]
+                seq_from = expected
+        expected = seq_to + 1
+        if seq_to <= barrier_t:
+            dropped += len(rows)  # fully behind the checkpoint
+            continue
+        if seq_from <= barrier_t:  # straddles the checkpoint: trim
+            dropped += barrier_t + 1 - seq_from
+            rows = rows[barrier_t + 1 - seq_from :]
+            seq_from = barrier_t + 1
+        blocks.append((seq_from, rows))
+    return open_meta, blocks, dropped
+
+
+class SessionWal:
+    """One stream's write-ahead log + barrier checkpoint.
+
+    All mutation happens under the owning session's lock (the scheduler
+    and store already serialize on it), so the log needs no lock of its
+    own.
+
+    Args:
+        config: directory / fsync / barrier-interval knobs.
+        stream_id: the session key (hashed into the filenames).
+        telemetry: sink for the ``wal_appends`` / ``wal_barriers`` /
+            ``wal_truncated`` counters.
+    """
+
+    def __init__(
+        self,
+        config: WalConfig,
+        stream_id: str,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.config = config
+        self.stream_id = stream_id
+        self.dir = Path(config.dir)
+        self.path = self.dir / wal_filename(stream_id)
+        self.barrier_path = self.dir / barrier_filename(stream_id)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._handle = None
+        #: stream clock of the newest barrier checkpoint (-1: none yet).
+        self.barrier_t = -1
+        self.n_appends = 0
+
+    # ------------------------------------------------------------------
+    def open(self, meta: dict[str, Any]) -> None:
+        """Start a fresh log with one ``open`` record.
+
+        ``meta`` must carry everything recovery needs to rebuild the
+        session without this process's memory: the stream id, spec
+        label, channel count, detector config dict and scorer.  An
+        existing log at this path is an error — the store's recovery
+        pass must adopt or discard it first.
+        """
+        if self.path.exists():
+            raise WalError(
+                f"log {self.path} already exists; recover or remove it "
+                "before opening a new session on this stream id"
+            )
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "ab")
+        record = {"kind": "open", "stream": self.stream_id, **meta}
+        self._handle.write(_frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)))
+        self._handle.flush()
+        if self.config.fsync != "never":
+            os.fsync(self._handle.fileno())
+            fsync_dir(self.dir)
+
+    def resume_at(self, barrier_t: int) -> None:
+        """Re-attach to an existing log after recovery replayed it."""
+        self._handle = open(self.path, "ab")
+        self.barrier_t = int(barrier_t)
+
+    # ------------------------------------------------------------------
+    def append(self, seq_from: int, block: np.ndarray) -> None:
+        """Log one accepted ingest block (call *before* acknowledging)."""
+        if self._handle is None:
+            raise WalError(f"log for stream {self.stream_id!r} is not open")
+        record = {
+            "kind": "ingest",
+            "seq_from": int(seq_from),
+            "rows": np.ascontiguousarray(block, dtype=np.float64),
+        }
+        self._handle.write(
+            _frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        )
+        self._handle.flush()
+        if self.config.fsync == "always":
+            os.fsync(self._handle.fileno())
+        self.n_appends += 1
+        self.telemetry.count("wal_appends")
+
+    # ------------------------------------------------------------------
+    def barrier(self, detector, compact: bool | None = None) -> int:
+        """Checkpoint the detector and compact the log past its clock.
+
+        Two steps, each individually crash-safe, in an order that never
+        loses data: (1) spill the detector to the barrier checkpoint
+        (atomic + durable fsync), (2) rewrite the log keeping only the
+        entries past the checkpoint's ``t``.  A crash between them
+        leaves a new checkpoint and an over-long log — replay dedups the
+        already-scored entries, so the only cost is wasted replay work.
+
+        Step (2) is disk-space hygiene, not correctness — replay cost is
+        bounded by the checkpoint's clock whether or not the stale
+        prefix is still on disk — so by default it only runs once the
+        log has accumulated :data:`COMPACT_MIN_BYTES` (barriers are on
+        the scoring hot path; a full log rewrite per barrier is not).
+        Pass ``compact=True``/``False`` to force either way.
+
+        Returns the number of rows truncated from the log.
+        """
+        if self._handle is None:
+            raise WalError(f"log for stream {self.stream_id!r} is not open")
+        durable = self.config.fsync != "never"
+        save_detector(detector, self.barrier_path, durable=durable)
+        t = int(detector.t)
+        self._handle.flush()
+        if compact is None:
+            compact = self._handle.tell() >= COMPACT_MIN_BYTES
+        if not compact:
+            self.barrier_t = t
+            self.telemetry.count("wal_barriers")
+            return 0
+        records, good, _ = read_records(self.path)
+        if not records or records[0].get("kind") != "open":
+            raise WalError(f"log {self.path} lost its open record")
+        open_record = dict(records[0])
+        open_record["barrier_t"] = t
+        keep = []
+        truncated = 0
+        for record in records[1:]:
+            rows = record["rows"]
+            if int(record["seq_from"]) + len(rows) - 1 > t:
+                keep.append(record)
+            else:
+                truncated += len(rows)
+        self._handle.close()
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.dir, prefix=self.path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for record in [open_record, *keep]:
+                    handle.write(
+                        _frame(
+                            pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+                        )
+                    )
+                handle.flush()
+                if durable:
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+            if durable:
+                fsync_dir(self.dir)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            self._handle = open(self.path, "ab")
+            raise
+        self._handle = open(self.path, "ab")
+        self.barrier_t = t
+        self.telemetry.count("wal_barriers")
+        if truncated:
+            self.telemetry.count("wal_truncated", truncated)
+        return truncated
+
+    def due_for_barrier(self, scored: int) -> bool:
+        """Whether ``scored`` points (stream clock + 1) warrant a barrier."""
+        return scored - (self.barrier_t + 1) >= self.config.barrier_interval
+
+    # ------------------------------------------------------------------
+    def close(self, delete: bool = True) -> None:
+        """Close the handle; ``delete=True`` removes log + checkpoint.
+
+        Deletion is the *last* step of a session close — the caller must
+        have drained buffered results first, so a crash any earlier
+        still leaves a recoverable log on disk.
+        """
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        if delete:
+            self.path.unlink(missing_ok=True)
+            self.barrier_path.unlink(missing_ok=True)
+            if self.config.fsync != "never":
+                fsync_dir(self.dir)

@@ -48,7 +48,33 @@ from repro.core.detector import StreamingAnomalyDetector
 CHECKPOINT_VERSION = 3
 
 
-def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes the rename atomic against *process* crashes,
+    but the new directory entry itself lives in the page cache until the
+    directory inode is flushed — after a power cut the old name (or no
+    name) can reappear.  Platforms without directory fds (or filesystems
+    that refuse to fsync one) degrade silently to the rename-only
+    guarantee.
+    """
+    flags = os.O_RDONLY | getattr(os, "O_DIRECTORY", 0)
+    try:
+        fd = os.open(Path(path), flags)
+    except OSError:
+        return
+    try:
+        with contextlib.suppress(OSError):
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def save_detector(
+    detector: StreamingAnomalyDetector,
+    path: str | Path,
+    durable: bool = False,
+) -> Path:
     """Write a checkpoint of the full detector state.
 
     Besides the detector, the payload records a small metadata block
@@ -60,6 +86,13 @@ def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
     so a crash mid-write (power loss, OOM-kill during a session spill)
     can never leave a truncated checkpoint at ``path`` — either the old
     file survives intact or the new one is complete.
+
+    ``durable=True`` additionally fsyncs the payload before the rename
+    and the directory after it, so the checkpoint survives a power loss
+    (not just a process crash) — the contract WAL barrier checkpoints
+    and crash-recovery spills rely on.  Without it a crash right after
+    the rename can surface a zero-length or stale file once the page
+    cache is lost.
     """
     from repro import __version__
 
@@ -82,7 +115,12 @@ def save_detector(detector: StreamingAnomalyDetector, path: str | Path) -> Path:
     try:
         with os.fdopen(fd, "wb") as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_name, path)
+        if durable:
+            fsync_dir(path.parent)
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
@@ -115,7 +153,9 @@ def peek_checkpoint(path: str | Path) -> dict:
     return dict(payload.get("meta", {}))
 
 
-def transfer_checkpoint(src: str | Path, dst: str | Path) -> dict:
+def transfer_checkpoint(
+    src: str | Path, dst: str | Path, durable: bool = False
+) -> dict:
     """Copy a checkpoint's bytes to a new location, atomically.
 
     The spill-bytes leg of a live session migration: the source worker
@@ -124,7 +164,8 @@ def transfer_checkpoint(src: str | Path, dst: str | Path) -> dict:
     rehydrated detector is bitwise the one that was evicted.  The source
     file is validated first (version check via :func:`peek_checkpoint`)
     and the destination write is tempfile + ``os.replace``, the same
-    crash-safety contract as :func:`save_detector`.
+    crash-safety contract as :func:`save_detector` — including the
+    ``durable=True`` fsync (file + directory) for power-loss safety.
 
     Returns the checkpoint's ``meta`` block (the caller needs ``t`` for
     seq-number continuity).
@@ -139,7 +180,12 @@ def transfer_checkpoint(src: str | Path, dst: str | Path) -> dict:
     try:
         with os.fdopen(fd, "wb") as handle:
             handle.write(data)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
         os.replace(tmp_name, dst)
+        if durable:
+            fsync_dir(dst.parent)
     except BaseException:
         with contextlib.suppress(OSError):
             os.unlink(tmp_name)
