@@ -58,6 +58,22 @@ MODEL_NAMES = ("online_arima", "ae", "usad", "nbeats", "pcb_iforest")
 #: models described by the paper (VAR) or added as extensions from the
 #: related work (k-NN, online k-means, RS-Forest) — not in the Table I grid.
 EXTENSION_MODELS = ("var", "knn", "kmeans", "rs_forest", "rnn", "lstm")
+#: registry model name -> model class.  Consumers that must validate a
+#: checkpoint against a spec label (e.g. serve crash recovery after a
+#: hot-swap) compare ``type(detector.model).__name__`` against this map.
+MODEL_CLASSES = {
+    "online_arima": OnlineARIMA,
+    "ae": TwoLayerAutoencoder,
+    "usad": USAD,
+    "nbeats": NBeats,
+    "pcb_iforest": PCBIForest,
+    "var": VARModel,
+    "knn": KNNDetector,
+    "kmeans": OnlineKMeans,
+    "rs_forest": RSForest,
+    "rnn": ElmanForecaster,
+    "lstm": LSTMForecaster,
+}
 TASK1_NAMES = ("sw", "ures", "ares")
 TASK2_NAMES = ("musigma", "kswin", "regular", "never", "page_hinkley", "adwin")
 SCORER_NAMES = ("raw", "avg", "al", "conformal")

@@ -185,6 +185,34 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the deterministic JSON-lines run log "
                             "(session lifecycle audit) to this path; "
                             "summarized into the --trace manifest")
+    serve.add_argument("--select", default=None,
+                       help="arm online algorithm selection on every "
+                            "registry-built session: comma-separated "
+                            "challenger specs raced in shadow against the "
+                            "champion and hot-swapped in when they "
+                            "sustainably win (e.g. "
+                            "'ae+sw+kswin,lstm+sw+kswin')")
+    serve.add_argument("--select-policy", default="ewma",
+                       choices=("ewma", "ucb"), dest="select_policy",
+                       help="promotion policy: EWMA prequential-loss "
+                            "comparison (ewma) or a UCB bandit over "
+                            "batch wins (ucb)")
+    serve.add_argument("--select-warmup", type=int, default=64,
+                       dest="select_warmup",
+                       help="scored points a lane needs before its "
+                            "signal counts")
+    serve.add_argument("--select-margin", type=float, default=0.05,
+                       dest="select_margin",
+                       help="relative improvement a challenger must "
+                            "sustain to win (hysteresis)")
+    serve.add_argument("--select-dwell", type=int, default=32,
+                       dest="select_dwell",
+                       help="consecutive winning points (ewma) or rounds "
+                            "(ucb) required before a promotion")
+    serve.add_argument("--select-min-dwell", type=int, default=256,
+                       dest="select_min_dwell",
+                       help="points after a swap before the next "
+                            "promotion may fire (anti-flapping)")
     serve.add_argument("--window", type=int, default=24,
                        help="data representation length w for built detectors")
     serve.add_argument("--capacity", type=int, default=64,
@@ -232,6 +260,18 @@ def _run_serve(args: argparse.Namespace) -> int:
         ServeConfig,
     )
 
+    select = None
+    if args.select:
+        select = {
+            "challengers": [
+                spec.strip() for spec in args.select.split(",") if spec.strip()
+            ],
+            "policy": args.select_policy,
+            "warmup": args.select_warmup,
+            "margin": args.select_margin,
+            "dwell": args.select_dwell,
+            "min_dwell": args.select_min_dwell,
+        }
     config = ServeConfig(
         default_spec=args.spec,
         scorer=args.scorer,
@@ -245,6 +285,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         wal_fsync=args.wal_fsync,
         wal_barrier_interval=args.wal_barrier_interval,
         run_log=args.run_log,
+        select=select,
         detector=DetectorConfig(
             window=args.window,
             train_capacity=args.capacity,

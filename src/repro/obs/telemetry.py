@@ -82,6 +82,14 @@ CORE_COUNTERS = (
     "wal_replayed",
     "wal_recovered",
     "wal_torn_tails",
+    # repro.select online algorithm selection (champion/challenger
+    # shadow lanes, bandit-driven hot-swap).  Shadow work is accounted
+    # separately from the user-facing scoring counters so ingest-latency
+    # percentiles and points_scored stay comparable across PRs.
+    "points_shadow",
+    "shadow_ns",
+    "promotions",
+    "wal_swaps",
 )
 
 #: Span keys recorded by the detector's per-step loop (the chunked engine

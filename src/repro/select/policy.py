@@ -1,0 +1,315 @@
+"""Selection signals and policies: when has a challenger durably won?
+
+Every lane (the champion and each challenger) carries a
+:class:`LaneStats` fed from its own scored blocks.  The learner-based
+signal (arXiv:2606.20216) is prequential: an exponentially-weighted
+moving average of the lane's *model loss* (the nonconformity the
+framework already computes for every point — no labels needed) plus an
+EWMA of its drift-detector fire rate.  A lane whose loss trend sits
+durably below the champion's is a better fit for the stream's current
+regime.
+
+Two concrete policies turn those signals into promote decisions:
+
+- :class:`EwmaLossPolicy` — promote the challenger with the lowest
+  combined signal once it has beaten the champion's signal by the
+  hysteresis ``margin`` for ``dwell`` consecutive points;
+- :class:`UcbBanditPolicy` — treat each micro-batch as a bandit round
+  (the lane with the lowest batch-mean loss collects the reward) and
+  promote a challenger whose UCB value and mean reward both clear the
+  champion's, again held for ``dwell`` consecutive decisions.
+
+Flapping guards, shared by both policies:
+
+- **warm-up** — a lane is ineligible until it has scored ``warmup``
+  real points (fresh challengers and freshly-promoted champions start
+  cold);
+- **hysteresis** (``margin``) — a challenger must win by a margin, not
+  a hair, so signal noise near parity cannot trigger a swap;
+- **dwell** — the win must persist for ``dwell`` consecutive points
+  (EWMA) or decision rounds (UCB);
+- **min-dwell** — after a promotion, no further swap for ``min_dwell``
+  points, whatever the signals say.
+
+Everything here is deterministic — no RNG, no wall clock — so a served
+stream's promotion sequence is a pure function of its points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.exceptions import ConfigurationError
+
+POLICY_NAMES = ("ewma", "ucb")
+
+
+@dataclass(frozen=True)
+class SelectionConfig:
+    """Knobs shared by the selection policies.
+
+    Attributes:
+        policy: ``"ewma"`` or ``"ucb"``.
+        warmup: real scored points a lane needs before it is eligible
+            (and before the champion can be challenged at all).
+        margin: hysteresis.  EWMA: a challenger's signal must undercut
+            the champion's by this *relative* fraction.  UCB: the
+            challenger's mean reward must exceed the champion's by this
+            *absolute* amount (rewards live in ``[0, 1]``).
+        dwell: how long the win must persist — consecutive points
+            (EWMA) or consecutive decision rounds (UCB).
+        min_dwell: points after a promotion before the next one may
+            happen.
+        ewma_alpha: smoothing factor of the per-point loss / fire-rate
+            averages.
+        fire_weight: how strongly a lane's drift-fire rate inflates its
+            signal (``signal = loss_ewma * (1 + fire_weight *
+            fire_ewma)``) — a lane that only stays accurate by firing
+            constantly is penalized.
+        ucb_c: exploration constant of the UCB value.
+    """
+
+    policy: str = "ewma"
+    warmup: int = 64
+    margin: float = 0.05
+    dwell: int = 32
+    min_dwell: int = 256
+    ewma_alpha: float = 0.05
+    fire_weight: float = 0.25
+    ucb_c: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICY_NAMES:
+            raise ConfigurationError(
+                f"selection policy must be one of {POLICY_NAMES}, "
+                f"got {self.policy!r}"
+            )
+        if self.warmup < 1:
+            raise ConfigurationError(f"warmup must be >= 1, got {self.warmup}")
+        if not 0.0 <= self.margin < 1.0:
+            raise ConfigurationError(
+                f"margin must be in [0, 1), got {self.margin}"
+            )
+        if self.dwell < 1:
+            raise ConfigurationError(f"dwell must be >= 1, got {self.dwell}")
+        if self.min_dwell < 0:
+            raise ConfigurationError(
+                f"min_dwell must be >= 0, got {self.min_dwell}"
+            )
+        if not 0.0 < self.ewma_alpha <= 1.0:
+            raise ConfigurationError(
+                f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.fire_weight < 0.0:
+            raise ConfigurationError(
+                f"fire_weight must be >= 0, got {self.fire_weight}"
+            )
+        if self.ucb_c < 0.0:
+            raise ConfigurationError(f"ucb_c must be >= 0, got {self.ucb_c}")
+
+
+class LaneStats:
+    """Prequential signal state of one lane (champion or challenger)."""
+
+    def __init__(self) -> None:
+        #: points the lane has observed (including warm-up zeros).
+        self.n_points = 0
+        #: points folded into the signal (the lane's model was fitted).
+        self.n_scored = 0
+        self.loss_ewma: float | None = None
+        self.fire_ewma = 0.0
+        #: mean loss of the most recent scored block (the UCB round).
+        self.last_batch_loss: float | None = None
+        #: consecutive points the lane has beaten the margin (EWMA dwell).
+        self.win_points = 0
+        #: consecutive decision rounds the lane has won (UCB dwell).
+        self.win_rounds = 0
+        #: bandit bookkeeping: rounds participated / rounds won.
+        self.rounds = 0
+        self.reward = 0
+
+    def update(self, losses: np.ndarray, fires: np.ndarray, alpha: float) -> None:
+        """Fold one scored block into the EWMAs (point order preserved)."""
+        self.n_points += len(losses)
+        self.n_scored += len(losses)
+        for loss, fire in zip(losses, fires):
+            loss = float(loss)
+            if self.loss_ewma is None:
+                self.loss_ewma = loss
+            else:
+                self.loss_ewma += alpha * (loss - self.loss_ewma)
+            self.fire_ewma += alpha * (float(bool(fire)) - self.fire_ewma)
+        self.last_batch_loss = float(np.mean(losses)) if len(losses) else None
+
+    def skip(self, n: int) -> None:
+        """Record points the lane saw but could not score (warm-up)."""
+        self.n_points += int(n)
+        self.last_batch_loss = None
+
+    def signal(self, fire_weight: float) -> float:
+        """Combined loss/drift signal; ``inf`` while the lane is cold."""
+        if self.loss_ewma is None:
+            return math.inf
+        return self.loss_ewma * (1.0 + fire_weight * self.fire_ewma)
+
+    def reset(self) -> None:
+        """Restart the signal (after a swap every lane re-warms)."""
+        self.__init__()
+
+    def as_dict(self, fire_weight: float) -> dict[str, Any]:
+        signal = self.signal(fire_weight)
+        return {
+            "n_points": self.n_points,
+            "n_scored": self.n_scored,
+            "loss_ewma": self.loss_ewma,
+            "fire_ewma": self.fire_ewma,
+            "signal": signal if math.isfinite(signal) else None,
+            "win_points": self.win_points,
+            "win_rounds": self.win_rounds,
+            "rounds": self.rounds,
+            "reward": self.reward,
+        }
+
+
+class SelectionPolicy:
+    """Decide, once per observed micro-batch, whether to promote.
+
+    :meth:`step` is called after the block's losses have been folded
+    into every lane's :class:`LaneStats`.  It returns the index of the
+    challenger to promote, or ``None``.
+    """
+
+    name = "?"
+
+    def __init__(self, config: SelectionConfig) -> None:
+        self.config = config
+
+    def step(
+        self,
+        champion: LaneStats,
+        lanes: list[LaneStats],
+        batch_size: int,
+        points_since_swap: int,
+    ) -> int | None:
+        raise NotImplementedError
+
+
+class EwmaLossPolicy(SelectionPolicy):
+    """Promote the lowest-signal challenger after a sustained margin win."""
+
+    name = "ewma"
+
+    def step(
+        self,
+        champion: LaneStats,
+        lanes: list[LaneStats],
+        batch_size: int,
+        points_since_swap: int,
+    ) -> int | None:
+        cfg = self.config
+        if champion.n_scored < cfg.warmup:
+            for lane in lanes:
+                lane.win_points = 0
+            return None
+        champ_signal = champion.signal(cfg.fire_weight)
+        eligible: list[int] = []
+        for index, lane in enumerate(lanes):
+            if (
+                lane.n_scored >= cfg.warmup
+                and lane.signal(cfg.fire_weight)
+                < champ_signal * (1.0 - cfg.margin)
+            ):
+                lane.win_points += batch_size
+                eligible.append(index)
+            else:
+                lane.win_points = 0
+        if points_since_swap < cfg.min_dwell:
+            return None
+        winners = [
+            index for index in eligible if lanes[index].win_points >= cfg.dwell
+        ]
+        if not winners:
+            return None
+        return min(winners, key=lambda index: lanes[index].signal(cfg.fire_weight))
+
+
+class UcbBanditPolicy(SelectionPolicy):
+    """UCB bandit over lanes: each micro-batch is a round, the lane with
+    the lowest batch-mean loss collects the reward.
+
+    The UCB value (mean reward + exploration bonus) ranks lanes; a
+    challenger is promoted only when *both* its UCB value and its mean
+    reward clear the champion's (the latter by ``margin``), held for
+    ``dwell`` consecutive rounds — the optimism bonus alone must never
+    trigger a swap.
+    """
+
+    name = "ucb"
+
+    def _value(self, stats: LaneStats, total_rounds: int) -> float:
+        if stats.rounds == 0:
+            return math.inf
+        mean = stats.reward / stats.rounds
+        if total_rounds <= 1:
+            return mean
+        return mean + self.config.ucb_c * math.sqrt(
+            math.log(total_rounds) / stats.rounds
+        )
+
+    def step(
+        self,
+        champion: LaneStats,
+        lanes: list[LaneStats],
+        batch_size: int,
+        points_since_swap: int,
+    ) -> int | None:
+        cfg = self.config
+        players = [
+            stats
+            for stats in [champion, *lanes]
+            if stats.n_scored >= cfg.warmup and stats.last_batch_loss is not None
+        ]
+        if champion not in players or len(players) < 2:
+            for lane in lanes:
+                lane.win_rounds = 0
+            return None
+        winner = min(players, key=lambda stats: stats.last_batch_loss)
+        for stats in players:
+            stats.rounds += 1
+        winner.reward += 1
+        total_rounds = champion.rounds
+        champ_value = self._value(champion, total_rounds)
+        champ_mean = champion.reward / champion.rounds
+        best: int | None = None
+        for index, lane in enumerate(lanes):
+            if lane not in players:
+                lane.win_rounds = 0
+                continue
+            mean = lane.reward / lane.rounds
+            if (
+                self._value(lane, total_rounds) > champ_value
+                and mean > champ_mean + cfg.margin
+            ):
+                lane.win_rounds += 1
+                if best is None or mean > lanes[best].reward / lanes[best].rounds:
+                    best = index
+            else:
+                lane.win_rounds = 0
+        if best is None or points_since_swap < cfg.min_dwell:
+            return None
+        if lanes[best].win_rounds < cfg.dwell:
+            return None
+        return best
+
+
+def make_policy(config: SelectionConfig) -> SelectionPolicy:
+    """Instantiate the policy named by ``config.policy``."""
+    if config.policy == "ewma":
+        return EwmaLossPolicy(config)
+    if config.policy == "ucb":
+        return UcbBanditPolicy(config)
+    raise ConfigurationError(f"unknown selection policy {config.policy!r}")

@@ -1,0 +1,156 @@
+"""Composable score postprocessors (PySAD-style calibration stages).
+
+PySAD (arXiv:2009.02572) decomposes a streaming pipeline into model →
+postprocessors, where each postprocessor is a small online transform of
+the score sequence (running z-score, running min-max, smoothing).  Here
+the stages serve one extra purpose the hot-swap subsystem needs: they
+are held at the *session* level, not inside the detector, so a
+promotion that replaces the detector keeps the calibration state — the
+calibrated score sequence stays continuous across a swap even though
+the raw score scale may jump with the new spec.
+
+Stages are chained in order; each consumes one raw value and returns
+one calibrated value.  They never feed back into the detector, so raw
+scores (and every bitwise-equivalence guarantee over them) are
+untouched — the serve layer reports calibrated values in a separate
+``calibrated`` result field.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.exceptions import ConfigurationError
+
+POSTPROCESSOR_NAMES = ("zscore", "minmax", "ewma")
+
+
+class Postprocessor:
+    """One online score transform: ``update(x)`` folds and returns."""
+
+    name = "?"
+
+    def update(self, value: float) -> float:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name}
+
+
+class ZScorePostprocessor(Postprocessor):
+    """Running standardization via Welford's online mean/variance.
+
+    The current value is folded *before* normalizing (PySAD's
+    fit-then-transform convention), so the very first value maps to 0.
+    """
+
+    name = "zscore"
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def reset(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (value - self.mean)
+        if self.n < 2:
+            return 0.0
+        std = math.sqrt(self.m2 / (self.n - 1))
+        if std == 0.0:
+            return 0.0
+        return (value - self.mean) / std
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "n": self.n, "mean": self.mean}
+
+
+class MinMaxPostprocessor(Postprocessor):
+    """Running min-max normalization into ``[0, 1]``."""
+
+    name = "minmax"
+
+    def __init__(self) -> None:
+        self.low = math.inf
+        self.high = -math.inf
+
+    def reset(self) -> None:
+        self.low = math.inf
+        self.high = -math.inf
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        self.low = min(self.low, value)
+        self.high = max(self.high, value)
+        if self.high == self.low:
+            return 0.0
+        return (value - self.low) / (self.high - self.low)
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "low": self.low if math.isfinite(self.low) else None,
+            "high": self.high if math.isfinite(self.high) else None,
+        }
+
+
+class EwmaPostprocessor(Postprocessor):
+    """Exponential smoothing of the score sequence."""
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 0.1) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ConfigurationError(
+                f"postprocess ewma alpha must be in (0, 1], got {alpha}"
+            )
+        self.alpha = float(alpha)
+        self.value: float | None = None
+
+    def reset(self) -> None:
+        self.value = None
+
+    def update(self, value: float) -> float:
+        value = float(value)
+        if self.value is None:
+            self.value = value
+        else:
+            self.value += self.alpha * (value - self.value)
+        return self.value
+
+    def describe(self) -> dict[str, Any]:
+        return {"name": self.name, "alpha": self.alpha}
+
+
+def make_postprocessor(name: str) -> Postprocessor:
+    """Instantiate a postprocessor by registry name.
+
+    ``"ewma:0.3"`` overrides the smoothing factor.
+    """
+    base, _, arg = str(name).partition(":")
+    if base == "zscore":
+        stage: Postprocessor = ZScorePostprocessor()
+    elif base == "minmax":
+        stage = MinMaxPostprocessor()
+    elif base == "ewma":
+        stage = EwmaPostprocessor(alpha=float(arg)) if arg else EwmaPostprocessor()
+    else:
+        raise ConfigurationError(
+            f"unknown postprocessor {name!r} "
+            f"(valid: {', '.join(POSTPROCESSOR_NAMES)})"
+        )
+    if arg and base != "ewma":
+        raise ConfigurationError(f"postprocessor {base!r} takes no argument")
+    return stage

@@ -1,0 +1,253 @@
+"""Challenger shadow lanes: race N specs against a live champion.
+
+A :class:`SelectionRace` rides one serve session.  Every micro-batch
+the champion scores, the race *observes*: each challenger lane steps
+the same block through its own detector (the ordinary chunked engine —
+the same code path the champion uses), folds the resulting losses into
+its prequential :class:`~repro.select.policy.LaneStats`, and the
+selection policy decides whether a challenger has durably won.  Lane
+scores never reach the client — the champion's results are already in
+the session's buffer (and its latency reservoir) before the race runs,
+which is what keeps shadow cost out of the user-facing ingest-latency
+percentiles.
+
+Lanes are clock-aligned with the champion by construction: they are
+warm-started at the session's stream offset
+(:func:`~repro.select.swap.warm_start_detector`), so at any instant
+``lane.detector.t == champion.t`` and a promotion hands over the stream
+with no offset arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.exceptions import ConfigurationError
+from repro.obs import fingerprint_config
+from repro.select.policy import (
+    LaneStats,
+    SelectionConfig,
+    SelectionPolicy,
+    make_policy,
+)
+
+
+class ChallengerLane:
+    """One challenger: a shadow detector plus its rebuild recipe.
+
+    The recipe (spec label, detector config, scorer, fleet key) is what
+    a promotion installs on the session — and what a demotion preserves
+    so the old champion can keep racing as a challenger.
+    """
+
+    def __init__(
+        self,
+        spec_label: str,
+        detector: Any,
+        detector_config: DetectorConfig,
+        scorer: str | None,
+        fleet_key: tuple | None,
+    ) -> None:
+        self.spec_label = spec_label
+        self.detector = detector
+        self.detector_config = detector_config
+        self.scorer = scorer
+        self.fleet_key = fleet_key
+        self.stats = LaneStats()
+
+
+class SelectionRace:
+    """Champion/challenger racing state attached to one session.
+
+    Args:
+        lanes: the challenger lanes (clock-aligned with the champion).
+        policy: the promote decider.
+        config: shared policy knobs.
+        demote: keep a promoted-over champion as a new challenger lane
+            (enables swapping back on recurring drift).  ``False`` drops
+            it.
+    """
+
+    def __init__(
+        self,
+        lanes: list[ChallengerLane],
+        policy: SelectionPolicy,
+        config: SelectionConfig,
+        demote: bool = True,
+    ) -> None:
+        if not lanes:
+            raise ConfigurationError("a selection race needs >= 1 challenger")
+        self.lanes = list(lanes)
+        self.policy = policy
+        self.config = config
+        self.demote = bool(demote)
+        self.champion_stats = LaneStats()
+        #: the champion's rebuild recipe ``(spec_label, detector_config,
+        #: scorer, fleet_key)`` — consumed by a swap to demote it.
+        self.champion_meta: tuple | None = None
+        self.points_since_swap = 0
+        self.promotions = 0
+        #: promotion history (``{"t", "from", "to"}`` dicts, in order).
+        self.events: list[dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        block: np.ndarray,
+        champ_result: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        champ_detector: Any,
+    ) -> ChallengerLane | None:
+        """Shadow-score one block, update signals, ask the policy.
+
+        Called after the champion's ``flush_finish`` with the same block
+        and its ``step_chunk`` result.  Returns the lane to promote, or
+        ``None``.  Caller holds the session lock.
+        """
+        a, _, drift, _ = champ_result
+        alpha = self.config.ewma_alpha
+        for lane in self.lanes:
+            lane_a, _, lane_drift, _ = lane.detector.step_chunk(block)
+            if getattr(lane.detector, "first_scored_step", 0) is not None:
+                lane.stats.update(lane_a, lane_drift, alpha)
+            else:
+                lane.stats.skip(len(block))
+        if getattr(champ_detector, "first_scored_step", 0) is not None:
+            self.champion_stats.update(np.asarray(a), np.asarray(drift), alpha)
+        else:
+            self.champion_stats.skip(len(block))
+        self.points_since_swap += len(block)
+        index = self.policy.step(
+            self.champion_stats,
+            [lane.stats for lane in self.lanes],
+            len(block),
+            self.points_since_swap,
+        )
+        return None if index is None else self.lanes[index]
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict[str, Any]:
+        """JSON-safe selection block for ``stats`` / ``describe``."""
+        fire_weight = self.config.fire_weight
+        return {
+            "policy": self.policy.name,
+            "config": {
+                "warmup": self.config.warmup,
+                "margin": self.config.margin,
+                "dwell": self.config.dwell,
+                "min_dwell": self.config.min_dwell,
+                "ewma_alpha": self.config.ewma_alpha,
+                "fire_weight": fire_weight,
+                "ucb_c": self.config.ucb_c,
+            },
+            "champion": {
+                "spec": self.champion_meta[0] if self.champion_meta else None,
+                **self.champion_stats.as_dict(fire_weight),
+            },
+            "challengers": [
+                {
+                    "spec": lane.spec_label,
+                    "t": int(getattr(lane.detector, "t", -1)),
+                    **lane.stats.as_dict(fire_weight),
+                }
+                for lane in self.lanes
+            ],
+            "demote": self.demote,
+            "points_since_swap": self.points_since_swap,
+            "promotions": self.promotions,
+            "events": [dict(event) for event in self.events],
+        }
+
+
+def build_race(
+    select: dict[str, Any],
+    *,
+    champion_spec: str,
+    n_channels: int,
+    detector_config: DetectorConfig,
+    scorer: str | None,
+    fleet_key: tuple | None,
+    at: int = 0,
+) -> SelectionRace:
+    """Build a :class:`SelectionRace` from a ``select`` request dict.
+
+    The dict shape (the ``create`` verb's ``select`` field)::
+
+        {"challengers": ["usad+ares+kswin",
+                         {"spec": "online_arima+sw+musigma",
+                          "config": {...}, "scorer": "al"}],
+         "policy": "ewma", "warmup": 64, "margin": 0.05, "dwell": 32,
+         "min_dwell": 256, "ewma_alpha": 0.05, "fire_weight": 0.25,
+         "ucb_c": 1.0, "demote": true}
+
+    Challenger entries inherit the champion's detector config and
+    scorer unless they override them.  ``at`` is the session's current
+    stream offset — lanes are warm-started there so their clocks track
+    the champion's.
+    """
+    from repro.select.swap import warm_start_detector
+
+    challengers = select.get("challengers")
+    if not isinstance(challengers, (list, tuple)) or not challengers:
+        raise ConfigurationError(
+            "select needs a non-empty 'challengers' list of registry specs"
+        )
+    try:
+        config = SelectionConfig(
+            policy=str(select.get("policy", "ewma")),
+            warmup=int(select.get("warmup", 64)),
+            margin=float(select.get("margin", 0.05)),
+            dwell=int(select.get("dwell", 32)),
+            min_dwell=int(select.get("min_dwell", 256)),
+            ewma_alpha=float(select.get("ewma_alpha", 0.05)),
+            fire_weight=float(select.get("fire_weight", 0.25)),
+            ucb_c=float(select.get("ucb_c", 1.0)),
+        )
+    except (TypeError, ValueError) as error:
+        raise ConfigurationError(f"bad select config: {error}") from None
+    lanes: list[ChallengerLane] = []
+    for entry in challengers:
+        if isinstance(entry, str):
+            entry = {"spec": entry}
+        if not isinstance(entry, dict) or "spec" not in entry:
+            raise ConfigurationError(
+                f"challenger entries are spec strings or "
+                f"{{'spec': ...}} dicts, got {entry!r}"
+            )
+        label = str(entry["spec"])
+        if label == champion_spec and not entry.get("config"):
+            raise ConfigurationError(
+                f"challenger {label!r} is identical to the champion"
+            )
+        try:
+            lane_config = (
+                DetectorConfig(**entry["config"])
+                if entry.get("config")
+                else detector_config
+            )
+        except TypeError as error:
+            raise ConfigurationError(
+                f"bad challenger config for {label!r}: {error}"
+            ) from None
+        lane_scorer = entry.get("scorer", scorer)
+        detector = warm_start_detector(
+            label, n_channels, config=lane_config, scorer=lane_scorer, at=at
+        )
+        lane_key = (
+            label,
+            int(n_channels),
+            fingerprint_config({"detector": lane_config, "scorer": lane_scorer}),
+        )
+        lanes.append(
+            ChallengerLane(label, detector, lane_config, lane_scorer, lane_key)
+        )
+    race = SelectionRace(
+        lanes,
+        make_policy(config),
+        config,
+        demote=bool(select.get("demote", True)),
+    )
+    race.champion_meta = (champion_spec, detector_config, scorer, fleet_key)
+    return race

@@ -25,7 +25,11 @@ Layers (zero new dependencies — stdlib + numpy):
 - :mod:`repro.serve.router` / :mod:`repro.serve.worker` — the sharded
   fleet: N worker processes (one service each) behind a consistent-hash
   router with live session migration, worker supervision and fleet-wide
-  stats rollups.
+  stats rollups;
+- :mod:`repro.select` (a sibling package) — online algorithm selection:
+  champion/challenger shadow lanes raced over the same ingested points,
+  a bandit/EWMA promotion policy, and point-lossless hot-swap of the
+  serving detector with a WAL ``swap`` record at the commit boundary.
 
 CLI: ``python -m repro.experiments.cli serve --port 8765 --spec
 ae+sw+kswin`` (add ``--workers 4`` for the sharded fleet).  See

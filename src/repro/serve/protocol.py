@@ -25,6 +25,14 @@ verbatim in the reply.  Verbs:
     checkpoint already placed in the server's spill directory instead of
     building a fresh detector — the receiving end of a live migration or
     crash recovery; ``seq`` continues the source's sequence numbering.
+    Optional ``select`` arms online algorithm selection
+    (:mod:`repro.select`): ``{"challengers": ["spec", ...], "policy":
+    "ewma"|"ucb", ...}`` races shadow challenger detectors over the same
+    points and hot-swaps the champion when a challenger sustainably wins
+    (see :func:`repro.select.race.build_race` for every knob).  A
+    ``postprocess`` list inside ``select`` (e.g. ``["zscore", "ewma:0.3"]``)
+    chains score calibration stages; each result then carries a
+    ``calibrated`` field alongside the untouched raw ``score``.
 ``ingest``
     Append ``points`` (a ``[B][N]`` nested list) to the session's ingest
     queue.  All-or-nothing: if the bounded queue cannot take the whole
@@ -48,6 +56,13 @@ verbatim in the reply.  Verbs:
     ``stream`` restricts the reply to one session, and
     ``latency_windows: true`` includes each session's raw retained
     latency samples (so a router can merge reservoirs fleet-wide).
+``describe``
+    Deep introspection of one session (``stream`` required): the
+    ``stats`` block plus the selection-race state when armed (champion
+    and challenger lane statistics, promotion events) and the metadata
+    of every on-disk checkpoint the stream could recover from
+    (``checkpoints.barrier`` / ``checkpoints.spill`` with path, stream
+    clock ``t`` and model class).
 ``evict``
     Operational verb: flush then spill one session to the checkpoint
     directory (the store also evicts idle sessions on its own when over
@@ -76,7 +91,17 @@ from repro.core.exceptions import ReproError
 #: bump when the envelope or a verb's fields change incompatibly.
 PROTOCOL_VERSION = 1
 
-OPS = ("create", "ingest", "score", "stats", "evict", "close", "ping", "shutdown")
+OPS = (
+    "create",
+    "ingest",
+    "score",
+    "stats",
+    "describe",
+    "evict",
+    "close",
+    "ping",
+    "shutdown",
+)
 
 #: verbs that do not address a single session.
 _STREAMLESS_OPS = ("stats", "ping", "shutdown")

@@ -551,7 +551,14 @@ class RouterService:
             index = self.placement_for(stream)
             fields = {
                 key: request[key]
-                for key in ("spec", "n_channels", "config", "scorer", "resume")
+                for key in (
+                    "spec",
+                    "n_channels",
+                    "config",
+                    "scorer",
+                    "resume",
+                    "select",
+                )
                 if key in request
             }
             reply = self.workers[index].request(
@@ -985,7 +992,7 @@ class RouterService:
                 )
             if op == "create":
                 return self._handle_create(request)
-            if op in ("ingest", "score", "evict", "close"):
+            if op in ("ingest", "score", "describe", "evict", "close"):
                 return self._handle_session_op(op, request)
             raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
         except ProtocolError as error:

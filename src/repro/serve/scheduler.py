@@ -165,6 +165,9 @@ class MicroBatchScheduler:
         #: optional hook run by the drain loop whenever it goes idle
         #: (the service wires the idle-session eviction sweep here).
         self.on_idle: Callable[[], Any] | None = None
+        #: optional :class:`~repro.obs.RunLog` the service wires in so
+        #: hot-swap promotions land in the deterministic audit log.
+        self.run_log = None
 
     # ------------------------------------------------------------------
     # admission
@@ -248,12 +251,41 @@ class MicroBatchScheduler:
                 return 0
             if not session.hydrated:
                 self.store.rehydrate(session)
-            scored = session.flush_once(min(self.config.max_batch, room))
+            prepared = session.flush_prepare(min(self.config.max_batch, room))
+            if prepared is None:
+                return 0
+            seqs, waits, block = prepared
+            result = session.detector.step_chunk(block)
+            scored = session.flush_finish(seqs, waits, result)
+            self._run_selection(session, block, result)
             self._maybe_barrier(session)
         if scored:
             self.telemetry.count("points_scored", scored)
             self.telemetry.count("batches_flushed")
         return scored
+
+    def _run_selection(self, session: DetectorSession, block, result) -> None:
+        """Shadow-score the block and apply a promotion if one fired.
+
+        Runs after the champion's ``flush_finish`` (latency samples are
+        already recorded) and before the barrier check (a swap resets
+        the barrier clock to the swap offset, so the barrier it just
+        took is never immediately redone).  Caller holds the session
+        lock.
+        """
+        if session.race is None:
+            return
+        old_key = session.fleet_key
+        promotion = session.run_selection(block, result, telemetry=self.telemetry)
+        if promotion is None:
+            return
+        # The promoted detector changes identity (and usually spec), so
+        # any cached fused engine for the old group is stale — drop it
+        # rather than letting its weight arena pin the old detector.
+        if old_key is not None:
+            self._fleets.pop(old_key, None)
+        if self.run_log is not None:
+            self.run_log.log("session_promoted", **promotion)
 
     # ------------------------------------------------------------------
     # fused draining
@@ -311,6 +343,7 @@ class MicroBatchScheduler:
                 for session, (seqs, waits, block) in prepared:
                     result = session.detector.step_chunk(block)
                     scored += session.flush_finish(seqs, waits, result)
+                    self._run_selection(session, block, result)
                     self.telemetry.count("batches_flushed")
             else:
                 engine = self._fleet_engine(key, [s for s, _ in prepared])
@@ -320,8 +353,11 @@ class MicroBatchScheduler:
                 results = engine.step_chunk(
                     [batch[2] for _, batch in prepared]
                 )
-                for (session, (seqs, waits, _)), result in zip(prepared, results):
+                for (session, (seqs, waits, block)), result in zip(
+                    prepared, results
+                ):
                     scored += session.flush_finish(seqs, waits, result)
+                    self._run_selection(session, block, result)
                     self.telemetry.count("batches_flushed")
                 self.telemetry.count("fused_drains")
                 self.telemetry.count(
@@ -408,7 +444,13 @@ class MicroBatchScheduler:
         if self.config.fused_drain:
             groups: dict[tuple, list[DetectorSession]] = {}
             for session in due:
-                if session.fleet_key is not None and session.evictable:
+                # Racing sessions are pinned (non-evictable) but their
+                # champions still join fused drains — the fleet key is
+                # the champion's, and shadow lanes run per-session after
+                # the fused flush.
+                if session.fleet_key is not None and (
+                    session.evictable or session.race is not None
+                ):
                     groups.setdefault(session.fleet_key, []).append(session)
             for key, members in groups.items():
                 if len(members) < self.config.min_fleet:

@@ -45,6 +45,9 @@ from repro.core.exceptions import (
 )
 from repro.core.registry import AlgorithmSpec, build_detector
 from repro.obs import RunLog, Telemetry, fingerprint_config, merge_payloads
+from repro.select.postprocess import make_postprocessor
+from repro.select.race import build_race
+from repro.select.swap import expected_model_class
 from repro.serve.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
@@ -112,6 +115,12 @@ class ServeConfig:
             (:class:`~repro.obs.RunLog`); ``None`` keeps it in memory
             only (still inspectable via ``service.run_log``) unless the
             WAL is off entirely, in which case no log is kept.
+        select: default online-selection config applied to every
+            registry-built ``create`` that does not carry its own
+            ``select`` field — see
+            :func:`repro.select.race.build_race` for the dict shape
+            (``challengers`` list, policy name and flapping knobs).
+            ``None`` disables selection unless a request asks for it.
     """
 
     default_spec: str | None = None
@@ -131,6 +140,7 @@ class ServeConfig:
     wal_fsync: str = "barrier"
     wal_barrier_interval: int = 256
     run_log: str | None = None
+    select: dict[str, Any] | None = None
 
 
 def _json_safe(obj: Any) -> Any:
@@ -206,6 +216,7 @@ class DetectionService:
             ),
             telemetry=self.telemetry,
         )
+        self.scheduler.run_log = self.run_log
         if self.config.idle_timeout_s is not None:
             timeout = self.config.idle_timeout_s
             self.scheduler.on_idle = lambda: self.store.evict_idle(timeout)
@@ -231,6 +242,7 @@ class DetectionService:
         scorer: str | None = None,
         detector: Any = None,
         resume: dict[str, Any] | None = None,
+        select: dict[str, Any] | None = None,
     ) -> DetectorSession:
         """Open a session from a registry spec (or a prebuilt detector).
 
@@ -244,6 +256,16 @@ class DetectionService:
         migration or a crash recovery.  ``seq`` must be the checkpoint's
         stream clock, so sequence numbers continue where the previous
         process stopped.
+
+        ``select`` arms online algorithm selection: challenger shadow
+        lanes racing the champion, with hot-swap on a durable win — see
+        :func:`repro.select.race.build_race` for the dict shape.  The
+        service-level default (:attr:`ServeConfig.select`) applies when
+        the request carries none; ``{"challengers": []}`` is invalid, so
+        a request cannot half-enable it.  Selection requires a
+        registry-built session (the swap protocol needs the rebuild
+        recipe); an optional ``postprocess`` list of stage names adds
+        PySAD-style score calibration that survives swaps.
         """
         if detector is None:
             label = spec if spec is not None else self.config.default_spec
@@ -355,14 +377,45 @@ class DetectionService:
                 self.store.close(stream)
                 raise
             session.wal = wal
+        if select is None:
+            select = self.config.select
+        if select:
+            try:
+                if detector_config is None:
+                    raise ConfigurationError(
+                        "online selection requires a registry-built "
+                        "session (custom detectors have no rebuild recipe)"
+                    )
+                session.race = build_race(
+                    select,
+                    champion_spec=spec_label,
+                    n_channels=int(n_channels),
+                    detector_config=detector_config,
+                    scorer=scorer if scorer is not None else self.config.scorer,
+                    fleet_key=fleet_key,
+                    at=session.seq,
+                )
+                session.postprocess = [
+                    make_postprocessor(name)
+                    for name in select.get("postprocess", ())
+                ]
+            except ReproError:
+                session.spill_path = None  # keep an adopted checkpoint on disk
+                self.store.close(stream)
+                raise
         if self.run_log is not None:
-            self.run_log.log(
-                "session_created",
-                stream=stream,
-                spec=spec_label,
-                seq=session.seq,
-                resumed=resume is not None,
-            )
+            entry: dict[str, Any] = {
+                "stream": stream,
+                "spec": spec_label,
+                "seq": session.seq,
+                "resumed": resume is not None,
+            }
+            if session.race is not None:
+                entry["challengers"] = [
+                    lane.spec_label for lane in session.race.lanes
+                ]
+                entry["policy"] = session.race.policy.name
+            self.run_log.log("session_created", **entry)
         return session
 
     # ------------------------------------------------------------------
@@ -453,8 +506,29 @@ class DetectionService:
                 f"log {path.name} carries an unbuildable detector config: "
                 f"{error}"
             ) from None
+        stale_label = False
         if ckpt_path is not None:
             detector = load_detector(ckpt_path)
+            expected = expected_model_class(spec_label)
+            actual = type(detector.model).__name__
+            if expected is not None and actual != expected:
+                # The checkpoint's model does not match the recipe the
+                # log promises.  The swap protocol orders its record
+                # before its checkpoint, so this cannot happen under a
+                # durable fsync policy — but ``fsync="never"`` (or disk
+                # reordering) can persist a swap checkpoint whose record
+                # never landed.  The checkpoint is still the state that
+                # scored the stream: serve it, but on the per-session
+                # path, because fusing under the stale label would group
+                # mismatched models into one fleet.
+                stale_label = True
+                self.telemetry.count("wal_stale_labels")
+                self.telemetry.event(
+                    "wal_stale_label",
+                    stream=stream,
+                    label=spec_label,
+                    model=actual,
+                )
         else:
             # No checkpoint yet (crash before the first barrier): the
             # open record carries everything needed to rebuild the
@@ -491,10 +565,25 @@ class DetectionService:
             orphan for orphan in self.store.orphaned_spills if orphan != spill
         ]
         session.fleet_key = (
-            spec_label,
-            n_channels,
-            fingerprint_config({"detector": detector_config, "scorer": scorer}),
+            (
+                spec_label,
+                n_channels,
+                fingerprint_config(
+                    {"detector": detector_config, "scorer": scorer}
+                ),
+            )
+            if not stale_label
+            else None
         )
+        # A crash right at a committed hot-swap boundary strands the
+        # results of the block that triggered the swap (the swap
+        # checkpoint trims it from replay) — the swap record carried
+        # them, so re-emit into the result buffer ahead of any replay.
+        reemitted = 0
+        if int(open_meta.get("swap_t", -2)) == ckpt_t:
+            for entry in open_meta.get("swap_results") or ():
+                session.results.append(dict(entry))
+                reemitted += 1
         # Replay through the normal scoring path: the chunked engine's
         # bitwise invariance to block boundaries makes the recovered
         # sequence identical to the uninterrupted run.
@@ -509,6 +598,10 @@ class DetectionService:
             replayed += len(rows)
         while session.flush_once(self.config.max_batch):
             pass
+        # Aborted swap intents (record durable, commit checkpoint not)
+        # must leave the log before any future compaction could mistake
+        # them for committed ones.
+        wal.scrub_aborted_swaps(ckpt_t)
         wal.resume_at(ckpt_t)
         session.wal = wal
         if wal.due_for_barrier(session.scored):
@@ -525,6 +618,9 @@ class DetectionService:
                 replayed=replayed,
                 dropped=dropped,
                 torn=torn,
+                swapped=bool(open_meta.get("swapped")),
+                stale_label=stale_label,
+                reemitted=reemitted,
             )
         return stream
 
@@ -664,6 +760,36 @@ class DetectionService:
             }
         )
 
+    def describe_session(self, stream: str) -> dict[str, Any]:
+        """Full introspection payload for one stream (the ``describe`` verb).
+
+        Extends the per-session ``stats`` block with the selection-race
+        state (when armed — champion and challenger lane statistics,
+        promotion history) and the metadata of every on-disk checkpoint
+        the stream could recover from, so an operator can audit a
+        champion/challenger race or a durability story without reading
+        the WAL directory by hand.
+        """
+        session = self.store.get(stream)
+        info = session.describe(time.monotonic())
+        info["stream"] = stream
+        wal = session.wal
+        checkpoints: dict[str, Any] = {}
+        for name, path in (
+            ("barrier", wal.barrier_path if wal is not None else None),
+            ("spill", self.store.spill_path_for(stream)),
+        ):
+            if path is None or not path.exists():
+                continue
+            meta = peek_checkpoint(path)
+            checkpoints[name] = {
+                "path": str(path),
+                "t": int(meta["t"]),
+                "model": meta.get("model"),
+            }
+        info["checkpoints"] = checkpoints
+        return _json_safe(info)
+
     def pump(self) -> int:
         """One manual drain pass (for ``autostart=False`` tests)."""
         return self.scheduler.pump()
@@ -695,6 +821,7 @@ class DetectionService:
                     config=request.get("config"),
                     scorer=request.get("scorer"),
                     resume=request.get("resume"),
+                    select=request.get("select"),
                 )
                 return ok_reply(
                     op, request, stream=stream, spec=session.spec_label,
@@ -727,6 +854,8 @@ class DetectionService:
                         latency_windows=bool(request.get("latency_windows")),
                     ),
                 )
+            if op == "describe":
+                return ok_reply(op, request, **self.describe_session(stream))
             if op == "evict":
                 return ok_reply(op, request, **self.evict(stream))
             if op == "close":
@@ -781,10 +910,11 @@ class BaseServeClient:
         n_channels: int | None = None,
         config: dict[str, Any] | None = None,
         scorer: str | None = None,
+        select: dict[str, Any] | None = None,
     ) -> dict[str, Any]:
         return self._request(
             "create", stream=stream, spec=spec, n_channels=n_channels,
-            config=config, scorer=scorer,
+            config=config, scorer=scorer, select=select,
         )
 
     def ingest(
@@ -811,6 +941,9 @@ class BaseServeClient:
 
     def stats(self, stream: str | None = None) -> dict[str, Any]:
         return self._request("stats", stream=stream)
+
+    def describe(self, stream: str) -> dict[str, Any]:
+        return self._request("describe", stream=stream)
 
     def evict(self, stream: str) -> dict[str, Any]:
         return self._request("evict", stream=stream)

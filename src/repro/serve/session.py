@@ -104,6 +104,23 @@ class DetectorSession:
         #: barriered after flushes and on evict/close.
         self.wal = None
 
+        #: online algorithm selection
+        #: (:class:`~repro.select.race.SelectionRace`); ``None`` runs
+        #: the session without challenger lanes.  A session carrying a
+        #: race is pinned in memory (never evicted) — its lanes are live
+        #: state the spill checkpoint does not capture.
+        self.race = None
+        #: composable score postprocessors
+        #: (:mod:`repro.select.postprocess`), applied in order to every
+        #: champion score into the ``calibrated`` result field.  Held at
+        #: session level so calibration state survives a hot-swap.
+        self.postprocess: list = []
+        #: shadow-lane cost accounting, kept out of the user-facing
+        #: scoring counters and the ingest-latency reservoir so p50/p99
+        #: stay comparable with selection off.
+        self.points_shadow = 0
+        self.shadow_ns = 0
+
     # ------------------------------------------------------------------
     @property
     def hydrated(self) -> bool:
@@ -113,7 +130,10 @@ class DetectorSession:
     @property
     def evictable(self) -> bool:
         """Only full framework detectors checkpoint; duck-typed ones
-        (e.g. ensembles) stay resident."""
+        (e.g. ensembles) stay resident, and so do sessions racing
+        challenger lanes (lane state is not in the spill checkpoint)."""
+        if self.race is not None:
+            return False
         return isinstance(self.detector, StreamingAnomalyDetector) or (
             self.detector is None and self.spill_path is not None
         )
@@ -216,15 +236,19 @@ class DetectorSession:
         k = len(seqs)
         now = self._clock()
         for j in range(k):
-            self.results.append(
-                {
-                    "seq": int(seqs[j]),
-                    "score": float(f[j]),
-                    "nonconformity": float(a[j]),
-                    "drift": bool(drift[j]),
-                    "finetuned": bool(fine[j]),
-                }
-            )
+            entry = {
+                "seq": int(seqs[j]),
+                "score": float(f[j]),
+                "nonconformity": float(a[j]),
+                "drift": bool(drift[j]),
+                "finetuned": bool(fine[j]),
+            }
+            if self.postprocess:
+                calibrated = entry["score"]
+                for stage in self.postprocess:
+                    calibrated = stage.update(calibrated)
+                entry["calibrated"] = calibrated
+            self.results.append(entry)
             self.latency.record(now - enqueued_at[j])
         self.scored += k
         self.last_active = now
@@ -245,6 +269,45 @@ class DetectorSession:
             seqs, waits, block = prepared
             result = self.detector.step_chunk(block)
             return self.flush_finish(seqs, waits, result)
+
+    def run_selection(
+        self,
+        block: np.ndarray,
+        result: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        telemetry: Telemetry | None = None,
+    ) -> dict[str, Any] | None:
+        """Shadow-score one just-flushed block and maybe hot-swap.
+
+        Called by the scheduler *after* :meth:`flush_finish` — the
+        champion's results and their ingest-latency samples are already
+        recorded, so shadow-lane work never shows up in the user-facing
+        percentiles.  It is timed into the separate ``shadow_ns`` /
+        ``points_shadow`` accounting instead.  Returns the promotion
+        event dict when the policy fired a hot-swap, else ``None``.
+        Caller holds the session lock.
+        """
+        race = self.race
+        if race is None:
+            return None
+        t0 = time.perf_counter_ns()
+        lane = race.observe(block, result, self.detector)
+        shadow_ns = time.perf_counter_ns() - t0
+        shadow_points = len(block) * len(race.lanes)
+        self.points_shadow += shadow_points
+        self.shadow_ns += shadow_ns
+        if telemetry is not None:
+            telemetry.count("points_shadow", shadow_points)
+            telemetry.count("shadow_ns", shadow_ns)
+        if lane is None:
+            return None
+        from repro.select.swap import hot_swap
+
+        # The triggering block's entries are the newest len(block)
+        # results (flush_finish just appended them, same lock) — the
+        # swap record carries them so a mid-swap crash can re-deliver.
+        n = len(block)
+        recent = list(self.results)[-n:] if n else []
+        return hot_swap(self, lane, telemetry=telemetry, results=recent)
 
     def collect(self, max_results: int | None = None) -> list[dict[str, Any]]:
         """Drain up to ``max_results`` scored results, in sequence order."""
@@ -293,6 +356,16 @@ class DetectorSession:
                     "barrier_t": self.wal.barrier_t,
                     "fsync": self.wal.config.fsync,
                 }
+            if self.race is not None:
+                info["selection"] = self.race.describe()
+                info["shadow"] = {
+                    "points_shadow": self.points_shadow,
+                    "shadow_ns": self.shadow_ns,
+                }
+            if self.postprocess:
+                info["postprocess"] = [
+                    stage.describe() for stage in self.postprocess
+                ]
             if detector is not None and hasattr(detector, "events"):
                 info["n_finetunes"] = count_finetunes(detector.events)
             if self.telemetry is not None:

@@ -34,7 +34,10 @@ the stream id), a sequence of length-prefixed CRC-framed pickle records
 starting with one ``open`` record (stream id, spec, channel count,
 detector config — everything recovery needs to rebuild the session
 without an external registry) followed by ``ingest`` records
-(``seq_from`` + the raw float64 rows).  Torn tails — a crash mid-append
+(``seq_from`` + the raw float64 rows) and, when online algorithm
+selection promotes a challenger, ``swap`` records (``t`` + the new
+spec/config/scorer) that re-parameterize the session from that clock on
+(compaction folds them back into the open record).  Torn tails — a crash mid-append
 — are detected by the length/CRC frame and truncated back to the last
 complete record; everything before the tear is intact by construction
 (records are appended, never rewritten in place).  Compaction rewrites
@@ -194,6 +197,29 @@ def read_records(path: str | Path) -> tuple[list[dict[str, Any]], int, bool]:
     return records, offset, torn
 
 
+def _fold_swap(open_meta: dict[str, Any], record: dict[str, Any]) -> None:
+    """Fold one *committed* hot-swap record into an open record's recipe.
+
+    A swap record (written by :func:`repro.select.swap.hot_swap` as the
+    intent step of the swap protocol) re-parameterizes the session from
+    its clock ``t`` on: later records must be recovered under the *new*
+    spec/config/scorer.  The record also carries the champion's result
+    entries for the block that triggered the swap (``swap_results``) —
+    recovery re-emits them, since the swap barrier trims that block from
+    replay.  Folding mutates ``open_meta`` in place — applied in log
+    order, the final recipe matches the live session at crash time.
+    """
+    if record.get("spec") is not None:
+        open_meta["spec"] = record["spec"]
+    if record.get("config") is not None:
+        open_meta["config"] = record["config"]
+    if "scorer" in record:
+        open_meta["scorer"] = record["scorer"]
+    open_meta["swapped"] = True
+    open_meta["swap_t"] = int(record["t"])
+    open_meta["swap_results"] = list(record.get("results") or ())
+
+
 def plan_replay(
     records: list[dict[str, Any]], barrier_t: int
 ) -> tuple[dict[str, Any], list[tuple[int, np.ndarray]], int]:
@@ -216,6 +242,15 @@ def plan_replay(
     dropped = 0
     blocks: list[tuple[int, np.ndarray]] = []
     for record in records[1:]:
+        if record.get("kind") == "swap":
+            # A swap commits at its checkpoint save, not at this record
+            # (the record is written first, as intent).  A surviving
+            # checkpoint covering the swap clock proves the commit; a
+            # record past the checkpoint is an aborted swap — ignore it
+            # and replay through the pre-swap recipe.
+            if int(record["t"]) <= barrier_t:
+                _fold_swap(open_meta, record)
+            continue
         if record.get("kind") != "ingest":
             raise WalCorruption(
                 f"unexpected record kind {record.get('kind')!r} in log body"
@@ -309,6 +344,55 @@ class SessionWal:
         self._handle = open(self.path, "ab")
         self.barrier_t = int(barrier_t)
 
+    def scrub_aborted_swaps(self, barrier_t: int) -> int:
+        """Remove swap records past ``barrier_t`` from the log file.
+
+        A swap record whose clock outruns every durable checkpoint is an
+        aborted intent: the crash hit between the record and its commit
+        checkpoint.  Replay planning already ignores it, but it must not
+        survive on disk — a *later* barrier compaction folds swap
+        records by clock alone and would resurrect the aborted recipe.
+        Called during recovery, before the log is re-attached.  Returns
+        the number of records scrubbed.
+        """
+        records, _, _ = read_records(self.path)
+        keep = [
+            record
+            for record in records
+            if not (
+                record.get("kind") == "swap"
+                and int(record["t"]) > int(barrier_t)
+            )
+        ]
+        scrubbed = len(records) - len(keep)
+        if not scrubbed:
+            return 0
+        durable = self.config.fsync != "never"
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.dir, prefix=self.path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                for record in keep:
+                    handle.write(
+                        _frame(
+                            pickle.dumps(
+                                record, protocol=pickle.HIGHEST_PROTOCOL
+                            )
+                        )
+                    )
+                handle.flush()
+                if durable:
+                    os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+            if durable:
+                fsync_dir(self.dir)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return scrubbed
+
     # ------------------------------------------------------------------
     def append(self, seq_from: int, block: np.ndarray) -> None:
         """Log one accepted ingest block (call *before* acknowledging)."""
@@ -327,6 +411,27 @@ class SessionWal:
             os.fsync(self._handle.fileno())
         self.n_appends += 1
         self.telemetry.count("wal_appends")
+
+    def log_swap(self, meta: dict[str, Any]) -> None:
+        """Log a hot-swap intent (``meta``: ``t`` / ``spec`` / ``config``
+        / ``scorer`` / ``results``) — step one of the swap protocol.
+
+        Fsynced under every policy but ``never``: the record must be
+        durable *before* the swap's checkpoint save (the commit point),
+        so recovery can always tell a committed swap (checkpoint covers
+        the record's ``t``) from an aborted one (it does not).  Swaps
+        are rare; the extra fsync is off the steady-state hot path.
+        """
+        if self._handle is None:
+            raise WalError(f"log for stream {self.stream_id!r} is not open")
+        record = {"kind": "swap", "stream": self.stream_id, **meta}
+        self._handle.write(
+            _frame(pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL))
+        )
+        self._handle.flush()
+        if self.config.fsync != "never":
+            os.fsync(self._handle.fileno())
+        self.telemetry.count("wal_swaps")
 
     # ------------------------------------------------------------------
     def barrier(self, detector, compact: bool | None = None) -> int:
@@ -368,6 +473,23 @@ class SessionWal:
         keep = []
         truncated = 0
         for record in records[1:]:
+            if record.get("kind") == "swap":
+                # A swap at or before the barrier clock is part of the
+                # recipe the checkpoint already embodies — fold it into
+                # the rewritten open record instead of keeping the body
+                # record (swaps happen at scored offsets, so ``> t`` is
+                # unreachable, kept only as a safety net).
+                if int(record["t"]) <= t:
+                    _fold_swap(open_record, record)
+                    if int(record["t"]) < t:
+                        # A later barrier superseded the swap boundary:
+                        # the carried results are stale (delivered, or
+                        # lost under ordinary barrier semantics) — keep
+                        # the recipe, drop the payload.
+                        open_record["swap_results"] = []
+                else:  # pragma: no cover — swaps never outrun the clock
+                    keep.append(record)
+                continue
             rows = record["rows"]
             if int(record["seq_from"]) + len(rows) - 1 > t:
                 keep.append(record)

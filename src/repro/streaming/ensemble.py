@@ -35,12 +35,21 @@ class EnsembleDetector:
     Args:
         members: detectors to run; each keeps its own learning strategy.
         fusion: one of ``"mean"``, ``"max"``, ``"median"``.
+        postprocess: optional calibration chain applied to the *fused*
+            anomaly scores — postprocessor names accepted by
+            :func:`repro.select.postprocess.make_postprocessor` (e.g.
+            ``["zscore"]`` or ``["minmax", "ewma:0.3"]``).  PySAD-style
+            composition: each stage is a streaming transform updated
+            point by point, so the calibrated scores remain a pure
+            function of the score prefix (deterministic, replayable).
+            Empty chain (the default) leaves scores untouched.
     """
 
     def __init__(
         self,
         members: list[StreamingAnomalyDetector],
         fusion: str = "mean",
+        postprocess: list | None = None,
     ) -> None:
         if not members:
             raise ConfigurationError("ensemble needs at least one member")
@@ -50,6 +59,15 @@ class EnsembleDetector:
             )
         self.members = list(members)
         self.fusion = fusion
+        if postprocess:
+            from repro.select.postprocess import make_postprocessor
+
+            self.postprocess = [
+                stage if hasattr(stage, "update") else make_postprocessor(stage)
+                for stage in postprocess
+            ]
+        else:
+            self.postprocess = []
         self.t = -1
 
     def _fuse(self, values: list[float]) -> float:
@@ -128,9 +146,19 @@ class EnsembleDetector:
             drift_out |= drift
             fine_out |= fine
         self.t += n_steps
+        fused_f = self._fuse_rows(member_f)
+        if self.postprocess:
+            # Point-by-point in stream order: each stage is a streaming
+            # transform, so the block path stays bitwise identical to a
+            # step loop for any chunking.
+            for i in range(n_steps):
+                value = float(fused_f[i])
+                for stage in self.postprocess:
+                    value = stage.update(value)
+                fused_f[i] = value
         return (
             self._fuse_rows(member_a),
-            self._fuse_rows(member_f),
+            fused_f,
             drift_out,
             fine_out,
         )
@@ -165,3 +193,5 @@ class EnsembleDetector:
         self.t = -1
         for member in self.members:
             member.reset()
+        for stage in self.postprocess:
+            stage.reset()

@@ -1,0 +1,100 @@
+"""Crash-injection child for the mid-swap SIGKILL recovery tests.
+
+Run as a subprocess by ``tests/test_select.py`` with the
+``REPRO_SELECT_CRASH`` environment variable set to one of the swap
+protocol's crash points (see :mod:`repro.select.swap`).  The child
+streams a drifting series through a WAL-backed service whose selection
+race is tuned so the bad champion is deterministically beaten; the
+injected ``os._exit(42)`` fires inside the hot-swap, leaving exactly
+the on-disk state a SIGKILL at that instant would.
+
+Results collected before the crash are persisted to ``results.jsonl``
+after every score round (one JSON line per round: the send cursor plus
+the round's results), so the parent can merge them with what recovery
+re-emits and assert the union is lossless.
+
+Shared constants (stream, detector config, select knobs) live here so
+the parent test imports them instead of duplicating.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+N = 400
+CHUNK = 25
+SPEC = "ae+sw+never"  # never fine-tunes: deliberately bad after the shift
+CHALLENGER = "ae+sw+kswin"
+
+CONFIG = dict(
+    window=6,
+    train_capacity=24,
+    fit_epochs=3,
+    initial_train_size=40,
+    kswin_check_every=1,
+)
+
+SELECT = dict(
+    challengers=[CHALLENGER],
+    policy="ewma",
+    warmup=40,
+    margin=0.02,
+    dwell=16,
+    min_dwell=64,
+    fire_weight=0.0,
+    demote=False,
+)
+
+
+def make_values():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=(N, 2))
+    values[N // 2 :] = values[N // 2 :] * 2.5 + 1.0
+    return values
+
+
+def make_service(workdir, autostart=False):
+    from repro.core.config import DetectorConfig
+    from repro.serve import DetectionService, ServeConfig
+
+    return DetectionService(
+        ServeConfig(
+            max_batch=16,
+            spill_dir=str(Path(workdir) / "spill"),
+            wal_dir=str(Path(workdir) / "wal"),
+            wal_barrier_interval=48,
+            detector=DetectorConfig(**CONFIG),
+        ),
+        autostart=autostart,
+    )
+
+
+def main() -> int:
+    from repro.serve import ServeClient
+
+    workdir = Path(sys.argv[1])
+    service = make_service(workdir)
+    client = ServeClient(service)
+    reply = client.create("s", spec=SPEC, n_channels=2, select=dict(SELECT))
+    assert reply["ok"], reply
+    values = make_values()
+    sent = 0
+    with open(workdir / "results.jsonl", "a") as log:
+        while sent < N:
+            reply = client.ingest("s", values[sent : sent + CHUNK], expect=sent)
+            assert reply["ok"], reply
+            sent += reply["accepted"]
+            # The injected crash fires inside this flush, mid-swap.
+            reply = client.score("s")
+            assert reply["ok"], reply
+            log.write(
+                json.dumps({"sent": sent, "results": reply["results"]}) + "\n"
+            )
+            log.flush()
+    return 7  # the parent expects the crash (42), not completion
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,3 +236,47 @@ def test_bench_fleet_smoke(tmp_path):
     assert payload["equivalence"]["bitwise_identical"] is True
     for key in ("fused_points_per_second", "per_session_points_per_second"):
         assert payload["serve"][key] > 0
+
+
+def test_bench_select_smoke(tmp_path):
+    out = tmp_path / "BENCH_select.json"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    completed = subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "bench_select.py"),
+            "--fast",
+            "--out",
+            str(out),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(out.read_text())
+    assert payload["mode"] == "fast"
+    for key in ("generated_by", "champion", "equivalence", "overhead", "regret"):
+        assert key in payload
+    # Correctness claims hold even at smoke scale; the benchmark asserts
+    # them before writing any number.
+    assert payload["equivalence"]["bitwise_identical"] is True
+    assert payload["equivalence"]["shadow_neutral"] is True
+    rows = {row["n_challengers"]: row for row in payload["overhead"]}
+    assert set(rows) == {0, 1, 3}
+    for row in rows.values():
+        assert row["points_per_second"] > 0
+    # Shadow lanes cost throughput, never correctness: the baseline is
+    # the fastest row and more lanes are monotonically slower.
+    assert rows[0]["relative_rate"] == 1.0
+    assert rows[1]["points_per_second"] > rows[3]["points_per_second"]
+    regret = payload["regret"]
+    assert regret["policy"]["promotions"] >= 1
+    worst = max(
+        entry["mean_nonconformity"] for entry in regret["fixed"].values()
+    )
+    assert regret["policy"]["mean_nonconformity"] < worst
+    assert regret["ratio_vs_best"] <= regret["tracking_bound_vs_best"]

@@ -193,3 +193,64 @@ def test_resume_in_a_fresh_process_is_bitwise_identical(tmp_path):
     assert np.array_equal(full_scores[cut:], child_scores), (
         "scores resumed in a fresh process diverge from the parent run"
     )
+
+
+# ----------------------------------------------------------------------
+# cross-spec warm-start (the hot-swap resume primitive)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "target", [("online_arima", "sw", "musigma"), ("usad", "ares", "kswin")],
+    ids=["arima", "usad"],
+)
+def test_cross_spec_warm_start_continues_the_clock(tmp_path, target):
+    """Checkpoint spec A at a cut, resume under spec B at ``t + 1``.
+
+    This is the primitive a hot-swap promotion (and a ``resume`` with a
+    new spec) is built on: the new detector's clock continues exactly
+    where the old one stopped — no stream index skipped or scored twice
+    — and its scores are bitwise what a clock-preset spec-B detector
+    produces over the remainder, independent of *how* the offset was
+    obtained (peeked from checkpoint metadata vs. set directly).
+    """
+    from repro.select import warm_start_detector, warm_start_from_checkpoint
+
+    values = make_stream()
+    cut = 380
+    label = "+".join(target)
+    old = build_detector(
+        AlgorithmSpec("ae", "sw", "kswin"), n_channels=2, config=CONFIG
+    )
+    run_chunked(old, values[:cut], 7)
+    checkpoint = save_detector(old, tmp_path / "a.pkl")
+    assert peek_checkpoint(checkpoint)["t"] == cut - 1
+
+    resumed = warm_start_from_checkpoint(
+        checkpoint, label, 2, config=CONFIG
+    )
+    assert resumed.t == cut - 1  # next point scored is stream index `cut`
+    resumed_scores, _ = run_chunked(resumed, values[cut:], 7)
+    assert resumed.t == len(values) - 1  # no skip, no double
+
+    reference = warm_start_detector(label, 2, config=CONFIG, at=cut)
+    reference_scores, _ = run_chunked(reference, values[cut:], 7)
+    assert np.array_equal(resumed_scores, reference_scores)
+    # The clock offset must show up in the new spec's event log, so a
+    # post-swap fine-tune is attributed to the right stream index.
+    assert all(event.t >= cut for event in resumed.events)
+
+
+def test_warm_start_rejects_bad_inputs(tmp_path):
+    from repro.core.exceptions import ConfigurationError
+    from repro.select import warm_start_detector, warm_start_from_checkpoint
+
+    with pytest.raises(ConfigurationError):
+        warm_start_detector("ae+sw", 2)
+    with pytest.raises(ConfigurationError):
+        warm_start_detector("ae+sw+kswin", 2, at=-3)
+    detector = build_detector(
+        AlgorithmSpec("ae", "sw", "kswin"), n_channels=2, config=CONFIG
+    )
+    run_chunked(detector, make_stream()[:50], 7)
+    checkpoint = save_detector(detector, tmp_path / "a.pkl")
+    with pytest.raises(ConfigurationError):
+        warm_start_from_checkpoint(checkpoint, "not-a-spec", 2)
